@@ -1,0 +1,81 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/center_tree.hpp"
+#include "graph/random_graph.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace pimlib::bench {
+
+/// Parses "--trials N" / "--groups N" style integer flags; returns
+/// `fallback` when absent.
+inline int flag_value(int argc, char** argv, const char* name, int fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+    }
+    return fallback;
+}
+
+/// Dense per-edge flow counter over a fixed graph: resolves (u,v) pairs to
+/// compact edge ids once, then counts in a flat array. Fast enough for the
+/// paper-scale sweeps (Fig. 2(b): 500 graphs × 300 groups).
+class EdgeFlowCounter {
+public:
+    explicit EdgeFlowCounter(const graph::Graph& g) : n_(g.node_count()) {
+        edge_id_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
+        int next = 0;
+        for (int u = 0; u < n_; ++u) {
+            for (const auto& e : g.neighbors(u)) {
+                if (e.to < u) continue;
+                edge_id_[static_cast<std::size_t>(u) * n_ + e.to] = next;
+                edge_id_[static_cast<std::size_t>(e.to) * n_ + u] = next;
+                ++next;
+            }
+        }
+        flows_.assign(static_cast<std::size_t>(next), 0);
+    }
+
+    void add(int u, int v, std::size_t count = 1) {
+        const int id = edge_id_[static_cast<std::size_t>(u) * n_ + v];
+        flows_[static_cast<std::size_t>(id)] += count;
+    }
+
+    [[nodiscard]] std::size_t max_flows() const {
+        std::size_t best = 0;
+        for (std::size_t f : flows_) best = std::max(best, f);
+        return best;
+    }
+
+private:
+    int n_;
+    std::vector<int> edge_id_;
+    std::vector<std::size_t> flows_;
+};
+
+/// Unique edges on the union of parent-walks from `targets` up to the tree
+/// root of `spt` (each edge reported once). Linear in path lengths.
+inline std::vector<std::pair<int, int>> tree_edges(const graph::ShortestPathTree& spt,
+                                                   const std::vector<int>& targets,
+                                                   std::vector<int>& visit_stamp,
+                                                   int stamp) {
+    std::vector<std::pair<int, int>> edges;
+    for (int t : targets) {
+        int walk = t;
+        while (walk != spt.source && visit_stamp[static_cast<std::size_t>(walk)] != stamp) {
+            visit_stamp[static_cast<std::size_t>(walk)] = stamp;
+            const int parent = spt.parent[static_cast<std::size_t>(walk)];
+            if (parent < 0) break; // unreachable
+            edges.emplace_back(walk, parent);
+            walk = parent;
+        }
+    }
+    return edges;
+}
+
+} // namespace pimlib::bench

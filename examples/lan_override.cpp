@@ -1,0 +1,86 @@
+// §3.7: PIM routers on multi-access subnetworks. Two downstream routers
+// share a transit LAN below one upstream router. When one of them prunes,
+// the other must notice the prune on the LAN and send a join to override
+// it; periodic joins from one suppress the other's.
+#include <cstdio>
+
+#include "scenario/stacks.hpp"
+#include "topo/segment.hpp"
+#include "unicast/oracle_routing.hpp"
+
+using namespace pimlib;
+
+int main() {
+    const net::GroupAddress group{net::Ipv4Address(224, 1, 1, 1)};
+
+    //        RP — U — transit LAN — {D1 — lan1, D2 — lan2}
+    topo::Network net;
+    auto& rp = net.add_router("RP");
+    auto& u = net.add_router("U");
+    auto& d1 = net.add_router("D1");
+    auto& d2 = net.add_router("D2");
+    net.add_link(rp, u);
+    auto& transit = net.add_lan({&u, &d1, &d2});
+    auto& lan1 = net.add_lan({&d1});
+    auto& r1 = net.add_host("r1", lan1);
+    auto& lan2 = net.add_lan({&d2});
+    auto& r2 = net.add_host("r2", lan2);
+    auto& slan = net.add_lan({&rp});
+    auto& source = net.add_host("source", slan);
+    unicast::OracleRouting routing(net);
+
+    scenario::StackConfig config;
+    config.igmp.query_interval = 10 * sim::kSecond;
+    config.igmp.membership_timeout = 25 * sim::kSecond;
+    scenario::PimSmStack pim(net, config.scaled(0.01));
+    pim.set_rp(group, {rp.router_id()});
+    pim.set_spt_policy(pim::SptPolicy::never());
+
+    net.run_for(200 * sim::kMillisecond);
+    pim.host_agent(r1).join(group);
+    pim.host_agent(r2).join(group);
+    net.run_for(300 * sim::kMillisecond);
+
+    const int u_oif = u.ifindex_on(transit).value();
+    auto u_serves_lan = [&] {
+        auto* wc = pim.pim_at(u).cache().find_wc(group);
+        return wc != nullptr && wc->has_oif(u_oif);
+    };
+    std::printf("both receivers joined; U forwards onto the transit LAN: %s\n",
+                u_serves_lan() ? "yes" : "no");
+
+    // Count join/prune traffic for a while: D1 and D2 both refresh the same
+    // (*,G) join toward U, but each overhears the other's and suppresses.
+    const auto d1_before = pim.pim_at(d1).join_prune_messages_sent();
+    const auto d2_before = pim.pim_at(d2).join_prune_messages_sent();
+    net.run_for(6 * sim::kSecond);
+    std::printf("join/prune messages in 10 refresh periods: D1=%llu D2=%llu "
+                "(suppression keeps the sum near 10, not 20)\n",
+                static_cast<unsigned long long>(
+                    pim.pim_at(d1).join_prune_messages_sent() - d1_before),
+                static_cast<unsigned long long>(
+                    pim.pim_at(d2).join_prune_messages_sent() - d2_before));
+
+    // r2 leaves: D2 multicasts a prune onto the LAN; D1 overrides with a
+    // join before U's delayed prune takes effect.
+    std::printf("\nr2 leaves the group...\n");
+    pim.host_agent(r2).leave(group);
+    net.run_for(2 * sim::kSecond);
+    std::printf("U still forwards onto the LAN (D1's override join won): %s\n",
+                u_serves_lan() ? "yes" : "no");
+
+    source.send_stream(group, 5, 50 * sim::kMillisecond);
+    net.run_for(1 * sim::kSecond);
+    std::printf("r1 received %zu/5, r2 received %zu (already left)\n",
+                r1.received_count(group), r2.received_count(group));
+
+    // Now r1 leaves too: nobody overrides, the prune takes effect, state
+    // dissolves.
+    std::printf("\nr1 leaves as well...\n");
+    pim.host_agent(r1).leave(group);
+    net.run_for(4 * sim::kSecond);
+    std::printf("U's (*,G) entry after everyone left: %s\n",
+                pim.pim_at(u).cache().find_wc(group) == nullptr ? "gone (soft state)"
+                                                                : "still present!");
+    return 0;
+}

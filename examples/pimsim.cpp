@@ -1,0 +1,364 @@
+// pimsim — scripted scenario driver. Runs an event-scripted multicast
+// simulation described in a single text file: a topology block (the
+// topo::TopologyBuilder format), protocol selection, and a timeline of
+// events. Prints a packet trace (optional) and a delivery report.
+//
+// Usage: pimsim [scenario-file]     (no argument: runs a built-in demo)
+//
+// Scenario format:
+//
+//     topology
+//       router A B C D
+//       lan lan0 A
+//       host receiver lan0
+//       link A B
+//       link B C
+//       link B D
+//       lan lan1 D
+//       host source lan1
+//     end
+//     protocol pim-sm                  # pim-sm | pim-dm | dvmrp | cbt | mospf
+//     rp 224.1.1.1 C                   # pim-sm: RP list; cbt: core
+//     spt-policy immediate             # immediate | never | threshold M WINDOW_MS
+//     trace on                         # wiretap with decoded control messages
+//     at 100ms join receiver 224.1.1.1
+//     at 300ms send source 224.1.1.1 count=10 interval=50ms
+//     at 900ms fail-link A B
+//     at 1500ms heal-link A B
+//     at 2s    leave receiver 224.1.1.1
+//     at 2s    dump-state
+//     run 3s
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "scenario/stacks.hpp"
+#include "topo/builder.hpp"
+#include "topo/segment.hpp"
+#include "trace/tracer.hpp"
+#include "unicast/oracle_routing.hpp"
+
+using namespace pimlib;
+
+namespace {
+
+constexpr const char* kDemoScenario = R"(topology
+  router A B C D
+  lan lan0 A
+  host receiver lan0
+  link A B
+  link B C
+  link B D
+  lan lan1 D
+  host source lan1
+end
+protocol pim-sm
+rp 224.1.1.1 C
+spt-policy threshold 3 10000
+trace on
+at 100ms join receiver 224.1.1.1
+at 300ms send source 224.1.1.1 count=10 interval=50ms
+at 1s dump-state
+run 2s
+)";
+
+[[noreturn]] void fail(int line, const std::string& message) {
+    std::fprintf(stderr, "pimsim: line %d: %s\n", line, message.c_str());
+    std::exit(2);
+}
+
+sim::Time parse_time(int line, const std::string& text) {
+    long long amount = 0;
+    std::size_t pos = 0;
+    try {
+        amount = std::stoll(text, &pos);
+    } catch (...) {
+        fail(line, "bad time '" + text + "'");
+    }
+    const std::string unit = text.substr(pos);
+    if (unit == "s") return amount * sim::kSecond;
+    if (unit == "ms") return amount * sim::kMillisecond;
+    if (unit == "us") return amount * sim::kMicrosecond;
+    fail(line, "bad time unit in '" + text + "' (use s/ms/us)");
+}
+
+net::GroupAddress parse_group(int line, const std::string& text) {
+    auto addr = net::Ipv4Address::parse(text);
+    if (!addr || !addr->is_multicast()) fail(line, "bad group '" + text + "'");
+    return net::GroupAddress{*addr};
+}
+
+struct Scenario {
+    topo::Network net;
+    std::unique_ptr<topo::TopologyBuilder> topo;
+    std::unique_ptr<unicast::OracleRouting> routing;
+    std::unique_ptr<trace::PacketTracer> tracer;
+    std::string protocol = "pim-sm";
+    std::unique_ptr<scenario::PimSmStack> pim_sm;
+    std::unique_ptr<scenario::PimDmStack> pim_dm;
+    std::unique_ptr<scenario::DvmrpStack> dvmrp;
+    std::unique_ptr<scenario::CbtStack> cbt;
+    std::unique_ptr<scenario::MospfStack> mospf;
+    sim::Time run_until = 0;
+
+    scenario::StackBase& stack() {
+        if (pim_sm) return *pim_sm;
+        if (pim_dm) return *pim_dm;
+        if (dvmrp) return *dvmrp;
+        if (cbt) return *cbt;
+        return *mospf;
+    }
+
+    void dump_state() {
+        std::printf("--- state at t=%.1fms ---\n",
+                    static_cast<double>(net.simulator().now()) / sim::kMillisecond);
+        for (const auto& router : net.routers()) {
+            if (pim_sm) {
+                auto& cache = pim_sm->pim_at(*router).cache();
+                cache.for_each_wc([&](mcast::ForwardingEntry& e) {
+                    std::printf("  %-10s %s\n", router->name().c_str(),
+                                e.describe().c_str());
+                });
+                cache.for_each_sg([&](mcast::ForwardingEntry& e) {
+                    std::printf("  %-10s %s\n", router->name().c_str(),
+                                e.describe().c_str());
+                });
+            } else if (pim_dm) {
+                pim_dm->pim_at(*router).cache().for_each_sg(
+                    [&](mcast::ForwardingEntry& e) {
+                        std::printf("  %-10s %s\n", router->name().c_str(),
+                                    e.describe().c_str());
+                    });
+            } else if (dvmrp) {
+                dvmrp->dvmrp_at(*router).cache().for_each_sg(
+                    [&](mcast::ForwardingEntry& e) {
+                        std::printf("  %-10s %s\n", router->name().c_str(),
+                                    e.describe().c_str());
+                    });
+            }
+        }
+    }
+};
+
+void run_scenario(const std::string& text) {
+    Scenario s;
+    std::istringstream input(text);
+    std::string raw;
+    int line = 0;
+
+    // The topology block must come first.
+    std::string topo_spec;
+    bool in_topology = false;
+    bool topology_done = false;
+
+    scenario::StackConfig config;
+    config.igmp.query_interval = 10 * sim::kSecond;
+    config.igmp.membership_timeout = 25 * sim::kSecond;
+    config = config.scaled(0.01);
+
+    struct PendingRp {
+        net::GroupAddress group;
+        std::vector<std::string> routers;
+    };
+    std::vector<PendingRp> rps;
+    pim::SptPolicy policy = pim::SptPolicy::immediate();
+    bool want_trace = false;
+    struct Event {
+        sim::Time at;
+        std::function<void(Scenario&)> action;
+    };
+    std::vector<Event> events;
+
+    auto ensure_stack = [&](Scenario& sc) {
+        if (sc.pim_sm || sc.pim_dm || sc.dvmrp || sc.cbt || sc.mospf) return;
+        sc.routing = std::make_unique<unicast::OracleRouting>(sc.net);
+        if (want_trace) sc.tracer = std::make_unique<trace::PacketTracer>(sc.net);
+        if (sc.protocol == "pim-sm") {
+            sc.pim_sm = std::make_unique<scenario::PimSmStack>(sc.net, config);
+            sc.pim_sm->set_spt_policy(policy);
+            for (const auto& rp : rps) {
+                std::vector<net::Ipv4Address> addrs;
+                for (const auto& name : rp.routers) {
+                    addrs.push_back(sc.topo->router(name).router_id());
+                }
+                sc.pim_sm->set_rp(rp.group, addrs);
+            }
+        } else if (sc.protocol == "pim-dm") {
+            sc.pim_dm = std::make_unique<scenario::PimDmStack>(sc.net, config);
+        } else if (sc.protocol == "dvmrp") {
+            sc.dvmrp = std::make_unique<scenario::DvmrpStack>(sc.net, config);
+        } else if (sc.protocol == "cbt") {
+            sc.cbt = std::make_unique<scenario::CbtStack>(sc.net, config);
+            for (const auto& rp : rps) {
+                sc.cbt->set_core(rp.group, sc.topo->router(rp.routers.front()).router_id());
+            }
+        } else if (sc.protocol == "mospf") {
+            sc.mospf = std::make_unique<scenario::MospfStack>(sc.net, config);
+        } else {
+            std::fprintf(stderr, "pimsim: unknown protocol '%s'\n", sc.protocol.c_str());
+            std::exit(2);
+        }
+    };
+
+    while (std::getline(input, raw)) {
+        ++line;
+        std::istringstream ls(raw);
+        std::string word;
+        if (!(ls >> word) || word.front() == '#') {
+            if (in_topology) topo_spec += raw + "\n";
+            continue;
+        }
+        if (in_topology) {
+            if (word == "end") {
+                in_topology = false;
+                topology_done = true;
+                s.topo = std::make_unique<topo::TopologyBuilder>(
+                    topo::TopologyBuilder::parse(s.net, topo_spec));
+            } else {
+                topo_spec += raw + "\n";
+            }
+            continue;
+        }
+        if (word == "topology") {
+            in_topology = true;
+        } else if (word == "protocol") {
+            ls >> s.protocol;
+        } else if (word == "rp") {
+            std::string group;
+            ls >> group;
+            PendingRp rp{parse_group(line, group), {}};
+            std::string name;
+            while (ls >> name) rp.routers.push_back(name);
+            if (rp.routers.empty()) fail(line, "rp needs at least one router");
+            rps.push_back(std::move(rp));
+        } else if (word == "spt-policy") {
+            std::string kind;
+            ls >> kind;
+            if (kind == "immediate") {
+                policy = pim::SptPolicy::immediate();
+            } else if (kind == "never") {
+                policy = pim::SptPolicy::never();
+            } else if (kind == "threshold") {
+                int m = 0;
+                long long window_ms = 0;
+                ls >> m >> window_ms;
+                if (m <= 0 || window_ms <= 0) fail(line, "threshold needs M WINDOW_MS");
+                policy = pim::SptPolicy::threshold(m, window_ms * sim::kMillisecond);
+            } else {
+                fail(line, "unknown spt-policy '" + kind + "'");
+            }
+        } else if (word == "trace") {
+            std::string flag;
+            ls >> flag;
+            want_trace = flag == "on";
+        } else if (word == "at") {
+            if (!topology_done) fail(line, "'at' before topology block");
+            std::string when;
+            std::string verb;
+            ls >> when >> verb;
+            const sim::Time at = parse_time(line, when);
+            if (verb == "join" || verb == "leave") {
+                std::string host;
+                std::string group;
+                ls >> host >> group;
+                const net::GroupAddress g = parse_group(line, group);
+                const bool join = verb == "join";
+                (void)s.topo->host(host); // validate now
+                events.push_back({at, [host, g, join](Scenario& sc) {
+                                      auto& agent = sc.stack().host_agent(
+                                          sc.topo->host(host));
+                                      if (join) {
+                                          agent.join(g);
+                                      } else {
+                                          agent.leave(g);
+                                      }
+                                  }});
+            } else if (verb == "send") {
+                std::string host;
+                std::string group;
+                ls >> host >> group;
+                const net::GroupAddress g = parse_group(line, group);
+                int count = 1;
+                sim::Time interval = 50 * sim::kMillisecond;
+                std::string opt;
+                while (ls >> opt) {
+                    if (opt.rfind("count=", 0) == 0) {
+                        count = std::stoi(opt.substr(6));
+                    } else if (opt.rfind("interval=", 0) == 0) {
+                        interval = parse_time(line, opt.substr(9));
+                    } else {
+                        fail(line, "unknown send option '" + opt + "'");
+                    }
+                }
+                (void)s.topo->host(host);
+                events.push_back({at, [host, g, count, interval](Scenario& sc) {
+                                      sc.topo->host(host).send_stream(g, count, interval);
+                                  }});
+            } else if (verb == "fail-link" || verb == "heal-link") {
+                std::string a;
+                std::string b;
+                ls >> a >> b;
+                const bool up = verb == "heal-link";
+                (void)s.topo->link(a, b);
+                events.push_back({at, [a, b, up](Scenario& sc) {
+                                      sc.topo->link(a, b).set_up(up);
+                                      sc.routing->recompute();
+                                  }});
+            } else if (verb == "dump-state") {
+                events.push_back({at, [](Scenario& sc) { sc.dump_state(); }});
+            } else {
+                fail(line, "unknown event '" + verb + "'");
+            }
+        } else if (word == "run") {
+            std::string until;
+            ls >> until;
+            s.run_until = parse_time(line, until);
+        } else {
+            fail(line, "unknown directive '" + word + "'");
+        }
+    }
+    if (!topology_done) fail(line, "missing topology block");
+    if (s.run_until == 0) fail(line, "missing 'run' directive");
+
+    ensure_stack(s);
+    for (const Event& e : events) {
+        s.net.simulator().schedule_at(e.at, [&s, &e] { e.action(s); });
+    }
+    s.net.run_for(s.run_until);
+
+    if (s.tracer) {
+        std::printf("--- packet trace (%zu frames) ---\n", s.tracer->records().size());
+        std::printf("%s", s.tracer->dump().c_str());
+    }
+    std::printf("--- delivery report ---\n");
+    for (const auto& host : s.net.hosts()) {
+        if (host->received().empty()) continue;
+        std::printf("  %-12s received %zu data packets (%zu duplicates)\n",
+                    host->name().c_str(), host->received().size(),
+                    host->duplicate_count());
+    }
+    std::printf("--- totals: data_tx=%llu control=%llu ---\n",
+                static_cast<unsigned long long>(s.net.stats().total_data_packets()),
+                static_cast<unsigned long long>(s.net.stats().total_control_messages()));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string text = kDemoScenario;
+    if (argc > 1) {
+        std::ifstream file(argv[1]);
+        if (!file) {
+            std::fprintf(stderr, "pimsim: cannot open %s\n", argv[1]);
+            return 2;
+        }
+        std::stringstream buf;
+        buf << file.rdbuf();
+        text = buf.str();
+    } else {
+        std::printf("(no scenario file given; running the built-in demo)\n\n");
+    }
+    run_scenario(text);
+    return 0;
+}

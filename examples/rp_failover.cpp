@@ -1,0 +1,84 @@
+// §3.9: multiple rendezvous points and RP failure. Senders register with
+// every RP; receivers join one and fail over when RP-reachability messages
+// stop arriving. This example kills the primary RP mid-stream and shows the
+// receiver resuming on the alternate.
+#include <cstdio>
+
+#include "scenario/stacks.hpp"
+#include "topo/segment.hpp"
+#include "unicast/oracle_routing.hpp"
+
+using namespace pimlib;
+
+int main() {
+    const net::GroupAddress group{net::Ipv4Address(224, 1, 1, 1)};
+
+    // receiver—A—B—C(RP1), B—E(RP2), B—D—source
+    topo::Network net;
+    auto& a = net.add_router("A");
+    auto& b = net.add_router("B");
+    auto& c = net.add_router("C");
+    auto& d = net.add_router("D");
+    auto& e = net.add_router("E");
+    auto& rlan = net.add_lan({&a});
+    auto& receiver = net.add_host("receiver", rlan);
+    net.add_link(a, b);
+    net.add_link(b, c);
+    net.add_link(b, d);
+    net.add_link(b, e);
+    auto& slan = net.add_lan({&d});
+    auto& source = net.add_host("source", slan);
+    unicast::OracleRouting routing(net);
+
+    scenario::StackConfig config;
+    config.igmp.query_interval = 10 * sim::kSecond;
+    config.igmp.membership_timeout = 25 * sim::kSecond;
+    scenario::PimSmStack pim(net, config.scaled(0.01));
+    pim.set_rp(group, {c.router_id(), e.router_id()}); // ordered RP list
+    pim.set_spt_policy(pim::SptPolicy::never());       // stay on the RP tree
+
+    net.run_for(200 * sim::kMillisecond);
+    pim.host_agent(receiver).join(group);
+    net.run_for(300 * sim::kMillisecond);
+
+    auto current_rp = [&]() -> std::string {
+        auto* wc = pim.pim_at(a).cache().find_wc(group);
+        if (wc == nullptr) return "(none)";
+        if (wc->source_or_rp() == c.router_id()) return "C (primary)";
+        if (wc->source_or_rp() == e.router_id()) return "E (alternate)";
+        return wc->source_or_rp().to_string();
+    };
+
+    std::printf("receiver's DR is using RP: %s\n", current_rp().c_str());
+
+    // Stream continuously; kill the primary RP partway through.
+    source.send_stream(group, 40, 100 * sim::kMillisecond);
+    net.run_for(1 * sim::kSecond);
+    std::printf("t=%.1fs delivered=%zu  (both RPs know the source: C=%zu, E=%zu)\n",
+                static_cast<double>(net.simulator().now()) / sim::kSecond,
+                receiver.received_count(group),
+                pim.pim_at(c).active_sources(group).size(),
+                pim.pim_at(e).active_sources(group).size());
+
+    std::printf("\n*** failing the link to the primary RP ***\n");
+    net.find_link(b, c)->set_up(false);
+    routing.recompute();
+
+    // RP-reachability messages stop; after the RP timeout (0.9 s scaled)
+    // the DR joins toward E. Some packets are lost in between — soft state,
+    // not ack'd reliability (§1.3 footnote 4).
+    for (int i = 0; i < 4; ++i) {
+        net.run_for(1 * sim::kSecond);
+        std::printf("t=%.1fs delivered=%zu rp=%s\n",
+                    static_cast<double>(net.simulator().now()) / sim::kSecond,
+                    receiver.received_count(group), current_rp().c_str());
+    }
+
+    const std::size_t got = receiver.received_count(group);
+    std::printf("\nfinal: %zu/40 delivered (loss window = RP detection time), "
+                "%zu duplicates\n",
+                got, receiver.duplicate_count());
+    std::printf("the receiver resumed on RP E without the source doing anything\n"
+                "(§3.9: \"Sources do not need to take special action.\")\n");
+    return got >= 25 ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+// Figure 5: switching from the shared (RP) tree to the shortest-path tree,
+// with per-packet latency measurements showing why a receiver would switch
+// (§1.3: "for interactive applications where low latency is critical, it is
+// desirable to use the shortest-path trees").
+//
+// Topology (delays in ms / unicast metrics chosen so that A — the
+// receiver's DR — is the divergence point between the shared tree and the
+// SPT, and the source→RP path avoids A):
+//
+//   receiver — LAN — A ——(2ms,m3)—— B ——(2ms)—— D — LAN — source
+//                    |               |
+//                 (10ms,m4)      (10ms,m1)
+//                    |               |
+//                    C (RP) —(10ms)— Y —(10ms)— X
+//
+// On the shared tree, data travels D→B→X→Y→C(RP)→A (~42 ms); the SPT is
+// D→B→A (~4 ms). The example streams packets under the "never switch"
+// policy and again under the threshold policy, printing per-packet latency
+// so the switchover moment is visible.
+#include <cstdio>
+
+#include "scenario/stacks.hpp"
+#include "unicast/oracle_routing.hpp"
+
+using namespace pimlib;
+
+namespace {
+
+const net::GroupAddress kGroup{net::Ipv4Address(224, 1, 1, 1)};
+
+struct World {
+    topo::Network net;
+    topo::Router *a, *b, *d, *x, *y, *c;
+    topo::Host *receiver, *source;
+    std::unique_ptr<unicast::OracleRouting> routing;
+    std::unique_ptr<scenario::PimSmStack> pim;
+
+    explicit World(pim::SptPolicy policy) {
+        a = &net.add_router("A");
+        b = &net.add_router("B");
+        d = &net.add_router("D");
+        x = &net.add_router("X");
+        y = &net.add_router("Y");
+        c = &net.add_router("C");
+        auto& rlan = net.add_lan({a});
+        receiver = &net.add_host("receiver", rlan);
+        net.add_link(*a, *b, 2 * sim::kMillisecond, /*metric=*/3);
+        net.add_link(*b, *d, 2 * sim::kMillisecond, 1);
+        net.add_link(*b, *x, 10 * sim::kMillisecond, 1);
+        net.add_link(*x, *y, 10 * sim::kMillisecond, 1);
+        net.add_link(*y, *c, 10 * sim::kMillisecond, 1);
+        net.add_link(*a, *c, 10 * sim::kMillisecond, /*metric=*/4);
+        auto& slan = net.add_lan({d});
+        source = &net.add_host("source", slan);
+        routing = std::make_unique<unicast::OracleRouting>(net);
+        scenario::StackConfig config;
+        config.igmp.query_interval = 10 * sim::kSecond;
+        config.igmp.membership_timeout = 25 * sim::kSecond;
+        pim = std::make_unique<scenario::PimSmStack>(net, config.scaled(0.01));
+        pim->set_rp(kGroup, {c->router_id()});
+        pim->set_spt_policy(policy);
+        net.run_for(200 * sim::kMillisecond);
+        pim->host_agent(*receiver).join(kGroup);
+        net.run_for(300 * sim::kMillisecond);
+    }
+
+    void stream_and_report(const char* label, int packets) {
+        receiver->clear_received();
+        std::vector<sim::Time> sent_at;
+        for (int i = 0; i < packets; ++i) {
+            net.simulator().schedule(i * 50 * sim::kMillisecond, [this, &sent_at] {
+                sent_at.push_back(net.simulator().now());
+                source->send_data(kGroup);
+            });
+        }
+        net.run_for(packets * 50 * sim::kMillisecond + sim::kSecond);
+        std::printf("\n%s\n", label);
+        std::printf("  pkt  latency_ms\n");
+        for (const auto& rec : receiver->received()) {
+            const std::size_t i = static_cast<std::size_t>(rec.seq) - 1;
+            if (i < sent_at.size()) {
+                std::printf("  %-4llu %.1f\n",
+                            static_cast<unsigned long long>(rec.seq),
+                            static_cast<double>(rec.at - sent_at[i]) /
+                                static_cast<double>(sim::kMillisecond));
+            }
+        }
+        std::printf("  delivered %zu/%d, duplicates %zu\n",
+                    receiver->received_count(kGroup), packets,
+                    receiver->duplicate_count());
+    }
+};
+
+} // namespace
+
+int main() {
+    std::printf("== Policy: stay on the RP tree indefinitely (§3.3 option) ==\n");
+    {
+        World w(pim::SptPolicy::never());
+        w.stream_and_report("all packets ride the shared tree (long path via RP):", 8);
+    }
+
+    std::printf("\n== Policy: switch after 3 packets within a window ==\n");
+    {
+        World w(pim::SptPolicy::threshold(3, 10 * sim::kSecond));
+        w.stream_and_report(
+            "first packets ride the shared tree; after the switch the SPT\n"
+            "bit machinery hands over losslessly and latency drops:",
+            8);
+        // Show the Fig. 5 end state: A (the divergence point, where the
+        // shared iif toward C differs from the SPT iif toward B) pruned the
+        // source off the RP tree with an RP-bit prune.
+        auto* sg_a = w.pim->pim_at(*w.a).cache().find_sg(w.source->address(), kGroup);
+        if (sg_a != nullptr) {
+            std::printf("\nA's state after the switch: %s\n", sg_a->describe().c_str());
+        }
+        auto* sg_c = w.pim->pim_at(*w.c).cache().find_sg(w.source->address(), kGroup);
+        if (sg_c != nullptr) {
+            std::printf("RP's (S,G) after A's RP-bit prune: %s\n",
+                        sg_c->describe().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,105 @@
+// DVMRP baseline (RFC 1075 flavor): truncated reverse-path broadcasting with
+// prunes, prune-lifetime regrowth, and grafts. This is the protocol whose
+// "occasional broadcasting behavior severely limits its capability to scale"
+// (§1.1) — the bench fig1_overhead quantifies exactly that against PIM.
+//
+// Substitution note (DESIGN.md): real DVMRP runs its own RIP-like unicast
+// routing exchange; here it performs RPF against the router's RIB, which in
+// scenarios is filled by our distance-vector provider — the same information
+// a native DVMRP exchange would compute.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "igmp/router_agent.hpp"
+#include "mcast/forwarding_cache.hpp"
+#include "sim/simulator.hpp"
+#include "topo/router.hpp"
+
+namespace pimlib::dvmrp {
+
+/// DVMRP message subcodes (carried as IGMP type 0x13).
+enum class Code : std::uint8_t {
+    kProbe = 1, // neighbor discovery
+    kPrune = 2,
+    kGraft = 3,
+};
+
+struct Probe {
+    std::uint32_t holdtime_ms = 0;
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<Probe> decode(std::span<const std::uint8_t> bytes);
+};
+
+struct PruneMsg {
+    net::Ipv4Address source;
+    net::Ipv4Address group;
+    std::uint32_t lifetime_ms = 0;
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<PruneMsg> decode(std::span<const std::uint8_t> bytes);
+};
+
+struct GraftMsg {
+    net::Ipv4Address source;
+    net::Ipv4Address group;
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<GraftMsg> decode(std::span<const std::uint8_t> bytes);
+};
+
+[[nodiscard]] std::optional<Code> peek_code(std::span<const std::uint8_t> bytes);
+
+struct DvmrpConfig {
+    sim::Time prune_lifetime = 120 * sim::kSecond;
+    sim::Time probe_interval = 10 * sim::kSecond;
+    sim::Time neighbor_holdtime = 35 * sim::kSecond;
+    sim::Time entry_lifetime = 120 * sim::kSecond;
+
+    [[nodiscard]] DvmrpConfig scaled(double factor) const;
+};
+
+class DvmrpRouter final : public mcast::DataPlane::Delegate {
+public:
+    DvmrpRouter(topo::Router& router, igmp::RouterAgent& igmp, DvmrpConfig config = {});
+
+    DvmrpRouter(const DvmrpRouter&) = delete;
+    DvmrpRouter& operator=(const DvmrpRouter&) = delete;
+
+    [[nodiscard]] mcast::ForwardingCache& cache() { return cache_; }
+    [[nodiscard]] std::vector<net::Ipv4Address> neighbors_on(int ifindex) const;
+
+    void on_no_entry(int ifindex, const net::Packet& packet) override;
+    void on_no_downstream(mcast::ForwardingEntry& entry, int ifindex,
+                          const net::Packet& packet) override;
+
+private:
+    using SgKey = std::pair<net::Ipv4Address, net::GroupAddress>;
+
+    void on_message(int ifindex, const net::Packet& packet);
+    void on_membership(int ifindex, net::GroupAddress group, bool present);
+    void on_tick();
+    void send_probes();
+    mcast::ForwardingEntry* build_entry(net::Ipv4Address source, net::GroupAddress group);
+    void send_prune_upstream(const mcast::ForwardingEntry& entry);
+    void send_graft_upstream(const mcast::ForwardingEntry& entry);
+    [[nodiscard]] bool floods_to(int ifindex, net::GroupAddress group) const;
+
+    topo::Router* router_;
+    igmp::RouterAgent* igmp_;
+    DvmrpConfig config_;
+    mcast::ForwardingCache cache_;
+    mcast::DataPlane data_plane_;
+
+    std::map<int, std::map<net::Ipv4Address, sim::Time>> neighbors_;
+    std::map<std::pair<SgKey, int>, sim::Time> prunes_;
+    std::set<SgKey> pruned_upstream_;
+    std::map<SgKey, sim::Time> last_prune_sent_;
+
+    sim::PeriodicTimer probe_timer_;
+    sim::PeriodicTimer tick_timer_;
+};
+
+} // namespace pimlib::dvmrp

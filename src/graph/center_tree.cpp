@@ -1,0 +1,105 @@
+#include "graph/center_tree.hpp"
+
+#include <limits>
+
+namespace pimlib::graph {
+
+double core_tree_max_delay(const AllPairs& ap, const std::vector<int>& members,
+                           int core) {
+    // max over ordered pairs (u, v), u != v, of d(u,core) + d(core,v) equals
+    // top1 + top2 of member→core distances (the max and second max; the same
+    // member cannot be both endpoints).
+    double top1 = -1.0;
+    double top2 = -1.0;
+    for (int m : members) {
+        const double d = ap.distance(m, core);
+        if (d > top1) {
+            top2 = top1;
+            top1 = d;
+        } else if (d > top2) {
+            top2 = d;
+        }
+    }
+    if (members.size() < 2) return 0.0;
+    return top1 + top2;
+}
+
+double spt_max_delay(const AllPairs& ap, const std::vector<int>& members) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+            best = std::max(best, ap.distance(members[i], members[j]));
+        }
+    }
+    return best;
+}
+
+int optimal_core(const AllPairs& ap, const std::vector<int>& members) {
+    int best_core = -1;
+    double best_delay = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < ap.node_count(); ++c) {
+        const double d = core_tree_max_delay(ap, members, c);
+        if (d < best_delay) {
+            best_delay = d;
+            best_core = c;
+        }
+    }
+    return best_core;
+}
+
+double core_tree_mean_delay(const AllPairs& ap, const std::vector<int>& members,
+                            int core) {
+    if (members.size() < 2) return 0.0;
+    // mean over ordered pairs (u,v), u != v, of d(u,core)+d(core,v)
+    //   = 2 * (n-1)/ (n(n-1)) * sum_u d(u,core) * ... simplified directly:
+    double sum = 0.0;
+    for (int m : members) sum += ap.distance(m, core);
+    const double n = static_cast<double>(members.size());
+    // Each member's distance appears (n-1) times as sender and (n-1) as
+    // receiver over n(n-1) ordered pairs: mean = 2*sum*(n-1) / (n(n-1)).
+    return 2.0 * sum / n;
+}
+
+double spt_mean_delay(const AllPairs& ap, const std::vector<int>& members) {
+    if (members.size() < 2) return 0.0;
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+            sum += ap.distance(members[i], members[j]);
+            ++pairs;
+        }
+    }
+    return sum / static_cast<double>(pairs);
+}
+
+int optimal_core_mean(const AllPairs& ap, const std::vector<int>& members) {
+    int best_core = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < ap.node_count(); ++c) {
+        const double d = core_tree_mean_delay(ap, members, c);
+        if (d < best) {
+            best = d;
+            best_core = c;
+        }
+    }
+    return best_core;
+}
+
+CenterTree build_center_tree(const AllPairs& ap, const std::vector<int>& members,
+                             int core) {
+    CenterTree tree;
+    tree.core = core;
+    const ShortestPathTree& spt = ap.tree(core);
+    for (int m : members) {
+        const std::vector<int> path = spt.path_to(m);
+        for (std::size_t i = 1; i < path.size(); ++i) {
+            const int u = path[i - 1];
+            const int v = path[i];
+            tree.edges.insert({std::min(u, v), std::max(u, v)});
+        }
+    }
+    return tree;
+}
+
+} // namespace pimlib::graph

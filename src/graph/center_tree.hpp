@@ -1,0 +1,51 @@
+// Center-based (core-based) trees and the optimal-core search used by the
+// paper's Figure 2(a): "we simulated an optimal core-based tree algorithm
+// over [a] large number of different random graphs" (§1.3). Wall's thesis
+// (reference [11]) bounds the optimal center-based tree's maximum delay at
+// 2 × the shortest-path delay — a property test enforces it.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+
+namespace pimlib::graph {
+
+/// A center-based tree: the union of shortest paths from the core to every
+/// member. Edges are (min(u,v), max(u,v)) node pairs.
+struct CenterTree {
+    int core = -1;
+    std::set<std::pair<int, int>> edges;
+};
+
+/// Maximum delay between any ordered pair of distinct members when all
+/// traffic is routed via `core`: max over u != v of d(u,core) + d(core,v).
+double core_tree_max_delay(const AllPairs& ap, const std::vector<int>& members, int core);
+
+/// Maximum shortest-path delay between any pair of distinct members — the
+/// SPT baseline of Fig. 2(a).
+double spt_max_delay(const AllPairs& ap, const std::vector<int>& members);
+
+/// The core minimizing core_tree_max_delay over all nodes (the paper's
+/// "optimal core placement").
+int optimal_core(const AllPairs& ap, const std::vector<int>& members);
+
+/// Mean delay over ordered member pairs via `core` — the companion metric
+/// of the paper's tree-comparison study (Wei & Estrin, reference [12]).
+double core_tree_mean_delay(const AllPairs& ap, const std::vector<int>& members,
+                            int core);
+
+/// Mean shortest-path delay over ordered member pairs.
+double spt_mean_delay(const AllPairs& ap, const std::vector<int>& members);
+
+/// The core minimizing core_tree_mean_delay (reference [12] considers both
+/// optimality criteria).
+int optimal_core_mean(const AllPairs& ap, const std::vector<int>& members);
+
+/// Builds the tree: union of shortest paths core → member.
+CenterTree build_center_tree(const AllPairs& ap, const std::vector<int>& members,
+                             int core);
+
+} // namespace pimlib::graph

@@ -1,0 +1,44 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace pimlib::graph {
+
+void Graph::add_edge(int u, int v, double weight) {
+    if (u == v) throw std::invalid_argument("self loops not supported");
+    if (u < 0 || v < 0 || u >= node_count() || v >= node_count()) {
+        throw std::out_of_range("edge endpoint out of range");
+    }
+    adjacency_[static_cast<std::size_t>(u)].push_back(Edge{v, weight});
+    adjacency_[static_cast<std::size_t>(v)].push_back(Edge{u, weight});
+    ++edge_count_;
+}
+
+bool Graph::has_edge(int u, int v) const {
+    for (const Edge& e : adjacency_[static_cast<std::size_t>(u)]) {
+        if (e.to == v) return true;
+    }
+    return false;
+}
+
+bool Graph::connected() const {
+    if (node_count() == 0) return true;
+    std::vector<bool> seen(static_cast<std::size_t>(node_count()), false);
+    std::vector<int> stack{0};
+    seen[0] = true;
+    int visited = 1;
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (const Edge& e : neighbors(u)) {
+            if (!seen[static_cast<std::size_t>(e.to)]) {
+                seen[static_cast<std::size_t>(e.to)] = true;
+                ++visited;
+                stack.push_back(e.to);
+            }
+        }
+    }
+    return visited == node_count();
+}
+
+} // namespace pimlib::graph

@@ -1,0 +1,41 @@
+// Abstract weighted graphs for the paper's tree-quality study (Figure 2).
+// Decoupled from the packet-level simulator: the authors' own evaluation ran
+// on random graphs, not protocol simulations, and so do bench/fig2a and
+// bench/fig2b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pimlib::graph {
+
+/// Undirected weighted graph with nodes 0..n-1.
+class Graph {
+public:
+    explicit Graph(int n) : adjacency_(static_cast<std::size_t>(n)) {}
+
+    struct Edge {
+        int to;
+        double weight;
+    };
+
+    void add_edge(int u, int v, double weight);
+    [[nodiscard]] bool has_edge(int u, int v) const;
+
+    [[nodiscard]] int node_count() const { return static_cast<int>(adjacency_.size()); }
+    [[nodiscard]] int edge_count() const { return edge_count_; }
+    [[nodiscard]] const std::vector<Edge>& neighbors(int u) const {
+        return adjacency_[static_cast<std::size_t>(u)];
+    }
+    [[nodiscard]] double average_degree() const {
+        return node_count() == 0 ? 0.0
+                                 : 2.0 * edge_count_ / static_cast<double>(node_count());
+    }
+    [[nodiscard]] bool connected() const;
+
+private:
+    std::vector<std::vector<Edge>> adjacency_;
+    int edge_count_ = 0;
+};
+
+} // namespace pimlib::graph

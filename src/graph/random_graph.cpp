@@ -1,0 +1,53 @@
+#include "graph/random_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pimlib::graph {
+
+Graph random_connected_graph(const RandomGraphOptions& options, std::mt19937& rng) {
+    const int n = options.nodes;
+    if (n < 2) throw std::invalid_argument("need at least 2 nodes");
+    const int target_edges =
+        std::max(n - 1, static_cast<int>(n * options.average_degree / 2.0 + 0.5));
+    const int max_edges = n * (n - 1) / 2;
+    if (target_edges > max_edges) {
+        throw std::invalid_argument("average degree too high for node count");
+    }
+
+    Graph g(n);
+    std::uniform_real_distribution<double> weight(options.min_weight, options.max_weight);
+
+    // Random spanning tree via a random permutation: node perm[i] (i >= 1)
+    // attaches to a uniformly random earlier node — a uniform random
+    // recursive tree, connected by construction.
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (int i = 1; i < n; ++i) {
+        std::uniform_int_distribution<int> pick(0, i - 1);
+        g.add_edge(perm[static_cast<std::size_t>(i)],
+                   perm[static_cast<std::size_t>(pick(rng))], weight(rng));
+    }
+
+    std::uniform_int_distribution<int> node(0, n - 1);
+    while (g.edge_count() < target_edges) {
+        const int u = node(rng);
+        const int v = node(rng);
+        if (u == v || g.has_edge(u, v)) continue;
+        g.add_edge(u, v, weight(rng));
+    }
+    return g;
+}
+
+std::vector<int> sample_nodes(int nodes, int count, std::mt19937& rng) {
+    if (count > nodes) throw std::invalid_argument("cannot sample more nodes than exist");
+    std::vector<int> all(static_cast<std::size_t>(nodes));
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), rng);
+    all.resize(static_cast<std::size_t>(count));
+    return all;
+}
+
+} // namespace pimlib::graph

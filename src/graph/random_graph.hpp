@@ -1,0 +1,29 @@
+// Random connected graphs with a target average node degree, matching the
+// paper's experimental setup: "for each node degree, we tried 500 different
+// 50-node graphs" (§1.3).
+#pragma once
+
+#include <random>
+
+#include "graph/graph.hpp"
+
+namespace pimlib::graph {
+
+struct RandomGraphOptions {
+    int nodes = 50;
+    double average_degree = 4.0;
+    /// Link weights drawn uniformly from [min_weight, max_weight]; set both
+    /// to 1.0 for hop-count graphs.
+    double min_weight = 1.0;
+    double max_weight = 10.0;
+};
+
+/// Generates a connected graph: a random spanning tree first (guaranteeing
+/// connectivity), then random extra edges until the edge count reaches
+/// nodes × average_degree / 2.
+Graph random_connected_graph(const RandomGraphOptions& options, std::mt19937& rng);
+
+/// Draws `count` distinct nodes uniformly from [0, nodes).
+std::vector<int> sample_nodes(int nodes, int count, std::mt19937& rng);
+
+} // namespace pimlib::graph

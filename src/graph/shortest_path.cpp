@@ -1,0 +1,55 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace pimlib::graph {
+
+std::vector<int> ShortestPathTree::path_to(int node) const {
+    std::vector<int> out;
+    if (node < 0 || node >= static_cast<int>(parent.size())) return out;
+    if (node != source && parent[static_cast<std::size_t>(node)] < 0) return out;
+    for (int walk = node; walk >= 0; walk = parent[static_cast<std::size_t>(walk)]) {
+        out.push_back(walk);
+        if (walk == source) break;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+ShortestPathTree dijkstra(const Graph& graph, int source) {
+    const auto n = static_cast<std::size_t>(graph.node_count());
+    ShortestPathTree tree;
+    tree.source = source;
+    tree.distance.assign(n, std::numeric_limits<double>::infinity());
+    tree.parent.assign(n, -1);
+    tree.distance[static_cast<std::size_t>(source)] = 0.0;
+
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0.0, source);
+    while (!queue.empty()) {
+        auto [d, u] = queue.top();
+        queue.pop();
+        if (d > tree.distance[static_cast<std::size_t>(u)]) continue;
+        for (const Graph::Edge& e : graph.neighbors(u)) {
+            const double nd = d + e.weight;
+            if (nd < tree.distance[static_cast<std::size_t>(e.to)]) {
+                tree.distance[static_cast<std::size_t>(e.to)] = nd;
+                tree.parent[static_cast<std::size_t>(e.to)] = u;
+                queue.emplace(nd, e.to);
+            }
+        }
+    }
+    return tree;
+}
+
+AllPairs::AllPairs(const Graph& graph) {
+    trees_.reserve(static_cast<std::size_t>(graph.node_count()));
+    for (int u = 0; u < graph.node_count(); ++u) {
+        trees_.push_back(dijkstra(graph, u));
+    }
+}
+
+} // namespace pimlib::graph

@@ -1,0 +1,39 @@
+// Shortest paths for the Figure 2 study: single-source Dijkstra with
+// predecessor tracking, and all-pairs distances.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pimlib::graph {
+
+struct ShortestPathTree {
+    std::vector<double> distance; // from the source; +inf if unreachable
+    std::vector<int> parent;      // -1 at the source / unreachable
+    int source = -1;
+
+    /// Nodes on the path source → node, inclusive; empty if unreachable.
+    [[nodiscard]] std::vector<int> path_to(int node) const;
+};
+
+ShortestPathTree dijkstra(const Graph& graph, int source);
+
+/// All-pairs shortest-path distances (n × Dijkstra).
+class AllPairs {
+public:
+    explicit AllPairs(const Graph& graph);
+
+    [[nodiscard]] double distance(int u, int v) const {
+        return trees_[static_cast<std::size_t>(u)].distance[static_cast<std::size_t>(v)];
+    }
+    [[nodiscard]] const ShortestPathTree& tree(int source) const {
+        return trees_[static_cast<std::size_t>(source)];
+    }
+    [[nodiscard]] int node_count() const { return static_cast<int>(trees_.size()); }
+
+private:
+    std::vector<ShortestPathTree> trees_;
+};
+
+} // namespace pimlib::graph

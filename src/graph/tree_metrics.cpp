@@ -1,0 +1,64 @@
+#include "graph/tree_metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace pimlib::graph {
+
+std::size_t LinkFlowCounter::max_flows() const {
+    std::size_t best = 0;
+    for (const auto& [edge, n] : flows_) best = std::max(best, n);
+    return best;
+}
+
+std::size_t LinkFlowCounter::total_flows() const {
+    std::size_t total = 0;
+    for (const auto& [edge, n] : flows_) total += n;
+    return total;
+}
+
+void add_spt_group_flows(const AllPairs& ap, const std::vector<int>& members,
+                         const std::vector<int>& senders, LinkFlowCounter& counter) {
+    for (int s : senders) {
+        const ShortestPathTree& spt = ap.tree(s);
+        std::set<std::pair<int, int>> edges;
+        for (int m : members) {
+            if (m == s) continue;
+            const std::vector<int> path = spt.path_to(m);
+            for (std::size_t i = 1; i < path.size(); ++i) {
+                edges.insert({std::min(path[i - 1], path[i]),
+                              std::max(path[i - 1], path[i])});
+            }
+        }
+        for (const auto& [u, v] : edges) counter.add_flow_on(u, v);
+    }
+}
+
+void add_center_tree_group_flows(const AllPairs& ap, const std::vector<int>& members,
+                                 const std::vector<int>& senders,
+                                 const CenterTree& tree, LinkFlowCounter& counter) {
+    // The set of nodes on the shared tree.
+    std::set<int> tree_nodes;
+    tree_nodes.insert(tree.core);
+    for (const auto& [u, v] : tree.edges) {
+        tree_nodes.insert(u);
+        tree_nodes.insert(v);
+    }
+    for (int s : senders) {
+        std::set<std::pair<int, int>> edges = tree.edges; // whole shared tree
+        if (!tree_nodes.contains(s)) {
+            // Off-tree sender: its packets travel to the nearest tree node
+            // (the core in classic CBT; we use the shortest path to the
+            // core, matching our protocol implementation).
+            const std::vector<int> path = ap.tree(tree.core).path_to(s);
+            for (std::size_t i = 1; i < path.size(); ++i) {
+                edges.insert({std::min(path[i - 1], path[i]),
+                              std::max(path[i - 1], path[i])});
+            }
+        }
+        for (const auto& [u, v] : edges) counter.add_flow_on(u, v);
+    }
+}
+
+} // namespace pimlib::graph

@@ -1,0 +1,38 @@
+// Traffic-concentration measurement for Figure 2(b): "we measured the number
+// of traffic flows on each link of the network, then recorded the maximum
+// number within the network" (§1.3). A flow is one (group, sender) stream.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/center_tree.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace pimlib::graph {
+
+/// Accumulates flow counts per undirected edge across many groups.
+class LinkFlowCounter {
+public:
+    void add_flow_on(int u, int v) { ++flows_[{std::min(u, v), std::max(u, v)}]; }
+    [[nodiscard]] std::size_t max_flows() const;
+    [[nodiscard]] std::size_t total_flows() const;
+    [[nodiscard]] std::size_t links_used() const { return flows_.size(); }
+
+private:
+    std::map<std::pair<int, int>, std::size_t> flows_;
+};
+
+/// Adds the flows of one group using per-sender shortest-path trees: sender
+/// s's flow occupies every edge on the union of shortest paths s → member.
+void add_spt_group_flows(const AllPairs& ap, const std::vector<int>& members,
+                         const std::vector<int>& senders, LinkFlowCounter& counter);
+
+/// Adds the flows of one group using a single shared center-based tree:
+/// every sender's flow traverses the whole tree (each member must receive
+/// it), plus the sender's path onto the tree when the sender sits off-tree.
+void add_center_tree_group_flows(const AllPairs& ap, const std::vector<int>& members,
+                                 const std::vector<int>& senders, const CenterTree& tree,
+                                 LinkFlowCounter& counter);
+
+} // namespace pimlib::graph

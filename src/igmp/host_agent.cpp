@@ -1,0 +1,111 @@
+#include "igmp/host_agent.hpp"
+
+#include "topo/network.hpp"
+
+namespace pimlib::igmp {
+
+HostAgent::HostAgent(topo::Host& host, HostConfig config)
+    : host_(&host),
+      config_(config),
+      rng_(static_cast<std::uint32_t>(host.id()) * 2654435761u + 1) {
+    host_->set_control_handler([this](int ifindex, const net::Packet& packet) {
+        on_control(ifindex, packet);
+    });
+}
+
+void HostAgent::join(net::GroupAddress group) {
+    host_->join_group(group);
+    if (rp_maps_.contains(group)) send_rp_map(group);
+    for (int i = 0; i < config_.unsolicited_report_count; ++i) {
+        host_->simulator().schedule(i * config_.unsolicited_report_interval,
+                                    [this, group] {
+                                        if (host_->is_member(group)) send_report(group);
+                                    });
+    }
+}
+
+void HostAgent::leave(net::GroupAddress group) {
+    host_->leave_group(group);
+    auto it = pending_.find(group);
+    if (it != pending_.end()) {
+        host_->simulator().cancel(it->second);
+        pending_.erase(it);
+    }
+}
+
+void HostAgent::set_rp_mapping(net::GroupAddress group,
+                               std::vector<net::Ipv4Address> rps) {
+    rp_maps_[group] = std::move(rps);
+    send_rp_map(group);
+}
+
+void HostAgent::send_report(net::GroupAddress group) {
+    net::Packet packet;
+    packet.src = host_->address();
+    packet.dst = group.address(); // RFC 1112: reports go to the group itself
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = Report{group.address()}.encode();
+    host_->network().stats().count_control_message("igmp");
+    host_->send(0, net::Frame{std::nullopt, std::move(packet)});
+    if (rp_maps_.contains(group)) send_rp_map(group);
+}
+
+void HostAgent::send_rp_map(net::GroupAddress group) {
+    auto it = rp_maps_.find(group);
+    if (it == rp_maps_.end()) return;
+    net::Packet packet;
+    packet.src = host_->address();
+    packet.dst = net::kAllRouters;
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = RpMapReport{group.address(), it->second}.encode();
+    host_->network().stats().count_control_message("igmp");
+    host_->send(0, net::Frame{std::nullopt, std::move(packet)});
+}
+
+void HostAgent::schedule_response(net::GroupAddress group) {
+    if (pending_.contains(group)) return;
+    std::uniform_int_distribution<sim::Time> spread(0, config_.query_response_max);
+    const sim::Time delay = spread(rng_);
+    pending_[group] = host_->simulator().schedule(delay, [this, group] {
+        pending_.erase(group);
+        if (host_->is_member(group)) send_report(group);
+    });
+}
+
+void HostAgent::on_control(int ifindex, const net::Packet& packet) {
+    (void)ifindex;
+    if (packet.proto != net::IpProto::kIgmp || packet.payload.empty()) return;
+    switch (packet.payload.front()) {
+    case kTypeQuery: {
+        auto query = Query::decode(packet.payload);
+        if (!query) return;
+        if (query->group.is_unspecified()) {
+            for (net::GroupAddress group : host_->joined_groups()) {
+                schedule_response(group);
+            }
+        } else if (query->group.is_multicast()) {
+            const net::GroupAddress group{query->group};
+            if (host_->is_member(group)) schedule_response(group);
+        }
+        break;
+    }
+    case kTypeReport: {
+        // Another member on the LAN answered: suppress our pending report.
+        auto report = Report::decode(packet.payload);
+        if (!report || !report->group.is_multicast()) return;
+        const net::GroupAddress group{report->group};
+        auto it = pending_.find(group);
+        if (it != pending_.end()) {
+            host_->simulator().cancel(it->second);
+            pending_.erase(it);
+        }
+        break;
+    }
+    default:
+        break;
+    }
+}
+
+} // namespace pimlib::igmp

@@ -1,0 +1,59 @@
+// IGMP host-side agent: answers queries with reports (after a random spread
+// delay, suppressed if another member answers first, per RFC 1112), sends
+// unsolicited reports on join, and can announce group→RP mappings to the
+// local routers (the paper's proposed host message, §3.1).
+#pragma once
+
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "igmp/messages.hpp"
+#include "sim/simulator.hpp"
+#include "topo/host.hpp"
+
+namespace pimlib::igmp {
+
+struct HostConfig {
+    sim::Time unsolicited_report_interval = 100 * sim::kMillisecond;
+    int unsolicited_report_count = 2; // robustness against loss
+    sim::Time query_response_max = 1 * sim::kSecond;
+};
+
+class HostAgent {
+public:
+    explicit HostAgent(topo::Host& host, HostConfig config = {});
+
+    HostAgent(const HostAgent&) = delete;
+    HostAgent& operator=(const HostAgent&) = delete;
+
+    /// Joins `group`: updates the host's data-plane filter and sends
+    /// unsolicited membership reports.
+    void join(net::GroupAddress group);
+
+    /// Leaves: stop answering queries; routers age the membership out
+    /// (IGMPv1 has no leave message).
+    void leave(net::GroupAddress group);
+
+    /// Associates an RP list with a group; announced to local routers right
+    /// away and together with future reports for the group.
+    void set_rp_mapping(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
+
+    [[nodiscard]] topo::Host& host() { return *host_; }
+
+private:
+    void on_control(int ifindex, const net::Packet& packet);
+    void send_report(net::GroupAddress group);
+    void send_rp_map(net::GroupAddress group);
+    void schedule_response(net::GroupAddress group);
+
+    topo::Host* host_;
+    HostConfig config_;
+    std::mt19937 rng_;
+    // Pending scheduled responses per group (cancel on overheard report).
+    std::map<net::GroupAddress, sim::EventId> pending_;
+    std::map<net::GroupAddress, std::vector<net::Ipv4Address>> rp_maps_;
+};
+
+} // namespace pimlib::igmp

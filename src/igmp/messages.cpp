@@ -1,0 +1,68 @@
+#include "igmp/messages.hpp"
+
+namespace pimlib::igmp {
+
+std::vector<std::uint8_t> Query::encode() const {
+    net::BufWriter w(6);
+    w.put_u8(kTypeQuery);
+    w.put_u8(0); // max response (unused; response spread is a config knob)
+    w.put_addr(group);
+    return w.take();
+}
+
+std::optional<Query> Query::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    auto type = r.get_u8();
+    if (!type || *type != kTypeQuery) return std::nullopt;
+    (void)r.get_u8();
+    auto group = r.get_addr();
+    if (!group || !r.at_end()) return std::nullopt;
+    return Query{*group};
+}
+
+std::vector<std::uint8_t> Report::encode() const {
+    net::BufWriter w(6);
+    w.put_u8(kTypeReport);
+    w.put_u8(0);
+    w.put_addr(group);
+    return w.take();
+}
+
+std::optional<Report> Report::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    auto type = r.get_u8();
+    if (!type || *type != kTypeReport) return std::nullopt;
+    (void)r.get_u8();
+    auto group = r.get_addr();
+    if (!group || !r.at_end()) return std::nullopt;
+    return Report{*group};
+}
+
+std::vector<std::uint8_t> RpMapReport::encode() const {
+    net::BufWriter w(6 + rps.size() * 4);
+    w.put_u8(kTypeRpMap);
+    w.put_u8(static_cast<std::uint8_t>(rps.size()));
+    w.put_addr(group);
+    for (net::Ipv4Address rp : rps) w.put_addr(rp);
+    return w.take();
+}
+
+std::optional<RpMapReport> RpMapReport::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    auto type = r.get_u8();
+    if (!type || *type != kTypeRpMap) return std::nullopt;
+    auto count = r.get_u8();
+    auto group = r.get_addr();
+    if (!count || !group) return std::nullopt;
+    RpMapReport report;
+    report.group = *group;
+    for (std::uint8_t i = 0; i < *count; ++i) {
+        auto rp = r.get_addr();
+        if (!rp) return std::nullopt;
+        report.rps.push_back(*rp);
+    }
+    if (!r.at_end()) return std::nullopt;
+    return report;
+}
+
+} // namespace pimlib::igmp

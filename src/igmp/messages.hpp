@@ -1,0 +1,50 @@
+// IGMP wire messages (RFC 1112 style) plus the "new IGMP message" the paper
+// proposes for hosts to distribute group→RP mappings to their local routers
+// (§3.1). The first payload byte is the IGMP type code; PIM and DVMRP share
+// IP protocol 2 with IGMP and are demultiplexed on this byte, matching the
+// 1994 encapsulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/ipv4.hpp"
+
+namespace pimlib::igmp {
+
+// IGMP type codes.
+inline constexpr std::uint8_t kTypeQuery = 0x11;
+inline constexpr std::uint8_t kTypeReport = 0x12;
+inline constexpr std::uint8_t kTypeDvmrp = 0x13;  // DVMRP control rides IGMP
+inline constexpr std::uint8_t kTypePim = 0x14;    // PIM v1 control rides IGMP
+inline constexpr std::uint8_t kTypeRpMap = 0x15;  // paper's host→router RP info
+
+/// Membership query. group unspecified (0.0.0.0) means a general query.
+struct Query {
+    net::Ipv4Address group;
+
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<Query> decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Membership report for one group.
+struct Report {
+    net::Ipv4Address group;
+
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<Report> decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Host-supplied group→RP mapping (ordered RP list; first is primary).
+struct RpMapReport {
+    net::Ipv4Address group;
+    std::vector<net::Ipv4Address> rps;
+
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<RpMapReport> decode(std::span<const std::uint8_t> bytes);
+};
+
+} // namespace pimlib::igmp

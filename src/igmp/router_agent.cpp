@@ -1,0 +1,114 @@
+#include "igmp/router_agent.hpp"
+
+#include "topo/network.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::igmp {
+
+RouterAgent::RouterAgent(topo::Router& router, RouterConfig config)
+    : router_(&router), config_(config), tick_(router.simulator(), [this] { on_tick(); }) {
+    auto handler = [this](int ifindex, const net::Packet& packet) {
+        on_message(ifindex, packet);
+    };
+    router_->register_igmp_type(kTypeQuery, handler);
+    router_->register_igmp_type(kTypeReport, handler);
+    router_->register_igmp_type(kTypeRpMap, handler);
+    tick_.start(config_.query_interval);
+    router_->simulator().schedule(0, [this] { on_tick(); });
+}
+
+void RouterAgent::on_tick() {
+    const sim::Time now = router_->simulator().now();
+
+    // Age out memberships.
+    for (auto& [ifindex, groups] : membership_) {
+        for (auto it = groups.begin(); it != groups.end();) {
+            if (now >= it->second) {
+                const net::GroupAddress group = it->first;
+                it = groups.erase(it);
+                for (const auto& cb : callbacks_) cb(ifindex, group, false);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // Send general queries where we are (still) the querier.
+    for (const auto& iface : router_->interfaces()) {
+        if (!iface.up || iface.segment == nullptr) continue;
+        auto it = other_querier_until_.find(iface.ifindex);
+        if (it != other_querier_until_.end() && now < it->second) continue;
+        send_query(iface.ifindex);
+    }
+}
+
+void RouterAgent::send_query(int ifindex) {
+    net::Packet packet;
+    packet.src = router_->interface(ifindex).address;
+    packet.dst = net::kAllSystems;
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = Query{net::Ipv4Address{}}.encode();
+    router_->network().stats().count_control_message("igmp");
+    router_->send(ifindex, net::Frame{std::nullopt, std::move(packet)});
+}
+
+void RouterAgent::note_member(int ifindex, net::GroupAddress group) {
+    auto& groups = membership_[ifindex];
+    const bool is_new = !groups.contains(group);
+    groups[group] = router_->simulator().now() + config_.membership_timeout;
+    if (is_new) {
+        for (const auto& cb : callbacks_) cb(ifindex, group, true);
+    }
+}
+
+void RouterAgent::on_message(int ifindex, const net::Packet& packet) {
+    if (packet.payload.empty()) return;
+    switch (packet.payload.front()) {
+    case kTypeReport: {
+        auto report = Report::decode(packet.payload);
+        if (!report || !report->group.is_multicast()) return;
+        note_member(ifindex, net::GroupAddress{report->group});
+        break;
+    }
+    case kTypeQuery: {
+        // Querier election: a query from a lower address silences us.
+        if (ifindex >= 0 && packet.src < router_->interface(ifindex).address) {
+            other_querier_until_[ifindex] =
+                router_->simulator().now() + config_.other_querier_timeout;
+        }
+        break;
+    }
+    case kTypeRpMap: {
+        auto map = RpMapReport::decode(packet.payload);
+        if (!map || !map->group.is_multicast()) return;
+        if (rp_map_cb_) rp_map_cb_(net::GroupAddress{map->group}, map->rps);
+        break;
+    }
+    default:
+        break;
+    }
+}
+
+bool RouterAgent::has_members(int ifindex, net::GroupAddress group) const {
+    auto it = membership_.find(ifindex);
+    return it != membership_.end() && it->second.contains(group);
+}
+
+std::set<net::GroupAddress> RouterAgent::groups_on(int ifindex) const {
+    std::set<net::GroupAddress> out;
+    auto it = membership_.find(ifindex);
+    if (it == membership_.end()) return out;
+    for (const auto& [group, expiry] : it->second) out.insert(group);
+    return out;
+}
+
+std::vector<int> RouterAgent::member_interfaces(net::GroupAddress group) const {
+    std::vector<int> out;
+    for (const auto& [ifindex, groups] : membership_) {
+        if (groups.contains(group)) out.push_back(ifindex);
+    }
+    return out;
+}
+
+} // namespace pimlib::igmp

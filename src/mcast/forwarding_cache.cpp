@@ -1,0 +1,161 @@
+#include "mcast/forwarding_cache.hpp"
+
+#include "stats/counters.hpp"
+#include "topo/network.hpp"
+
+namespace pimlib::mcast {
+
+ForwardingEntry* ForwardingCache::find_sg(net::Ipv4Address source, net::GroupAddress group) {
+    auto it = sg_.find(SgKey{source, group});
+    return it == sg_.end() ? nullptr : &it->second;
+}
+
+const ForwardingEntry* ForwardingCache::find_sg(net::Ipv4Address source,
+                                                net::GroupAddress group) const {
+    auto it = sg_.find(SgKey{source, group});
+    return it == sg_.end() ? nullptr : &it->second;
+}
+
+ForwardingEntry* ForwardingCache::find_wc(net::GroupAddress group) {
+    auto it = wc_.find(group);
+    return it == wc_.end() ? nullptr : &it->second;
+}
+
+const ForwardingEntry* ForwardingCache::find_wc(net::GroupAddress group) const {
+    auto it = wc_.find(group);
+    return it == wc_.end() ? nullptr : &it->second;
+}
+
+ForwardingEntry& ForwardingCache::ensure_sg(net::Ipv4Address source, net::GroupAddress group) {
+    auto it = sg_.find(SgKey{source, group});
+    if (it != sg_.end()) return it->second;
+    return sg_.emplace(SgKey{source, group}, ForwardingEntry::make_sg(source, group))
+        .first->second;
+}
+
+ForwardingEntry& ForwardingCache::ensure_wc(net::Ipv4Address rp, net::GroupAddress group) {
+    auto it = wc_.find(group);
+    if (it != wc_.end()) return it->second;
+    return wc_.emplace(group, ForwardingEntry::make_wc(rp, group)).first->second;
+}
+
+void ForwardingCache::remove_sg(net::Ipv4Address source, net::GroupAddress group) {
+    sg_.erase(SgKey{source, group});
+}
+
+void ForwardingCache::remove_wc(net::GroupAddress group) { wc_.erase(group); }
+
+void ForwardingCache::for_each_sg(const std::function<void(ForwardingEntry&)>& fn) {
+    for (auto& [key, entry] : sg_) fn(entry);
+}
+
+void ForwardingCache::for_each_wc(const std::function<void(ForwardingEntry&)>& fn) {
+    for (auto& [key, entry] : wc_) fn(entry);
+}
+
+void ForwardingCache::for_each_sg_of(net::GroupAddress group,
+                                     const std::function<void(ForwardingEntry&)>& fn) {
+    for (auto& [key, entry] : sg_) {
+        if (key.second == group) fn(entry);
+    }
+}
+
+std::vector<ForwardingCache::SgKey> ForwardingCache::reap_expired_entries(sim::Time now) {
+    std::vector<SgKey> removed;
+    for (auto it = sg_.begin(); it != sg_.end();) {
+        const sim::Time at = it->second.delete_at();
+        if (at != 0 && now >= at) {
+            removed.push_back(it->first);
+            it = sg_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+DataPlane::DataPlane(topo::Router& router, ForwardingCache& cache)
+    : router_(&router), cache_(&cache) {
+    router_->set_multicast_handler(this);
+}
+
+void DataPlane::replicate(const ForwardingEntry& entry, int ifindex,
+                          const net::Packet& packet) {
+    if (packet.ttl <= 1) {
+        router_->network().stats().count_data_dropped_ttl();
+        return;
+    }
+    net::Packet out = packet;
+    out.ttl -= 1;
+    const sim::Time now = router_->simulator().now();
+    for (int oif : entry.live_oifs(now)) {
+        if (oif == ifindex) continue; // never back out the arrival interface
+        if (oif < 0 || oif >= router_->interface_count()) continue;
+        router_->send(oif, net::Frame{std::nullopt, out});
+    }
+}
+
+void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
+    const net::GroupAddress group{packet.dst};
+    const net::Ipv4Address source = packet.src;
+
+    ForwardingEntry* sg = cache_->find_sg(source, group);
+    ForwardingEntry* wc = cache_->find_wc(group);
+
+    if (sg != nullptr) {
+        sg->note_data(router_->simulator().now());
+        if (sg->spt_bit() || sg->rp_bit()) {
+            // Normal path: strict incoming interface check.
+            if (ifindex == sg->iif()) {
+                replicate(*sg, ifindex, packet);
+                if (delegate_ != nullptr) {
+                    delegate_->on_sg_forward(*sg, ifindex, packet);
+                    if (sg->oif_list_empty(router_->simulator().now())) {
+                        delegate_->on_no_downstream(*sg, ifindex, packet);
+                    }
+                }
+            } else {
+                router_->network().stats().count_data_dropped_iif();
+                if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
+            }
+            return;
+        }
+        // (S,G) with cleared SPT bit: the §3.5 transition exceptions.
+        if (ifindex == sg->iif()) {
+            // Second exception: data arrived on the shortest-path iif —
+            // forward it and set the SPT bit.
+            replicate(*sg, ifindex, packet);
+            sg->set_spt_bit(true);
+            if (delegate_ != nullptr) {
+                delegate_->on_spt_bit_set(*sg);
+                delegate_->on_sg_forward(*sg, ifindex, packet);
+            }
+            return;
+        }
+        // First exception: fall back to the (*,G) entry while the SPT
+        // branch is still being built.
+        if (wc != nullptr && ifindex == wc->iif()) {
+            replicate(*wc, ifindex, packet);
+            if (delegate_ != nullptr) delegate_->on_wildcard_forward(ifindex, packet);
+            return;
+        }
+        router_->network().stats().count_data_dropped_iif();
+        if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
+        return;
+    }
+
+    if (wc != nullptr) {
+        if (ifindex == wc->iif()) {
+            replicate(*wc, ifindex, packet);
+            if (delegate_ != nullptr) delegate_->on_wildcard_forward(ifindex, packet);
+        } else {
+            router_->network().stats().count_data_dropped_iif();
+            if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
+        }
+        return;
+    }
+
+    if (delegate_ != nullptr) delegate_->on_no_entry(ifindex, packet);
+}
+
+} // namespace pimlib::mcast

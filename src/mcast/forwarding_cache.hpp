@@ -1,0 +1,116 @@
+// Per-router multicast forwarding cache plus the shared data-plane engine
+// implementing the forwarding rules of §3.5, including both SPT-bit
+// transition exceptions. Every multicast routing protocol in this library
+// (PIM-SM, PIM-DM, DVMRP, CBT, MOSPF) installs entries here and reacts to
+// the delegate callbacks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "mcast/forwarding_entry.hpp"
+#include "net/packet.hpp"
+#include "topo/router.hpp"
+
+namespace pimlib::mcast {
+
+class ForwardingCache {
+public:
+    using SgKey = std::pair<net::Ipv4Address, net::GroupAddress>;
+
+    [[nodiscard]] ForwardingEntry* find_sg(net::Ipv4Address source, net::GroupAddress group);
+    [[nodiscard]] const ForwardingEntry* find_sg(net::Ipv4Address source,
+                                                 net::GroupAddress group) const;
+    [[nodiscard]] ForwardingEntry* find_wc(net::GroupAddress group);
+    [[nodiscard]] const ForwardingEntry* find_wc(net::GroupAddress group) const;
+
+    /// Creates (or returns the existing) entry.
+    ForwardingEntry& ensure_sg(net::Ipv4Address source, net::GroupAddress group);
+    ForwardingEntry& ensure_wc(net::Ipv4Address rp, net::GroupAddress group);
+
+    void remove_sg(net::Ipv4Address source, net::GroupAddress group);
+    void remove_wc(net::GroupAddress group);
+
+    [[nodiscard]] std::size_t size() const { return sg_.size() + wc_.size(); }
+    [[nodiscard]] std::size_t sg_count() const { return sg_.size(); }
+    [[nodiscard]] std::size_t wc_count() const { return wc_.size(); }
+
+    /// Iteration helpers. The callback may mutate the entry but must not
+    /// add/remove entries.
+    void for_each_sg(const std::function<void(ForwardingEntry&)>& fn);
+    void for_each_wc(const std::function<void(ForwardingEntry&)>& fn);
+    /// (S,G) entries for one group.
+    void for_each_sg_of(net::GroupAddress group,
+                        const std::function<void(ForwardingEntry&)>& fn);
+    /// Collects (S,G) keys scheduled for deletion at or before `now`, plus
+    /// removes them. Returns the removed keys.
+    std::vector<SgKey> reap_expired_entries(sim::Time now);
+
+private:
+    std::map<SgKey, ForwardingEntry> sg_;
+    std::map<net::GroupAddress, ForwardingEntry> wc_;
+};
+
+/// Data-plane engine: receives every non-link-local multicast packet the
+/// router hears, applies the §3.5 rules against the cache, replicates out
+/// the live oifs, and reports interesting conditions to the delegate
+/// (the control-plane protocol).
+class DataPlane : public topo::MulticastDataHandler {
+public:
+    class Delegate {
+    public:
+        virtual ~Delegate() = default;
+        /// No (S,G) and no (*,G) matched. Dense-mode protocols flood from
+        /// here; a PIM-SM DR for the source registers from here.
+        virtual void on_no_entry(int ifindex, const net::Packet& packet) { (void)ifindex; (void)packet; }
+        /// Packet was forwarded using the (*,G) entry (shared tree). Gives
+        /// the DR the §3.3 trigger: data from a source it has no (S,G) for.
+        virtual void on_wildcard_forward(int ifindex, const net::Packet& packet) { (void)ifindex; (void)packet; }
+        /// The SPT bit of `entry` transitioned 0→1 because data arrived on
+        /// the shortest-path iif (§3.3/§3.5 second exception).
+        virtual void on_spt_bit_set(ForwardingEntry& entry) { (void)entry; }
+        /// Incoming-interface check failed (packet dropped).
+        virtual void on_iif_check_failed(int ifindex, const net::Packet& packet) { (void)ifindex; (void)packet; }
+        /// Data was forwarded via a genuine (S,G) match (normal path or the
+        /// second SPT-bit exception). Lets a source DR keep registering
+        /// until the RP's join arrives.
+        virtual void on_sg_forward(ForwardingEntry& entry, int ifindex,
+                                   const net::Packet& packet) {
+            (void)entry;
+            (void)ifindex;
+            (void)packet;
+        }
+        /// Data matched an (S,G) entry whose live oif list is empty — the
+        /// router is a pruned leaf still receiving traffic. Dense-mode
+        /// protocols answer with a (rate-limited) prune refresh upstream; a
+        /// PIM-SM source DR resumes the register phase.
+        virtual void on_no_downstream(ForwardingEntry& entry, int ifindex,
+                                      const net::Packet& packet) {
+            (void)entry;
+            (void)ifindex;
+            (void)packet;
+        }
+    };
+
+    DataPlane(topo::Router& router, ForwardingCache& cache);
+
+    void set_delegate(Delegate* delegate) { delegate_ = delegate; }
+
+    void on_multicast_data(int ifindex, const net::Packet& packet) override;
+
+    /// Forwards `packet` out every live oif of `entry` except `ifindex`.
+    /// Exposed for protocols that forward outside the normal path (e.g. the
+    /// RP forwarding register-encapsulated data down the shared tree).
+    void replicate(const ForwardingEntry& entry, int ifindex, const net::Packet& packet);
+
+    [[nodiscard]] ForwardingCache& cache() { return *cache_; }
+    [[nodiscard]] topo::Router& router() { return *router_; }
+
+private:
+    topo::Router* router_;
+    ForwardingCache* cache_;
+    Delegate* delegate_ = nullptr;
+};
+
+} // namespace pimlib::mcast

@@ -1,0 +1,96 @@
+#include "mcast/forwarding_entry.hpp"
+
+#include <algorithm>
+
+namespace pimlib::mcast {
+
+ForwardingEntry ForwardingEntry::make_sg(net::Ipv4Address source, net::GroupAddress group) {
+    ForwardingEntry e;
+    e.group_ = group;
+    e.source_or_rp_ = source;
+    e.wc_bit_ = false;
+    return e;
+}
+
+ForwardingEntry ForwardingEntry::make_wc(net::Ipv4Address rp, net::GroupAddress group) {
+    ForwardingEntry e;
+    e.group_ = group;
+    e.source_or_rp_ = rp;
+    e.wc_bit_ = true;
+    e.rp_bit_ = true; // a shared-tree entry's iif check is toward the RP
+    return e;
+}
+
+void ForwardingEntry::add_oif(int ifindex, sim::Time expires) {
+    auto& state = oifs_[ifindex];
+    state.expires = std::max(state.expires, expires);
+    delete_at_ = 0; // oif list non-null again
+}
+
+void ForwardingEntry::pin_oif(int ifindex) {
+    oifs_[ifindex].pinned = true;
+    delete_at_ = 0;
+}
+
+void ForwardingEntry::unpin_oif(int ifindex) {
+    auto it = oifs_.find(ifindex);
+    if (it == oifs_.end()) return;
+    it->second.pinned = false;
+    if (it->second.expires == 0) oifs_.erase(it);
+}
+
+void ForwardingEntry::refresh_oif(int ifindex, sim::Time expires) {
+    auto it = oifs_.find(ifindex);
+    if (it == oifs_.end()) return;
+    it->second.expires = std::max(it->second.expires, expires);
+}
+
+void ForwardingEntry::remove_oif(int ifindex) { oifs_.erase(ifindex); }
+
+void ForwardingEntry::mark_pruned(int ifindex) {
+    pruned_oifs_.insert(ifindex);
+    oifs_.erase(ifindex);
+}
+
+std::vector<int> ForwardingEntry::live_oifs(sim::Time now) const {
+    std::vector<int> out;
+    out.reserve(oifs_.size());
+    for (const auto& [ifindex, state] : oifs_) {
+        if (state.alive(now)) out.push_back(ifindex);
+    }
+    return out;
+}
+
+std::vector<int> ForwardingEntry::expire_oifs(sim::Time now) {
+    std::vector<int> removed;
+    for (auto it = oifs_.begin(); it != oifs_.end();) {
+        if (!it->second.alive(now)) {
+            removed.push_back(it->first);
+            it = oifs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+std::string ForwardingEntry::describe() const {
+    std::string out = wc_bit_ ? "(*, " : "(" + source_or_rp_.to_string() + ", ";
+    out += group_.to_string() + ")";
+    if (wc_bit_) out += " RP=" + source_or_rp_.to_string();
+    out += " iif=" + std::to_string(iif_);
+    out += " oifs={";
+    bool first = true;
+    for (const auto& [ifindex, state] : oifs_) {
+        if (!first) out += ",";
+        out += std::to_string(ifindex);
+        if (state.pinned) out += "*";
+        first = false;
+    }
+    out += "}";
+    if (rp_bit_) out += " RPbit";
+    if (spt_bit_) out += " SPTbit";
+    return out;
+}
+
+} // namespace pimlib::mcast

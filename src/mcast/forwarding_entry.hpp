@@ -1,0 +1,119 @@
+// Multicast forwarding entries, exactly as §3 of the paper describes them:
+// (S,G) entries with incoming interface, outgoing interface list with
+// per-interface timers, and the WC (wildcard), RP and SPT bits. A (*,G)
+// entry stores the RP address in place of the source and has the WC bit set.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/simulator.hpp"
+
+namespace pimlib::mcast {
+
+/// State of one outgoing interface within a forwarding entry.
+struct OifState {
+    /// Soft-state expiry (absolute sim time); refreshed by received joins.
+    sim::Time expires = 0;
+    /// Pinned by directly-connected membership (IGMP); never times out while
+    /// pinned — only an explicit membership loss unpins it.
+    bool pinned = false;
+
+    [[nodiscard]] bool alive(sim::Time now) const { return pinned || expires > now; }
+};
+
+class ForwardingEntry {
+public:
+    /// Makes an (S,G) shortest-path-tree entry.
+    static ForwardingEntry make_sg(net::Ipv4Address source, net::GroupAddress group);
+    /// Makes a (*,G) shared-tree entry; `rp` is stored in the source slot
+    /// "in place of the source address" (§3).
+    static ForwardingEntry make_wc(net::Ipv4Address rp, net::GroupAddress group);
+
+    [[nodiscard]] net::GroupAddress group() const { return group_; }
+    /// The source for (S,G); the RP address for (*,G).
+    [[nodiscard]] net::Ipv4Address source_or_rp() const { return source_or_rp_; }
+
+    // --- flags ---
+    [[nodiscard]] bool wildcard() const { return wc_bit_; }   // WC bit
+    [[nodiscard]] bool rp_bit() const { return rp_bit_; }     // iif faces the RP
+    [[nodiscard]] bool spt_bit() const { return spt_bit_; }   // SPT fully set up
+    void set_rp_bit(bool v) { rp_bit_ = v; }
+    void set_spt_bit(bool v) { spt_bit_ = v; }
+
+    // --- incoming interface ---
+    [[nodiscard]] int iif() const { return iif_; }
+    void set_iif(int ifindex) { iif_ = ifindex; }
+    /// Upstream neighbor to address joins/prunes to (unset = upstream is
+    /// directly connected, e.g. the source's or RP's own subnet).
+    [[nodiscard]] std::optional<net::Ipv4Address> upstream_neighbor() const {
+        return upstream_neighbor_;
+    }
+    void set_upstream_neighbor(std::optional<net::Ipv4Address> n) {
+        upstream_neighbor_ = n;
+    }
+
+    // --- outgoing interface list ---
+    /// Adds or refreshes `ifindex` with soft-state expiry at `expires`.
+    void add_oif(int ifindex, sim::Time expires);
+    /// Adds or marks `ifindex` pinned by local membership.
+    void pin_oif(int ifindex);
+    void unpin_oif(int ifindex);
+    /// Refreshes the timer of an existing oif (no-op when absent).
+    void refresh_oif(int ifindex, sim::Time expires);
+    /// Removes outright (prune or timer expiry).
+    void remove_oif(int ifindex);
+    [[nodiscard]] bool has_oif(int ifindex) const { return oifs_.contains(ifindex); }
+    [[nodiscard]] const std::map<int, OifState>& oifs() const { return oifs_; }
+    /// Interfaces alive at `now` (pinned or unexpired).
+    [[nodiscard]] std::vector<int> live_oifs(sim::Time now) const;
+    /// Drops oifs whose timers have expired; returns the removed interfaces.
+    [[nodiscard]] std::vector<int> expire_oifs(sim::Time now);
+    [[nodiscard]] bool oif_list_empty(sim::Time now) const { return live_oifs(now).empty(); }
+
+    // --- negative-cache prune state (for (S,G)RP-bit entries, §3.3) ---
+    /// Marks `ifindex` pruned for this source on the shared tree: the oif is
+    /// removed and remembered so that future (*,G) oif additions skip it.
+    void mark_pruned(int ifindex);
+    /// A (*,G) join on the interface cancels the prune.
+    void clear_pruned(int ifindex) { pruned_oifs_.erase(ifindex); }
+    [[nodiscard]] bool is_pruned(int ifindex) const { return pruned_oifs_.contains(ifindex); }
+    [[nodiscard]] const std::set<int>& pruned_oifs() const { return pruned_oifs_; }
+
+    // --- entry-level soft state ---
+    /// Deletion deadline once the oif list went null (3 × refresh, §3.6);
+    /// 0 = not scheduled.
+    [[nodiscard]] sim::Time delete_at() const { return delete_at_; }
+    void set_delete_at(sim::Time t) { delete_at_ = t; }
+
+    /// RP-reachability timer deadline for (*,G) entries (§3.2, §3.9).
+    [[nodiscard]] sim::Time rp_timer_deadline() const { return rp_timer_deadline_; }
+    void set_rp_timer_deadline(sim::Time t) { rp_timer_deadline_ = t; }
+
+    /// Last time a data packet matched this entry (maintained by the data
+    /// plane; lets an RP keep source state alive while data flows, §3.10).
+    [[nodiscard]] sim::Time last_data_at() const { return last_data_; }
+    void note_data(sim::Time t) { last_data_ = t; }
+
+    [[nodiscard]] std::string describe() const;
+
+private:
+    net::GroupAddress group_;
+    net::Ipv4Address source_or_rp_;
+    bool wc_bit_ = false;
+    bool rp_bit_ = false;
+    bool spt_bit_ = false;
+    int iif_ = -1;
+    std::optional<net::Ipv4Address> upstream_neighbor_;
+    std::map<int, OifState> oifs_;
+    std::set<int> pruned_oifs_;
+    sim::Time delete_at_ = 0;
+    sim::Time rp_timer_deadline_ = 0;
+    sim::Time last_data_ = 0;
+};
+
+} // namespace pimlib::mcast

@@ -1,0 +1,55 @@
+#include "net/buffer.hpp"
+
+namespace pimlib::net {
+
+bool BufReader::take(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::uint8_t> BufReader::get_u8() {
+    if (!take(1)) return std::nullopt;
+    return data_[pos_++];
+}
+
+std::optional<std::uint16_t> BufReader::get_u16() {
+    if (!take(2)) return std::nullopt;
+    std::uint16_t v = static_cast<std::uint16_t>(std::uint16_t{data_[pos_]} << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+std::optional<std::uint32_t> BufReader::get_u32() {
+    if (!take(4)) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+}
+
+std::optional<std::uint64_t> BufReader::get_u64() {
+    if (!take(8)) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+}
+
+std::optional<Ipv4Address> BufReader::get_addr() {
+    auto v = get_u32();
+    if (!v) return std::nullopt;
+    return Ipv4Address{*v};
+}
+
+std::optional<std::vector<std::uint8_t>> BufReader::get_bytes(std::size_t n) {
+    if (!take(n)) return std::nullopt;
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+}
+
+} // namespace pimlib::net

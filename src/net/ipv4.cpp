@@ -1,0 +1,62 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace pimlib::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+    std::uint32_t octets[4];
+    const char* p = text.data();
+    const char* end = text.data() + text.size();
+    for (int i = 0; i < 4; ++i) {
+        unsigned value = 0;
+        auto [next, ec] = std::from_chars(p, end, value);
+        if (ec != std::errc{} || value > 255) return std::nullopt;
+        octets[i] = value;
+        p = next;
+        if (i < 3) {
+            if (p == end || *p != '.') return std::nullopt;
+            ++p;
+        }
+    }
+    if (p != end) return std::nullopt;
+    return Ipv4Address{(octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]};
+}
+
+std::string Ipv4Address::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        out += std::to_string((bits_ >> shift) & 0xFF);
+        if (shift != 0) out += '.';
+    }
+    return out;
+}
+
+GroupAddress::GroupAddress(Ipv4Address addr) : addr_(addr) {
+    if (!addr.is_multicast()) {
+        throw std::invalid_argument("GroupAddress requires a class-D address, got " +
+                                    addr.to_string());
+    }
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+    auto slash = text.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    auto addr = Ipv4Address::parse(text.substr(0, slash));
+    if (!addr) return std::nullopt;
+    int len = 0;
+    auto tail = text.substr(slash + 1);
+    auto [next, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), len);
+    if (ec != std::errc{} || next != tail.data() + tail.size() || len < 0 || len > 32) {
+        return std::nullopt;
+    }
+    return Prefix{*addr, len};
+}
+
+std::string Prefix::to_string() const {
+    return address().to_string() + "/" + std::to_string(len_);
+}
+
+} // namespace pimlib::net

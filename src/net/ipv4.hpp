@@ -1,0 +1,114 @@
+// IPv4 addresses, prefixes and well-known multicast constants.
+//
+// Addresses are strong value types (no implicit conversion from raw
+// integers); everything here is constexpr-friendly and hashable so the rest
+// of the library can use addresses as map keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace pimlib::net {
+
+/// An IPv4 address. Stored in host byte order; serialization converts to
+/// network order at the wire boundary (see BufWriter::put_addr).
+class Ipv4Address {
+public:
+    constexpr Ipv4Address() = default;
+    constexpr explicit Ipv4Address(std::uint32_t host_order) : bits_(host_order) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+    /// Parses dotted-quad notation; returns nullopt on malformed input.
+    static std::optional<Ipv4Address> parse(std::string_view text);
+
+    [[nodiscard]] constexpr std::uint32_t to_uint() const { return bits_; }
+    [[nodiscard]] std::string to_string() const;
+
+    /// True for class-D (224.0.0.0/4) addresses, i.e. multicast groups.
+    [[nodiscard]] constexpr bool is_multicast() const {
+        return (bits_ & 0xF000'0000u) == 0xE000'0000u;
+    }
+    /// True for 224.0.0.0/24 — link-local multicast that routers never forward.
+    [[nodiscard]] constexpr bool is_link_local_multicast() const {
+        return (bits_ & 0xFFFF'FF00u) == 0xE000'0000u;
+    }
+    [[nodiscard]] constexpr bool is_unspecified() const { return bits_ == 0; }
+
+    friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+private:
+    std::uint32_t bits_ = 0;
+};
+
+/// A multicast group address; constructing from a non-class-D address is a
+/// logic error detected at construction.
+class GroupAddress {
+public:
+    constexpr GroupAddress() = default;
+    explicit GroupAddress(Ipv4Address addr);
+
+    [[nodiscard]] constexpr Ipv4Address address() const { return addr_; }
+    [[nodiscard]] std::string to_string() const { return addr_.to_string(); }
+
+    friend constexpr auto operator<=>(GroupAddress, GroupAddress) = default;
+
+private:
+    Ipv4Address addr_{};
+};
+
+/// An address prefix (address + mask length) for routing tables.
+class Prefix {
+public:
+    constexpr Prefix() = default;
+    /// Canonicalizes: host bits below the mask are cleared.
+    constexpr Prefix(Ipv4Address addr, int length)
+        : addr_(mask_of(length) & addr.to_uint()), len_(length) {}
+
+    static std::optional<Prefix> parse(std::string_view text); // "a.b.c.d/len"
+
+    [[nodiscard]] constexpr Ipv4Address address() const { return Ipv4Address{addr_}; }
+    [[nodiscard]] constexpr int length() const { return len_; }
+    [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+        return (a.to_uint() & mask_of(len_)) == addr_;
+    }
+    [[nodiscard]] std::string to_string() const;
+
+    /// /32 prefix for a single host.
+    static constexpr Prefix host(Ipv4Address a) { return Prefix{a, 32}; }
+
+    friend constexpr auto operator<=>(Prefix, Prefix) = default;
+
+private:
+    static constexpr std::uint32_t mask_of(int len) {
+        return len == 0 ? 0u : (0xFFFF'FFFFu << (32 - len));
+    }
+    std::uint32_t addr_ = 0;
+    int len_ = 0;
+};
+
+/// 224.0.0.2 — all routers on this subnetwork. The 1994 PIM spec sends
+/// queries and LAN joins/prunes here so that peer routers overhear them.
+inline constexpr Ipv4Address kAllRouters{224, 0, 0, 2};
+/// 224.0.0.1 — all systems (IGMP queries).
+inline constexpr Ipv4Address kAllSystems{224, 0, 0, 1};
+
+} // namespace pimlib::net
+
+template <>
+struct std::hash<pimlib::net::Ipv4Address> {
+    std::size_t operator()(pimlib::net::Ipv4Address a) const noexcept {
+        return std::hash<std::uint32_t>{}(a.to_uint());
+    }
+};
+
+template <>
+struct std::hash<pimlib::net::GroupAddress> {
+    std::size_t operator()(pimlib::net::GroupAddress g) const noexcept {
+        return std::hash<std::uint32_t>{}(g.address().to_uint());
+    }
+};

@@ -1,0 +1,14 @@
+#include "net/packet.hpp"
+
+namespace pimlib::net {
+
+std::string Packet::describe() const {
+    std::string out = src.to_string() + " -> " + dst.to_string();
+    out += " proto=" + std::to_string(static_cast<int>(proto));
+    out += " ttl=" + std::to_string(ttl);
+    out += " len=" + std::to_string(payload.size());
+    if (seq != 0) out += " seq=" + std::to_string(seq);
+    return out;
+}
+
+} // namespace pimlib::net

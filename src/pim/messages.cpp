@@ -1,0 +1,158 @@
+#include "pim/messages.hpp"
+
+#include "igmp/messages.hpp"
+
+namespace pimlib::pim {
+
+namespace {
+
+constexpr std::uint8_t kFlagWc = 0x01;
+constexpr std::uint8_t kFlagRp = 0x02;
+
+void put_header(net::BufWriter& w, Code code) {
+    w.put_u8(igmp::kTypePim);
+    w.put_u8(static_cast<std::uint8_t>(code));
+}
+
+/// Consumes and validates the two header bytes; nullopt unless they match.
+bool check_header(net::BufReader& r, Code code) {
+    auto type = r.get_u8();
+    auto c = r.get_u8();
+    return type && c && *type == igmp::kTypePim &&
+           *c == static_cast<std::uint8_t>(code);
+}
+
+std::uint8_t encode_flags(EntryFlags flags) {
+    std::uint8_t out = 0;
+    if (flags.wc_bit) out |= kFlagWc;
+    if (flags.rp_bit) out |= kFlagRp;
+    return out;
+}
+
+EntryFlags decode_flags(std::uint8_t bits) {
+    return EntryFlags{(bits & kFlagWc) != 0, (bits & kFlagRp) != 0};
+}
+
+} // namespace
+
+std::optional<Code> peek_code(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < 2 || bytes[0] != igmp::kTypePim) return std::nullopt;
+    if (bytes[1] > static_cast<std::uint8_t>(Code::kRpReachability)) return std::nullopt;
+    return static_cast<Code>(bytes[1]);
+}
+
+std::vector<std::uint8_t> Query::encode() const {
+    net::BufWriter w(6);
+    put_header(w, Code::kQuery);
+    w.put_u32(holdtime_ms);
+    return w.take();
+}
+
+std::optional<Query> Query::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kQuery)) return std::nullopt;
+    auto holdtime = r.get_u32();
+    if (!holdtime || !r.at_end()) return std::nullopt;
+    return Query{*holdtime};
+}
+
+std::vector<std::uint8_t> Register::encode() const {
+    net::BufWriter w(21 + inner_payload.size());
+    put_header(w, Code::kRegister);
+    w.put_addr(group);
+    w.put_addr(inner_src);
+    w.put_u8(inner_ttl);
+    w.put_u64(inner_seq);
+    w.put_u16(static_cast<std::uint16_t>(inner_payload.size()));
+    w.put_bytes(inner_payload);
+    return w.take();
+}
+
+std::optional<Register> Register::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kRegister)) return std::nullopt;
+    Register msg;
+    auto group = r.get_addr();
+    auto src = r.get_addr();
+    auto ttl = r.get_u8();
+    auto seq = r.get_u64();
+    auto len = r.get_u16();
+    if (!group || !src || !ttl || !seq || !len) return std::nullopt;
+    auto payload = r.get_bytes(*len);
+    if (!payload || !r.at_end()) return std::nullopt;
+    msg.group = *group;
+    msg.inner_src = *src;
+    msg.inner_ttl = *ttl;
+    msg.inner_seq = *seq;
+    msg.inner_payload = std::move(*payload);
+    return msg;
+}
+
+std::vector<std::uint8_t> JoinPrune::encode() const {
+    net::BufWriter w(18 + (joins.size() + prunes.size()) * 5);
+    put_header(w, Code::kJoinPrune);
+    w.put_addr(upstream_neighbor);
+    w.put_u32(holdtime_ms);
+    w.put_addr(group);
+    w.put_u16(static_cast<std::uint16_t>(joins.size()));
+    w.put_u16(static_cast<std::uint16_t>(prunes.size()));
+    for (const AddressEntry& e : joins) {
+        w.put_addr(e.address);
+        w.put_u8(encode_flags(e.flags));
+    }
+    for (const AddressEntry& e : prunes) {
+        w.put_addr(e.address);
+        w.put_u8(encode_flags(e.flags));
+    }
+    return w.take();
+}
+
+std::optional<JoinPrune> JoinPrune::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kJoinPrune)) return std::nullopt;
+    JoinPrune msg;
+    auto upstream = r.get_addr();
+    auto holdtime = r.get_u32();
+    auto group = r.get_addr();
+    auto njoin = r.get_u16();
+    auto nprune = r.get_u16();
+    if (!upstream || !holdtime || !group || !njoin || !nprune) return std::nullopt;
+    msg.upstream_neighbor = *upstream;
+    msg.holdtime_ms = *holdtime;
+    msg.group = *group;
+    for (std::uint16_t i = 0; i < *njoin; ++i) {
+        auto addr = r.get_addr();
+        auto flags = r.get_u8();
+        if (!addr || !flags.has_value()) return std::nullopt;
+        msg.joins.push_back(AddressEntry{*addr, decode_flags(*flags)});
+    }
+    for (std::uint16_t i = 0; i < *nprune; ++i) {
+        auto addr = r.get_addr();
+        auto flags = r.get_u8();
+        if (!addr || !flags.has_value()) return std::nullopt;
+        msg.prunes.push_back(AddressEntry{*addr, decode_flags(*flags)});
+    }
+    if (!r.at_end()) return std::nullopt;
+    return msg;
+}
+
+std::vector<std::uint8_t> RpReachability::encode() const {
+    net::BufWriter w(14);
+    put_header(w, Code::kRpReachability);
+    w.put_addr(group);
+    w.put_addr(rp);
+    w.put_u32(holdtime_ms);
+    return w.take();
+}
+
+std::optional<RpReachability> RpReachability::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kRpReachability)) return std::nullopt;
+    auto group = r.get_addr();
+    auto rp = r.get_addr();
+    auto holdtime = r.get_u32();
+    if (!group || !rp || !holdtime || !r.at_end()) return std::nullopt;
+    return RpReachability{*group, *rp, *holdtime};
+}
+
+} // namespace pimlib::pim

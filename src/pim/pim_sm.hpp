@@ -1,0 +1,254 @@
+// PIM sparse mode — the core protocol of the paper (§3).
+//
+// One PimSmRouter instance runs on each topo::Router and implements:
+//   §3.1  DR behavior when local hosts join (IGMP-driven (*,G) creation)
+//   §3.2  shared (RP-rooted) tree setup via explicit joins; RP-reachability
+//   §3.3  switching from the shared tree to source-specific shortest-path
+//         trees, with the SPT bit and RP-bit prunes (negative caches)
+//   §3.4  periodic soft-state refreshes of all join/prune state
+//   §3.5  data-packet processing (via mcast::DataPlane, incl. registers)
+//   §3.6  per-oif timers, entry deletion at 3 × refresh period
+//   §3.7  multi-access LAN procedures: prune to the LAN, join override,
+//         suppression of duplicate joins; DR election via PIM Query
+//   §3.8  adaptation to unicast routing changes
+//   §3.9  multiple RPs: senders register with all, receivers join one and
+//         fail over on RP-reachability timeout
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "igmp/router_agent.hpp"
+#include "mcast/forwarding_cache.hpp"
+#include "pim/messages.hpp"
+#include "pim/rp_set.hpp"
+#include "sim/simulator.hpp"
+#include "topo/router.hpp"
+
+namespace pimlib::pim {
+
+/// When a receiver's DR abandons the shared tree for a source-specific
+/// shortest-path tree (§3.3: "a DR may adopt a policy of not setting up an
+/// (S,G) entry until it has received m data packets from the source within
+/// some interval of n seconds", or "remain on the RP-distribution tree
+/// indefinitely").
+struct SptPolicy {
+    enum class Mode {
+        kImmediate, // switch on the first data packet from a new source
+        kThreshold, // switch after `packets` packets within `window`
+        kNever,     // stay on the shared tree
+    };
+    Mode mode = Mode::kImmediate;
+    int packets = 10;
+    sim::Time window = 10 * sim::kSecond;
+
+    static SptPolicy immediate() { return SptPolicy{Mode::kImmediate, 0, 0}; }
+    static SptPolicy never() { return SptPolicy{Mode::kNever, 0, 0}; }
+    static SptPolicy threshold(int packets, sim::Time window) {
+        return SptPolicy{Mode::kThreshold, packets, window};
+    }
+};
+
+struct PimConfig {
+    /// Periodic join/prune refresh (§3.4). Paper-era default 60 s; tests
+    /// compress time by scaling everything down together.
+    sim::Time join_prune_interval = 60 * sim::kSecond;
+    /// How long received join/prune state lives without refresh.
+    sim::Time holdtime = 180 * sim::kSecond; // 3 × refresh (§3.6)
+    /// PIM Query (hello) interval and neighbor liveness.
+    sim::Time query_interval = 30 * sim::kSecond;
+    sim::Time neighbor_holdtime = 105 * sim::kSecond;
+    /// RP-reachability generation interval and downstream timeout (§3.9).
+    sim::Time rp_reachability_interval = 30 * sim::kSecond;
+    sim::Time rp_timeout = 90 * sim::kSecond;
+    /// LAN procedures (§3.7): joins overheard from peers suppress our own
+    /// refresh for up to this long; overheard prunes are overridden after a
+    /// small random delay; a prune received on a LAN with >1 downstream
+    /// neighbor only takes effect after the override window passes.
+    sim::Time join_suppression = 90 * sim::kSecond;
+    sim::Time override_delay = 500 * sim::kMillisecond;
+
+    /// Uniformly scales every interval (convenience for tests: a factor of
+    /// 0.01 turns the 60 s refresh into 0.6 s).
+    [[nodiscard]] PimConfig scaled(double factor) const;
+};
+
+class PimSmRouter final : public mcast::DataPlane::Delegate {
+public:
+    PimSmRouter(topo::Router& router, igmp::RouterAgent& igmp, PimConfig config = {});
+    ~PimSmRouter() override;
+
+    PimSmRouter(const PimSmRouter&) = delete;
+    PimSmRouter& operator=(const PimSmRouter&) = delete;
+
+    [[nodiscard]] RpSet& rp_set() { return rp_set_; }
+    [[nodiscard]] mcast::ForwardingCache& cache() { return cache_; }
+    [[nodiscard]] const mcast::ForwardingCache& cache() const { return cache_; }
+    [[nodiscard]] topo::Router& router() { return *router_; }
+    [[nodiscard]] const PimConfig& config() const { return config_; }
+
+    void set_spt_policy(SptPolicy policy) { spt_policy_ = policy; }
+    [[nodiscard]] SptPolicy spt_policy() const { return spt_policy_; }
+
+    // --- dense-mode interfaces (§3.1, §4 "interoperation with dense mode
+    // regions") ---
+    //
+    // "The router will flag individual interfaces as dense or sparse mode,
+    // to allow differential treatment of different interfaces." A border
+    // router flags its domain-facing interface dense; on such an interface
+    //   - it acts for the whole region behind it: data arriving from any
+    //     source routed via that interface is registered with the RP (the
+    //     region's sources are proxied, §4), and
+    //   - region membership (delivered out of band, per the paper: "relies
+    //     on getting the group member existence information to the border
+    //     routers") pins the interface onto the shared tree exactly like a
+    //     local IGMP member.
+    void set_interface_dense(int ifindex, bool dense);
+    [[nodiscard]] bool is_interface_dense(int ifindex) const {
+        return dense_ifaces_.contains(ifindex);
+    }
+    /// Splices region membership onto the shared tree ("border routers send
+    /// explicit joins", §4). `present=false` unpins; state then ages out.
+    void set_dense_membership(int ifindex, net::GroupAddress group, bool present);
+
+    /// True if this router is one of the RPs for `group`.
+    [[nodiscard]] bool is_rp_for(net::GroupAddress group) const;
+
+    // --- introspection (tests, examples, benchmarks) ---
+    [[nodiscard]] std::vector<net::Ipv4Address> neighbors_on(int ifindex) const;
+    /// The elected designated router address on `ifindex` (highest address
+    /// among us and our PIM neighbors).
+    [[nodiscard]] net::Ipv4Address dr_address_on(int ifindex) const;
+    [[nodiscard]] bool is_dr_on(int ifindex) const;
+    [[nodiscard]] std::size_t state_entry_count() const { return cache_.size(); }
+    /// Sources this RP currently knows to be active for `group` (§3 "PIM
+    /// ... does require enumeration of sources").
+    [[nodiscard]] std::vector<net::Ipv4Address> active_sources(net::GroupAddress group) const;
+
+    /// Join/Prune messages sent by this router (periodic + triggered);
+    /// exposes the §3.7 suppression machinery to tests and benchmarks.
+    [[nodiscard]] std::uint64_t join_prune_messages_sent() const {
+        return join_prune_sent_;
+    }
+
+    // --- mcast::DataPlane::Delegate ---
+    void on_no_entry(int ifindex, const net::Packet& packet) override;
+    void on_wildcard_forward(int ifindex, const net::Packet& packet) override;
+    void on_spt_bit_set(mcast::ForwardingEntry& entry) override;
+    void on_iif_check_failed(int ifindex, const net::Packet& packet) override;
+    void on_sg_forward(mcast::ForwardingEntry& entry, int ifindex,
+                       const net::Packet& packet) override;
+    void on_no_downstream(mcast::ForwardingEntry& entry, int ifindex,
+                          const net::Packet& packet) override;
+
+private:
+    struct EntryRef {
+        net::Ipv4Address source_or_rp; // RP for wildcard
+        net::GroupAddress group;
+        bool wildcard;
+        friend auto operator<=>(const EntryRef&, const EntryRef&) = default;
+    };
+
+    // --- message handling ---
+    void on_pim_message(int ifindex, const net::Packet& packet);
+    void handle_query(int ifindex, const net::Packet& packet, const Query& query);
+    void handle_register(const net::Packet& packet, const Register& reg);
+    void handle_join_prune(int ifindex, const net::Packet& packet, const JoinPrune& msg);
+    void handle_rp_reachability(int ifindex, const RpReachability& msg);
+
+    void process_targeted_join(int ifindex, net::GroupAddress group,
+                               const AddressEntry& entry, sim::Time holdtime);
+    void process_targeted_prune(int ifindex, net::Ipv4Address from,
+                                net::GroupAddress group, const AddressEntry& entry);
+    void apply_prune(int ifindex, net::GroupAddress group, const AddressEntry& entry);
+    void observe_peer_join(int ifindex, const JoinPrune& msg);
+    void observe_peer_prune(int ifindex, const JoinPrune& msg);
+
+    // --- membership (IGMP) ---
+    void on_membership(int ifindex, net::GroupAddress group, bool present);
+    void join_group_as_dr(int ifindex, net::GroupAddress group);
+
+    // --- tree construction helpers ---
+    mcast::ForwardingEntry* establish_wc(net::GroupAddress group, net::Ipv4Address rp);
+    mcast::ForwardingEntry& establish_sg(net::Ipv4Address source, net::GroupAddress group);
+    void initiate_spt_switch(net::Ipv4Address source, net::GroupAddress group);
+    void send_triggered_join(const mcast::ForwardingEntry& entry);
+    void send_prune_upstream(const mcast::ForwardingEntry& entry);
+    void send_join_prune(int ifindex, std::optional<net::Ipv4Address> upstream,
+                         net::GroupAddress group, std::vector<AddressEntry> joins,
+                         std::vector<AddressEntry> prunes);
+    void send_register(const net::Packet& data, net::Ipv4Address rp);
+    /// Registers `packet` with the group's RPs if we are the DR of its
+    /// directly-connected source and no native (S,G) path exists yet.
+    /// `already_forwarded` says the data plane has delivered this packet
+    /// locally (prevents a self-RP from duplicating it).
+    void maybe_register(int ifindex, const net::Packet& packet, bool already_forwarded);
+    [[nodiscard]] AddressEntry join_entry_for(const mcast::ForwardingEntry& entry) const;
+
+    // --- periodic machinery ---
+    void on_refresh_tick();
+    void send_periodic_join_prune();
+    void expire_soft_state();
+    void check_rp_timers();
+    void failover_to_alternate_rp(net::GroupAddress group, net::Ipv4Address dead_rp);
+    void on_query_tick();
+    void send_queries();
+    void on_rp_reachability_tick();
+    void on_route_change();
+
+    // --- small helpers ---
+    [[nodiscard]] int pim_neighbor_count(int ifindex) const;
+    [[nodiscard]] std::uint32_t holdtime_ms() const;
+    void cancel_pending_prune(const EntryRef& ref, int ifindex);
+    [[nodiscard]] static EntryRef ref_of(const mcast::ForwardingEntry& entry);
+    mcast::ForwardingEntry* entry_of(const EntryRef& ref);
+    [[nodiscard]] net::Ipv4Address primary_reachable_rp(net::GroupAddress group) const;
+
+    topo::Router* router_;
+    igmp::RouterAgent* igmp_;
+    PimConfig config_;
+    SptPolicy spt_policy_ = SptPolicy::immediate();
+    RpSet rp_set_;
+    mcast::ForwardingCache cache_;
+    mcast::DataPlane data_plane_;
+    std::mt19937 rng_;
+
+    // neighbors_[ifindex][address] = liveness deadline
+    std::map<int, std::map<net::Ipv4Address, sim::Time>> neighbors_;
+
+    // §3.7 LAN state.
+    std::map<EntryRef, sim::Time> suppress_until_;
+    std::map<std::pair<EntryRef, int>, sim::EventId> pending_prunes_;
+    std::set<std::pair<EntryRef, int>> override_scheduled_;
+
+    // §3.3 threshold policy counters per (S,G).
+    struct SptCounter {
+        int packets = 0;
+        sim::Time window_start = 0;
+    };
+    std::map<std::pair<net::Ipv4Address, net::GroupAddress>, SptCounter> spt_counters_;
+
+    // RP-side source liveness: last register/data per (S,G) where we are RP.
+    std::map<std::pair<net::Ipv4Address, net::GroupAddress>, sim::Time> rp_source_active_;
+
+    // (S,G)s in the register phase at this (source-DR) router: every data
+    // packet is encapsulated to the RP(s) until a join arrives (fig. 3).
+    using SgKey = std::pair<net::Ipv4Address, net::GroupAddress>;
+    std::set<SgKey> registering_;
+    std::uint64_t join_prune_sent_ = 0;
+    std::set<int> dense_ifaces_;
+    /// Region memberships announced via set_dense_membership, so they can be
+    /// re-established after RP failover like IGMP memberships are.
+    std::map<int, std::set<net::GroupAddress>> dense_members_;
+
+    sim::PeriodicTimer refresh_timer_;
+    sim::PeriodicTimer query_timer_;
+    sim::PeriodicTimer rp_reach_timer_;
+    int rib_token_ = 0;
+};
+
+} // namespace pimlib::pim

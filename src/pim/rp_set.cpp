@@ -1,0 +1,31 @@
+#include "pim/rp_set.hpp"
+
+namespace pimlib::pim {
+
+void RpSet::configure(net::GroupAddress group, std::vector<net::Ipv4Address> rps) {
+    static_[group] = std::move(rps);
+}
+
+void RpSet::configure_range(net::Prefix range, std::vector<net::Ipv4Address> rps) {
+    ranges_[range] = std::move(rps);
+}
+
+void RpSet::learn(net::GroupAddress group, std::vector<net::Ipv4Address> rps) {
+    learned_[group] = std::move(rps);
+}
+
+std::vector<net::Ipv4Address> RpSet::rps_for(net::GroupAddress group) const {
+    if (auto it = static_.find(group); it != static_.end()) return it->second;
+    if (auto it = learned_.find(group); it != learned_.end()) return it->second;
+    const std::vector<net::Ipv4Address>* best = nullptr;
+    int best_len = -1;
+    for (const auto& [range, rps] : ranges_) {
+        if (range.contains(group.address()) && range.length() > best_len) {
+            best = &rps;
+            best_len = range.length();
+        }
+    }
+    return best != nullptr ? *best : std::vector<net::Ipv4Address>{};
+}
+
+} // namespace pimlib::pim

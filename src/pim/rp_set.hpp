@@ -1,0 +1,45 @@
+// Group → rendezvous-point mapping (§3.1, §3.9, §4 "Selecting and
+// identifying RPs"). Mappings can be statically configured per group or per
+// group-address range, or learned dynamically from hosts via the paper's
+// proposed IGMP RP-map message. The RP list is ordered: receivers join the
+// first *reachable* RP and fail over down the list.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace pimlib::pim {
+
+class RpSet {
+public:
+    /// Statically configures the RP list for one group.
+    void configure(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
+
+    /// Configures the RP list for a whole class-D range (e.g. 224.1.0.0/16).
+    void configure_range(net::Prefix range, std::vector<net::Ipv4Address> rps);
+
+    /// Merges a host-announced mapping (does not override static config for
+    /// the exact group; the paper treats configuration as authoritative).
+    void learn(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
+
+    /// Ordered RP list for `group`: exact static mapping first, then learned
+    /// mapping, then the longest configured range. Empty when the group has
+    /// no sparse-mode mapping (the paper's signal to fall back to dense
+    /// mode, §3.1).
+    [[nodiscard]] std::vector<net::Ipv4Address> rps_for(net::GroupAddress group) const;
+
+    /// True if the group is to be handled in sparse mode at all.
+    [[nodiscard]] bool has_mapping(net::GroupAddress group) const {
+        return !rps_for(group).empty();
+    }
+
+private:
+    std::map<net::GroupAddress, std::vector<net::Ipv4Address>> static_;
+    std::map<net::GroupAddress, std::vector<net::Ipv4Address>> learned_;
+    std::map<net::Prefix, std::vector<net::Ipv4Address>> ranges_;
+};
+
+} // namespace pimlib::pim

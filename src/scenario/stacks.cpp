@@ -1,0 +1,114 @@
+#include "scenario/stacks.hpp"
+
+namespace pimlib::scenario {
+
+namespace {
+sim::Time scale_time(sim::Time t, double factor) {
+    return static_cast<sim::Time>(static_cast<double>(t) * factor);
+}
+} // namespace
+
+StackConfig StackConfig::scaled(double factor) const {
+    StackConfig out = *this;
+    out.time_scale = time_scale * factor;
+    out.pim = pim.scaled(factor);
+    out.pim_dm = pim_dm.scaled(factor);
+    out.dvmrp = dvmrp.scaled(factor);
+    out.cbt = cbt.scaled(factor);
+    out.mospf = mospf.scaled(factor);
+    out.igmp.query_interval = scale_time(igmp.query_interval, factor);
+    out.igmp.membership_timeout = scale_time(igmp.membership_timeout, factor);
+    out.igmp.other_querier_timeout = scale_time(igmp.other_querier_timeout, factor);
+    out.host.unsolicited_report_interval =
+        scale_time(host.unsolicited_report_interval, factor);
+    out.host.query_response_max = scale_time(host.query_response_max, factor);
+    return out;
+}
+
+StackBase::StackBase(topo::Network& network, const StackConfig& config)
+    : network_(&network), config_(config) {
+    for (const auto& router : network.routers()) {
+        igmp_.emplace(router.get(),
+                      std::make_unique<igmp::RouterAgent>(*router, config_.igmp));
+    }
+    for (const auto& host : network.hosts()) {
+        host_agents_.emplace(host.get(),
+                             std::make_unique<igmp::HostAgent>(*host, config_.host));
+    }
+}
+
+PimSmStack::PimSmStack(topo::Network& network, StackConfig config)
+    : StackBase(network, config) {
+    for (const auto& router : network.routers()) {
+        pim_.emplace(router.get(), std::make_unique<pim::PimSmRouter>(
+                                       *router, igmp_at(*router), config_.pim));
+    }
+}
+
+void PimSmStack::set_rp(net::GroupAddress group, std::vector<net::Ipv4Address> rps) {
+    for (auto& [router, pim] : pim_) pim->rp_set().configure(group, rps);
+}
+
+void PimSmStack::set_spt_policy(pim::SptPolicy policy) {
+    for (auto& [router, pim] : pim_) pim->set_spt_policy(policy);
+}
+
+PimDmStack::PimDmStack(topo::Network& network, StackConfig config)
+    : StackBase(network, config) {
+    for (const auto& router : network.routers()) {
+        pim_.emplace(router.get(), std::make_unique<pim::PimDmRouter>(
+                                       *router, igmp_at(*router), config_.pim_dm));
+    }
+}
+
+DvmrpStack::DvmrpStack(topo::Network& network, StackConfig config)
+    : StackBase(network, config) {
+    for (const auto& router : network.routers()) {
+        dvmrp_.emplace(router.get(), std::make_unique<dvmrp::DvmrpRouter>(
+                                         *router, igmp_at(*router), config_.dvmrp));
+    }
+}
+
+CbtStack::CbtStack(topo::Network& network, StackConfig config)
+    : StackBase(network, config) {
+    for (const auto& router : network.routers()) {
+        cbt_.emplace(router.get(), std::make_unique<cbt::CbtRouter>(
+                                       *router, igmp_at(*router), config_.cbt));
+    }
+}
+
+void CbtStack::set_core(net::GroupAddress group, net::Ipv4Address core) {
+    for (auto& [router, cbt] : cbt_) cbt->set_core(group, core);
+}
+
+void DenseDomainBridge::watch(igmp::RouterAgent& agent) {
+    const igmp::RouterAgent* key = &agent;
+    agent.subscribe([this, key](int ifindex, net::GroupAddress group, bool present) {
+        on_membership(key, ifindex, group, present);
+    });
+}
+
+void DenseDomainBridge::on_membership(const igmp::RouterAgent* agent, int ifindex,
+                                      net::GroupAddress group, bool present) {
+    auto& who = reporters_[group];
+    const bool had_members = !who.empty();
+    if (present) {
+        who.insert({agent, ifindex});
+    } else {
+        who.erase({agent, ifindex});
+    }
+    const bool has_members = !who.empty();
+    if (has_members != had_members) {
+        border_->set_dense_membership(dense_ifindex_, group, has_members);
+    }
+}
+
+MospfStack::MospfStack(topo::Network& network, StackConfig config)
+    : StackBase(network, config) {
+    for (const auto& router : network.routers()) {
+        mospf_.emplace(router.get(), std::make_unique<mospf::MospfRouter>(
+                                         *router, igmp_at(*router), config_.mospf));
+    }
+}
+
+} // namespace pimlib::scenario

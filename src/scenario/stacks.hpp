@@ -1,0 +1,163 @@
+// Scenario assembly: one-call protocol stacks that wire IGMP + a multicast
+// routing protocol onto every router of a topo::Network, and IGMP host
+// agents onto every host. Used throughout tests, examples and benchmarks —
+// and the natural entry point for library users.
+//
+// Unicast routing must be installed on the routers *before* constructing a
+// stack (e.g. unicast::OracleRouting, DvRoutingDomain or LsRoutingDomain),
+// because PIM subscribes to route changes at construction (§3.8).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cbt/cbt.hpp"
+#include "dvmrp/dvmrp.hpp"
+#include "igmp/host_agent.hpp"
+#include "igmp/router_agent.hpp"
+#include "mospf/mospf.hpp"
+#include "pim/pim_dm.hpp"
+#include "pim/pim_sm.hpp"
+#include "topo/network.hpp"
+
+namespace pimlib::scenario {
+
+/// Scales protocol timers uniformly so tests can compress hours of protocol
+/// time into milliseconds of simulated time.
+struct StackConfig {
+    double time_scale = 1.0;
+    pim::PimConfig pim{};
+    pim::PimDmConfig pim_dm{};
+    dvmrp::DvmrpConfig dvmrp{};
+    cbt::CbtConfig cbt{};
+    mospf::MospfConfig mospf{};
+    igmp::RouterConfig igmp{};
+    igmp::HostConfig host{};
+
+    [[nodiscard]] StackConfig scaled(double factor) const;
+};
+
+/// Common base: IGMP router agents on all routers, host agents on all hosts.
+class StackBase {
+public:
+    explicit StackBase(topo::Network& network, const StackConfig& config);
+    virtual ~StackBase() = default;
+
+    StackBase(const StackBase&) = delete;
+    StackBase& operator=(const StackBase&) = delete;
+
+    [[nodiscard]] igmp::RouterAgent& igmp_at(const topo::Router& router) {
+        return *igmp_.at(&router);
+    }
+    [[nodiscard]] igmp::HostAgent& host_agent(const topo::Host& host) {
+        return *host_agents_.at(&host);
+    }
+    [[nodiscard]] topo::Network& network() { return *network_; }
+
+protected:
+    topo::Network* network_;
+    StackConfig config_;
+    std::map<const topo::Router*, std::unique_ptr<igmp::RouterAgent>> igmp_;
+    std::map<const topo::Host*, std::unique_ptr<igmp::HostAgent>> host_agents_;
+};
+
+/// PIM sparse mode on every router (the paper's §3 protocol).
+class PimSmStack : public StackBase {
+public:
+    explicit PimSmStack(topo::Network& network, StackConfig config = {});
+
+    [[nodiscard]] pim::PimSmRouter& pim_at(const topo::Router& router) {
+        return *pim_.at(&router);
+    }
+    /// Configures the group's RP list on every router (static config, §3.1).
+    void set_rp(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
+    void set_spt_policy(pim::SptPolicy policy);
+
+private:
+    std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> pim_;
+};
+
+/// PIM dense mode everywhere (the companion protocol [13]).
+class PimDmStack : public StackBase {
+public:
+    explicit PimDmStack(topo::Network& network, StackConfig config = {});
+    [[nodiscard]] pim::PimDmRouter& pim_at(const topo::Router& router) {
+        return *pim_.at(&router);
+    }
+
+private:
+    std::map<const topo::Router*, std::unique_ptr<pim::PimDmRouter>> pim_;
+};
+
+/// DVMRP everywhere (dense-mode baseline).
+class DvmrpStack : public StackBase {
+public:
+    explicit DvmrpStack(topo::Network& network, StackConfig config = {});
+    [[nodiscard]] dvmrp::DvmrpRouter& dvmrp_at(const topo::Router& router) {
+        return *dvmrp_.at(&router);
+    }
+
+private:
+    std::map<const topo::Router*, std::unique_ptr<dvmrp::DvmrpRouter>> dvmrp_;
+};
+
+/// CBT everywhere (shared-tree baseline).
+class CbtStack : public StackBase {
+public:
+    explicit CbtStack(topo::Network& network, StackConfig config = {});
+    [[nodiscard]] cbt::CbtRouter& cbt_at(const topo::Router& router) {
+        return *cbt_.at(&router);
+    }
+    /// Configures the group's core on every router.
+    void set_core(net::GroupAddress group, net::Ipv4Address core);
+
+private:
+    std::map<const topo::Router*, std::unique_ptr<cbt::CbtRouter>> cbt_;
+};
+
+/// Splices a dense-mode region onto a sparse-mode border router (§4
+/// "Interoperation with dense mode networks / regions").
+///
+/// The paper leaves the transport of member-existence information to the
+/// border open ("we are working on a mechanism ... that relies on getting
+/// the group member existence information to the border routers, and having
+/// border routers send explicit joins"); this bridge implements it by
+/// subscribing to the region's IGMP router agents and relaying membership
+/// to PimSmRouter::set_dense_membership. The border's region-facing
+/// interface must be flagged dense (PimSmRouter::set_interface_dense).
+class DenseDomainBridge {
+public:
+    DenseDomainBridge(pim::PimSmRouter& border, int dense_ifindex)
+        : border_(&border), dense_ifindex_(dense_ifindex) {
+        border.set_interface_dense(dense_ifindex, true);
+    }
+
+    /// Starts relaying membership seen by `agent` (one of the region's
+    /// routers) to the border.
+    void watch(igmp::RouterAgent& agent);
+
+private:
+    void on_membership(const igmp::RouterAgent* agent, int ifindex,
+                       net::GroupAddress group, bool present);
+
+    pim::PimSmRouter* border_;
+    int dense_ifindex_;
+    // Reporters per group: (agent, ifindex) pairs with members present.
+    std::map<net::GroupAddress, std::set<std::pair<const igmp::RouterAgent*, int>>>
+        reporters_;
+};
+
+/// MOSPF everywhere (link-state baseline).
+class MospfStack : public StackBase {
+public:
+    explicit MospfStack(topo::Network& network, StackConfig config = {});
+    [[nodiscard]] mospf::MospfRouter& mospf_at(const topo::Router& router) {
+        return *mospf_.at(&router);
+    }
+
+private:
+    std::map<const topo::Router*, std::unique_ptr<mospf::MospfRouter>> mospf_;
+};
+
+} // namespace pimlib::scenario

@@ -1,0 +1,96 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace pimlib::sim {
+
+EventId Simulator::schedule(Time delay, Action action) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Time when, Action action) {
+    assert(when >= now_ && "cannot schedule into the past");
+    const Key key{when, next_seq_++};
+    queue_.emplace(key, std::move(action));
+    return EventId{key.at, key.seq};
+}
+
+bool Simulator::cancel(EventId id) {
+    if (!id.valid()) return false;
+    return queue_.erase(Key{id.at_, id.seq_}) > 0;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+    std::size_t count = 0;
+    while (!queue_.empty()) {
+        auto it = queue_.begin();
+        if (it->first.at > deadline) break;
+        now_ = it->first.at;
+        // Move the action out before erasing so the action may safely
+        // schedule/cancel other events (including re-entrantly).
+        Action action = std::move(it->second);
+        queue_.erase(it);
+        action();
+        ++executed_;
+        ++count;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return count;
+}
+
+std::size_t Simulator::run() {
+    std::size_t count = 0;
+    while (!queue_.empty()) {
+        auto it = queue_.begin();
+        now_ = it->first.at;
+        Action action = std::move(it->second);
+        queue_.erase(it);
+        action();
+        ++executed_;
+        ++count;
+    }
+    return count;
+}
+
+void PeriodicTimer::start(Time period) {
+    stop();
+    period_ = period;
+    running_ = true;
+    arm();
+}
+
+void PeriodicTimer::stop() {
+    if (pending_.valid()) {
+        sim_->cancel(pending_);
+        pending_ = EventId{};
+    }
+    running_ = false;
+}
+
+void PeriodicTimer::arm() {
+    pending_ = sim_->schedule(period_, [this] {
+        pending_ = EventId{};
+        // Re-arm before invoking so the callback can stop() us.
+        arm();
+        on_fire_();
+    });
+}
+
+void OneshotTimer::arm(Time delay) {
+    cancel();
+    deadline_ = sim_->now() + delay;
+    pending_ = sim_->schedule(delay, [this] {
+        pending_ = EventId{};
+        on_fire_();
+    });
+}
+
+void OneshotTimer::cancel() {
+    if (pending_.valid()) {
+        sim_->cancel(pending_);
+        pending_ = EventId{};
+    }
+}
+
+} // namespace pimlib::sim

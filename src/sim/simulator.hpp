@@ -1,0 +1,130 @@
+// Discrete-event simulation kernel: a virtual clock, an ordered event queue,
+// and cancellable timers. Deterministic: events at equal times fire in
+// scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace pimlib::sim {
+
+/// Simulated time in microseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Identifies a scheduled event so it can be cancelled. Default-constructed
+/// ids are "null" and safe to cancel (no-op).
+class EventId {
+public:
+    constexpr EventId() = default;
+    [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+    friend constexpr auto operator<=>(EventId, EventId) = default;
+
+private:
+    friend class Simulator;
+    constexpr EventId(Time at, std::uint64_t seq) : at_(at), seq_(seq) {}
+    Time at_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/// The simulation kernel. Not thread-safe; one simulator per scenario.
+class Simulator {
+public:
+    using Action = std::function<void()>;
+
+    /// Schedules `action` to run `delay` after the current time.
+    /// Negative delays clamp to zero (run "now", after currently queued
+    /// same-time events).
+    EventId schedule(Time delay, Action action);
+
+    /// Schedules at an absolute simulated time (must be >= now()).
+    EventId schedule_at(Time when, Action action);
+
+    /// Cancels a previously scheduled event; no-op if it already ran or the
+    /// id is null. Returns true if an event was actually removed.
+    bool cancel(EventId id);
+
+    /// Runs events until the queue is empty or `deadline` is passed; the
+    /// clock ends at min(deadline, last event time). Returns the number of
+    /// events executed.
+    std::size_t run_until(Time deadline);
+
+    /// Runs until the queue drains completely.
+    std::size_t run();
+
+    [[nodiscard]] Time now() const { return now_; }
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+    [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+private:
+    struct Key {
+        Time at;
+        std::uint64_t seq;
+        friend auto operator<=>(const Key&, const Key&) = default;
+    };
+    Time now_ = 0;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t executed_ = 0;
+    std::map<Key, Action> queue_;
+};
+
+/// A periodic timer bound to a simulator. Start/stop are idempotent. The
+/// callback runs every `period` until stop() or destruction (RAII: a Timer
+/// cancels itself when destroyed, so protocol objects can own timers safely).
+class PeriodicTimer {
+public:
+    PeriodicTimer(Simulator& sim, std::function<void()> on_fire)
+        : sim_(&sim), on_fire_(std::move(on_fire)) {}
+    ~PeriodicTimer() { stop(); }
+
+    PeriodicTimer(const PeriodicTimer&) = delete;
+    PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+    /// (Re)starts with the given period; the first firing is one period out.
+    void start(Time period);
+    void stop();
+    [[nodiscard]] bool running() const { return running_; }
+    [[nodiscard]] Time period() const { return period_; }
+
+private:
+    void arm();
+    Simulator* sim_;
+    std::function<void()> on_fire_;
+    Time period_ = 0;
+    EventId pending_{};
+    bool running_ = false;
+};
+
+/// A one-shot timer that can be re-armed; re-arming replaces the previous
+/// deadline (used for soft-state expiry timers that are refreshed by
+/// periodic control messages).
+class OneshotTimer {
+public:
+    OneshotTimer(Simulator& sim, std::function<void()> on_fire)
+        : sim_(&sim), on_fire_(std::move(on_fire)) {}
+    ~OneshotTimer() { cancel(); }
+
+    OneshotTimer(const OneshotTimer&) = delete;
+    OneshotTimer& operator=(const OneshotTimer&) = delete;
+
+    /// Arms (or re-arms) the timer `delay` from now.
+    void arm(Time delay);
+    void cancel();
+    [[nodiscard]] bool armed() const { return pending_.valid(); }
+    /// Absolute time at which the timer will fire; meaningful when armed().
+    [[nodiscard]] Time deadline() const { return deadline_; }
+
+private:
+    Simulator* sim_;
+    std::function<void()> on_fire_;
+    EventId pending_{};
+    Time deadline_ = 0;
+};
+
+} // namespace pimlib::sim

@@ -1,0 +1,71 @@
+#include "stats/counters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pimlib::stats {
+
+Summary summarize(const std::vector<double>& samples) {
+    Summary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    double sum = 0;
+    s.min = samples.front();
+    s.max = samples.front();
+    for (double v : samples) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(samples.size());
+    double var = 0;
+    for (double v : samples) var += (v - s.mean) * (v - s.mean);
+    s.stddev = samples.size() > 1
+                   ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                   : 0.0;
+    return s;
+}
+
+std::uint64_t NetworkStats::data_packets_on(int segment_id) const {
+    auto it = data_packets_by_segment_.find(segment_id);
+    return it == data_packets_by_segment_.end() ? 0 : it->second;
+}
+
+std::uint64_t NetworkStats::total_data_packets() const {
+    std::uint64_t total = 0;
+    for (const auto& [seg, n] : data_packets_by_segment_) total += n;
+    return total;
+}
+
+std::size_t NetworkStats::flows_on(int segment_id) const {
+    auto it = flows_by_segment_.find(segment_id);
+    return it == flows_by_segment_.end() ? 0 : it->second.size();
+}
+
+std::size_t NetworkStats::max_flows_on_any_segment() const {
+    std::size_t best = 0;
+    for (const auto& [seg, flows] : flows_by_segment_) best = std::max(best, flows.size());
+    return best;
+}
+
+std::uint64_t NetworkStats::control_messages(const std::string& protocol) const {
+    auto it = control_messages_.find(protocol);
+    return it == control_messages_.end() ? 0 : it->second;
+}
+
+std::uint64_t NetworkStats::total_control_messages() const {
+    std::uint64_t total = 0;
+    for (const auto& [proto, n] : control_messages_) total += n;
+    return total;
+}
+
+void NetworkStats::reset_data_counters() {
+    data_packets_by_segment_.clear();
+    flows_by_segment_.clear();
+    data_delivered_ = 0;
+    data_dropped_iif_ = 0;
+    data_dropped_ttl_ = 0;
+    data_dropped_no_route_ = 0;
+}
+
+} // namespace pimlib::stats

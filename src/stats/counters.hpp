@@ -1,0 +1,76 @@
+// Measurement plumbing shared by the whole simulation: per-link packet and
+// flow accounting, control-message accounting per router, and simple
+// summary statistics. The paper's efficiency metric is "state, control
+// message processing, and data packet processing required across the entire
+// network" (§1) — these counters make that measurable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace pimlib::stats {
+
+/// Mean / min / max / stddev over a sample set.
+struct Summary {
+    double mean = 0;
+    double stddev = 0;
+    double min = 0;
+    double max = 0;
+    std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Global counters for one simulation scenario. Owned by topo::Network;
+/// every segment and router reports into it.
+class NetworkStats {
+public:
+    // ---- data plane ----
+    void count_data_packet(int segment_id) { ++data_packets_by_segment_[segment_id]; }
+    void count_data_delivered() { ++data_delivered_; }
+    void count_data_dropped_iif() { ++data_dropped_iif_; }
+    void count_data_dropped_ttl() { ++data_dropped_ttl_; }
+    void count_data_dropped_no_route() { ++data_dropped_no_route_; }
+
+    /// Records that a (source, group) flow crossed a segment, for
+    /// traffic-concentration measurements (Fig. 2(b) style).
+    void note_flow(int segment_id, net::Ipv4Address source, net::GroupAddress group) {
+        flows_by_segment_[segment_id].insert({source.to_uint(), group.address().to_uint()});
+    }
+
+    // ---- control plane ----
+    void count_control_message(const std::string& protocol) { ++control_messages_[protocol]; }
+    void count_control_on_segment(int segment_id) { ++control_by_segment_[segment_id]; }
+
+    // ---- queries ----
+    [[nodiscard]] std::uint64_t data_packets_on(int segment_id) const;
+    [[nodiscard]] std::uint64_t total_data_packets() const;
+    [[nodiscard]] std::uint64_t data_delivered() const { return data_delivered_; }
+    [[nodiscard]] std::uint64_t data_dropped_iif() const { return data_dropped_iif_; }
+    [[nodiscard]] std::uint64_t data_dropped_ttl() const { return data_dropped_ttl_; }
+    [[nodiscard]] std::uint64_t data_dropped_no_route() const { return data_dropped_no_route_; }
+    [[nodiscard]] std::size_t flows_on(int segment_id) const;
+    [[nodiscard]] std::size_t max_flows_on_any_segment() const;
+    [[nodiscard]] std::size_t segments_carrying_data() const { return data_packets_by_segment_.size(); }
+    [[nodiscard]] std::uint64_t control_messages(const std::string& protocol) const;
+    [[nodiscard]] std::uint64_t total_control_messages() const;
+
+    void reset_data_counters();
+
+private:
+    std::map<int, std::uint64_t> data_packets_by_segment_;
+    std::map<int, std::set<std::pair<std::uint32_t, std::uint32_t>>> flows_by_segment_;
+    std::map<int, std::uint64_t> control_by_segment_;
+    std::map<std::string, std::uint64_t> control_messages_;
+    std::uint64_t data_delivered_ = 0;
+    std::uint64_t data_dropped_iif_ = 0;
+    std::uint64_t data_dropped_ttl_ = 0;
+    std::uint64_t data_dropped_no_route_ = 0;
+};
+
+} // namespace pimlib::stats

@@ -1,0 +1,74 @@
+#include "topo/network.hpp"
+
+#include <stdexcept>
+
+namespace pimlib::topo {
+
+net::Prefix Network::next_segment_prefix() {
+    const int n = next_segment_number_++;
+    if (n >= 256 * 256) throw std::runtime_error("segment address pool exhausted");
+    return net::Prefix{net::Ipv4Address(10, static_cast<std::uint8_t>(n / 256),
+                                        static_cast<std::uint8_t>(n % 256), 0),
+                       24};
+}
+
+Router& Network::add_router(const std::string& name) {
+    const int n = next_router_number_++;
+    if (n >= 256 * 256) throw std::runtime_error("router id pool exhausted");
+    const net::Ipv4Address rid(192, 168, static_cast<std::uint8_t>(n / 256),
+                               static_cast<std::uint8_t>(n % 256));
+    routers_.push_back(std::make_unique<Router>(*this, name, next_node_id_++, rid));
+    return *routers_.back();
+}
+
+Segment& Network::add_link(Router& a, Router& b, sim::Time delay, int metric) {
+    const net::Prefix prefix = next_segment_prefix();
+    segments_.push_back(std::make_unique<Segment>(
+        *this, static_cast<int>(segments_.size()), prefix, delay, metric));
+    Segment& seg = *segments_.back();
+    const std::uint32_t base = prefix.address().to_uint();
+    a.attach(seg, net::Ipv4Address{base + 1});
+    b.attach(seg, net::Ipv4Address{base + 2});
+    return seg;
+}
+
+Segment& Network::add_lan(const std::vector<Router*>& routers, sim::Time delay, int metric) {
+    const net::Prefix prefix = next_segment_prefix();
+    segments_.push_back(std::make_unique<Segment>(
+        *this, static_cast<int>(segments_.size()), prefix, delay, metric));
+    Segment& seg = *segments_.back();
+    for (Router* r : routers) attach_to_lan(*r, seg);
+    return seg;
+}
+
+int Network::attach_to_lan(Router& router, Segment& lan) {
+    const std::uint32_t base = lan.prefix().address().to_uint();
+    const auto slot = static_cast<std::uint32_t>(lan.attachments().size()) + 1;
+    if (slot >= 255) throw std::runtime_error("LAN address pool exhausted");
+    return router.attach(lan, net::Ipv4Address{base + slot});
+}
+
+Host& Network::add_host(const std::string& name, Segment& lan) {
+    const std::uint32_t base = lan.prefix().address().to_uint();
+    const auto slot = static_cast<std::uint32_t>(lan.attachments().size()) + 1;
+    if (slot >= 255) throw std::runtime_error("LAN address pool exhausted");
+    hosts_.push_back(std::make_unique<Host>(*this, name, next_node_id_++));
+    Host& host = *hosts_.back();
+    host.attach(lan, net::Ipv4Address{base + slot});
+    return host;
+}
+
+Segment* Network::find_link(const Router& a, const Router& b) {
+    for (const auto& seg : segments_) {
+        bool has_a = false;
+        bool has_b = false;
+        for (const auto& att : seg->attachments()) {
+            if (att.node == &a) has_a = true;
+            if (att.node == &b) has_b = true;
+        }
+        if (has_a && has_b) return seg.get();
+    }
+    return nullptr;
+}
+
+} // namespace pimlib::topo

@@ -1,0 +1,84 @@
+// Owns a whole simulated internetwork: the simulator clock, routers, hosts,
+// segments, the address plan, and the global statistics sink. Provides the
+// builder API used by tests, examples and benchmarks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "stats/counters.hpp"
+#include "topo/host.hpp"
+#include "topo/router.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::topo {
+
+class Network {
+public:
+    Network() = default;
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /// Adds a router. Its router id is 192.168.(n/256).(n%256) where n is a
+    /// monotonically increasing counter — a /32 that unicast routing
+    /// advertises like a loopback.
+    Router& add_router(const std::string& name);
+
+    /// Creates a point-to-point link between two routers. The segment gets
+    /// the next /24 from the 10.0.0.0/8 pool; endpoints get .1 and .2.
+    Segment& add_link(Router& a, Router& b, sim::Time delay = sim::kMillisecond,
+                      int metric = 1);
+
+    /// Creates a multi-access LAN attaching all `routers` (may be empty;
+    /// hosts/routers can attach later via attach_to_lan).
+    Segment& add_lan(const std::vector<Router*>& routers,
+                     sim::Time delay = sim::kMillisecond / 10, int metric = 1);
+
+    /// Attaches an existing router to a LAN, allocating the next host slot.
+    int attach_to_lan(Router& router, Segment& lan);
+
+    /// Adds a host on `lan`.
+    Host& add_host(const std::string& name, Segment& lan);
+
+    [[nodiscard]] const std::vector<std::unique_ptr<Router>>& routers() const { return routers_; }
+    [[nodiscard]] const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+    [[nodiscard]] const std::vector<std::unique_ptr<Segment>>& segments() const { return segments_; }
+    [[nodiscard]] Router& router(std::size_t i) { return *routers_.at(i); }
+    [[nodiscard]] Host& host(std::size_t i) { return *hosts_.at(i); }
+    [[nodiscard]] Segment& segment(std::size_t i) { return *segments_.at(i); }
+
+    /// Finds the segment (if any) that directly connects routers a and b.
+    [[nodiscard]] Segment* find_link(const Router& a, const Router& b);
+
+    [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+    [[nodiscard]] stats::NetworkStats& stats() { return stats_; }
+    [[nodiscard]] const stats::NetworkStats& stats() const { return stats_; }
+
+    /// Optional wiretap: called for every frame a segment transmits (before
+    /// delivery). Used by trace::PacketTracer; one tap at a time.
+    using PacketTap = std::function<void(const Segment&, const net::Frame&)>;
+    void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+    [[nodiscard]] const PacketTap& packet_tap() const { return tap_; }
+
+    /// Runs the simulation for `duration` of simulated time.
+    void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+private:
+    net::Prefix next_segment_prefix();
+
+    sim::Simulator sim_;
+    stats::NetworkStats stats_;
+    PacketTap tap_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<std::unique_ptr<Segment>> segments_;
+    int next_segment_number_ = 0;
+    int next_node_id_ = 0;
+    int next_router_number_ = 1;
+};
+
+} // namespace pimlib::topo

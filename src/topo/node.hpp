@@ -1,0 +1,74 @@
+// Base class for simulated nodes (routers and hosts) and their interfaces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pimlib::topo {
+
+class Network;
+class Segment;
+
+/// A network interface: an attachment point of a node to a segment.
+struct Interface {
+    int ifindex = -1;
+    net::Ipv4Address address;
+    Segment* segment = nullptr;
+    bool up = true;
+};
+
+/// Abstract simulated node. Subclasses implement receive(); send() hands a
+/// frame to the attached segment, which schedules delivery at the far end(s).
+class Node {
+public:
+    Node(Network& network, std::string name, int id);
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    /// Called by Segment when a frame arrives on `ifindex`.
+    virtual void receive(int ifindex, const net::Packet& packet) = 0;
+
+    /// Attaches this node to `segment` with the given address; returns the
+    /// new interface index.
+    int attach(Segment& segment, net::Ipv4Address address);
+
+    /// Sends a frame out of `ifindex`. Drops silently if the interface or
+    /// segment is down (the caller finds out through soft-state timeouts,
+    /// exactly as a real router would).
+    void send(int ifindex, const net::Frame& frame);
+
+    [[nodiscard]] const std::vector<Interface>& interfaces() const { return interfaces_; }
+    [[nodiscard]] Interface& interface(int ifindex) { return interfaces_.at(static_cast<std::size_t>(ifindex)); }
+    [[nodiscard]] const Interface& interface(int ifindex) const { return interfaces_.at(static_cast<std::size_t>(ifindex)); }
+    [[nodiscard]] int interface_count() const { return static_cast<int>(interfaces_.size()); }
+
+    /// True if `addr` is the address of one of this node's interfaces.
+    [[nodiscard]] bool owns_address(net::Ipv4Address addr) const;
+    /// Interface index whose segment is `segment`, if any.
+    [[nodiscard]] std::optional<int> ifindex_on(const Segment& segment) const;
+
+    void set_interface_up(int ifindex, bool up);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] int id() const { return id_; }
+    [[nodiscard]] Network& network() { return *network_; }
+    [[nodiscard]] const Network& network() const { return *network_; }
+    sim::Simulator& simulator();
+
+protected:
+    Network* network_;
+
+private:
+    std::string name_;
+    int id_;
+    std::vector<Interface> interfaces_;
+};
+
+} // namespace pimlib::topo

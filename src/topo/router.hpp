@@ -1,0 +1,100 @@
+// A simulated router: demultiplexes received packets to protocol handlers,
+// forwards unicast packets via a pluggable route-lookup interface, and hands
+// multicast data to the registered multicast data plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "topo/node.hpp"
+
+namespace pimlib::topo {
+
+/// Result of a unicast route lookup.
+struct RouteLookupResult {
+    int ifindex = -1;
+    net::Ipv4Address next_hop; // unspecified => destination is on-link
+    int metric = 0;
+};
+
+/// Pluggable unicast forwarding/RPF lookup. Implemented by unicast::Rib;
+/// this interface is what makes the multicast protocols
+/// "protocol independent" — they never see how routes were computed.
+class UnicastLookup {
+public:
+    virtual ~UnicastLookup() = default;
+    [[nodiscard]] virtual std::optional<RouteLookupResult> lookup(net::Ipv4Address dst) const = 0;
+
+    /// Route-change subscription (§3.8 of the paper: PIM re-homes its trees
+    /// when unicast routing changes). Providers that never change routes may
+    /// keep the default no-op implementation.
+    virtual int subscribe_changes(std::function<void()> observer) {
+        (void)observer;
+        return 0;
+    }
+    virtual void unsubscribe_changes(int token) { (void)token; }
+};
+
+/// Receiver of multicast data packets (non-link-local class-D destinations).
+/// Implemented by mcast::DataPlane.
+class MulticastDataHandler {
+public:
+    virtual ~MulticastDataHandler() = default;
+    virtual void on_multicast_data(int ifindex, const net::Packet& packet) = 0;
+};
+
+class Router : public Node {
+public:
+    Router(Network& network, std::string name, int id, net::Ipv4Address router_id);
+
+    void receive(int ifindex, const net::Packet& packet) override;
+
+    /// Sends a locally originated unicast packet (consults the route table).
+    void originate_unicast(net::Packet packet);
+    /// Sends a packet out a specific interface to a specific link-layer
+    /// neighbor (next_hop unset => link-layer multicast/broadcast).
+    void send_on(int ifindex, std::optional<net::Ipv4Address> next_hop, const net::Packet& packet);
+
+    /// Registers a handler for an IP protocol (non-IGMP control planes).
+    using PacketHandler = std::function<void(int ifindex, const net::Packet&)>;
+    void register_protocol(net::IpProto proto, PacketHandler handler);
+
+    /// IGMP demultiplex: the 1994 protocol family (IGMP itself, PIM, DVMRP)
+    /// shares IP protocol 2 and is distinguished by the first payload byte.
+    void register_igmp_type(std::uint8_t type_code, PacketHandler handler);
+
+    void set_unicast(UnicastLookup* lookup) { unicast_ = lookup; }
+    [[nodiscard]] UnicastLookup* unicast() const { return unicast_; }
+    void set_multicast_handler(MulticastDataHandler* handler) { mcast_ = handler; }
+
+    /// The router's stable identifier address (a /32 advertised into unicast
+    /// routing; used as the RP address when this router is an RP).
+    [[nodiscard]] net::Ipv4Address router_id() const { return router_id_; }
+
+    /// True if `addr` is any interface address or the router id.
+    [[nodiscard]] bool is_local_address(net::Ipv4Address addr) const;
+
+    /// Unicast route lookup convenience; nullopt when no route.
+    [[nodiscard]] std::optional<RouteLookupResult> route_to(net::Ipv4Address dst) const;
+
+    /// RPF helper: the interface this router would use to send toward
+    /// `source` (i.e. the expected incoming interface for packets from it).
+    [[nodiscard]] std::optional<int> rpf_interface(net::Ipv4Address source) const;
+    /// The link-layer next hop toward `dst` (for addressing joins to the
+    /// correct upstream neighbor on a LAN). Unspecified address => on-link.
+    [[nodiscard]] std::optional<net::Ipv4Address> rpf_neighbor(net::Ipv4Address dst) const;
+
+private:
+    void forward_unicast(net::Packet packet);
+    void deliver_local(int ifindex, const net::Packet& packet);
+
+    net::Ipv4Address router_id_;
+    UnicastLookup* unicast_ = nullptr;
+    MulticastDataHandler* mcast_ = nullptr;
+    std::map<net::IpProto, PacketHandler> handlers_;
+    std::map<std::uint8_t, PacketHandler> igmp_handlers_;
+};
+
+} // namespace pimlib::topo

@@ -1,0 +1,63 @@
+#include "topo/segment.hpp"
+
+#include "topo/network.hpp"
+#include "topo/node.hpp"
+
+namespace pimlib::topo {
+
+Segment::Segment(Network& network, int id, net::Prefix prefix, sim::Time delay, int metric)
+    : network_(&network), id_(id), prefix_(prefix), delay_(delay), metric_(metric) {}
+
+void Segment::add_attachment(Node& node, int ifindex) {
+    attachments_.push_back(Attachment{&node, ifindex});
+}
+
+std::vector<Node*> Segment::peers_of(const Node& node) const {
+    std::vector<Node*> out;
+    for (const Attachment& att : attachments_) {
+        if (att.node != &node) out.push_back(att.node);
+    }
+    return out;
+}
+
+void Segment::set_up(bool up) { up_ = up; }
+
+void Segment::transmit(const Node& sender, const net::Frame& frame) {
+    if (!up_) return;
+
+    if (network_->packet_tap()) network_->packet_tap()(*this, frame);
+
+    // Account the transmission once per segment crossing (a LAN multicast
+    // counts once no matter how many stations hear it, like a real wire).
+    if (frame.packet.proto == net::IpProto::kUdp) {
+        network_->stats().count_data_packet(id_);
+        if (frame.packet.is_multicast()) {
+            network_->stats().note_flow(id_, frame.packet.src,
+                                        net::GroupAddress{frame.packet.dst});
+        }
+    } else {
+        network_->stats().count_control_on_segment(id_);
+    }
+
+    for (const Attachment& att : attachments_) {
+        if (att.node == &sender) continue;
+        if (frame.link_dst.has_value() &&
+            att.node->interface(att.ifindex).address != *frame.link_dst) {
+            continue;
+        }
+        deliver(att, frame.packet);
+    }
+}
+
+void Segment::deliver(const Attachment& to, const net::Packet& packet) {
+    Node* node = to.node;
+    const int ifindex = to.ifindex;
+    net::Packet copy = packet;
+    network_->simulator().schedule(delay_, [this, node, ifindex, copy = std::move(copy)] {
+        if (!up_) return;
+        if (!node->interface(ifindex).up) return;
+        node->receive(ifindex, copy);
+    });
+}
+
+} // namespace pimlib::topo

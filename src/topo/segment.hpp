@@ -1,0 +1,62 @@
+// A transmission segment: either a point-to-point link (two attachments) or
+// a multi-access LAN (any number). Frames transmitted on a segment are
+// delivered to the other attachments after the propagation delay; unicast
+// link destinations deliver to exactly the owning attachment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pimlib::topo {
+
+class Network;
+class Node;
+
+class Segment {
+public:
+    Segment(Network& network, int id, net::Prefix prefix, sim::Time delay, int metric);
+
+    Segment(const Segment&) = delete;
+    Segment& operator=(const Segment&) = delete;
+
+    /// Transmits from `sender` to the other attachments. Multicast/broadcast
+    /// frames (no link_dst) go to everyone else; unicast frames only to the
+    /// attachment owning link_dst. Dropped if the segment is down.
+    void transmit(const Node& sender, const net::Frame& frame);
+
+    void set_up(bool up);
+    [[nodiscard]] bool is_up() const { return up_; }
+
+    [[nodiscard]] int id() const { return id_; }
+    [[nodiscard]] net::Prefix prefix() const { return prefix_; }
+    [[nodiscard]] sim::Time delay() const { return delay_; }
+    [[nodiscard]] int metric() const { return metric_; }
+    [[nodiscard]] bool is_lan() const { return attachments_.size() > 2; }
+
+    struct Attachment {
+        Node* node;
+        int ifindex;
+    };
+    [[nodiscard]] const std::vector<Attachment>& attachments() const { return attachments_; }
+    /// Nodes attached to this segment other than `node`.
+    [[nodiscard]] std::vector<Node*> peers_of(const Node& node) const;
+
+private:
+    friend class Node; // Node::attach registers the attachment
+    void add_attachment(Node& node, int ifindex);
+    void deliver(const Attachment& to, const net::Packet& packet);
+
+    Network* network_;
+    int id_;
+    net::Prefix prefix_;
+    sim::Time delay_;
+    int metric_;
+    bool up_ = true;
+    std::vector<Attachment> attachments_;
+};
+
+} // namespace pimlib::topo

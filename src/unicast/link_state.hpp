@@ -1,0 +1,97 @@
+// Link-state unicast routing, in the style of OSPF: hello-based neighbor
+// discovery with dead-interval expiry, sequence-numbered LSA flooding, and
+// Dijkstra SPF over the link-state database. One LsAgent per router;
+// LsRoutingDomain wires a whole network.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "topo/network.hpp"
+#include "unicast/rib.hpp"
+
+namespace pimlib::unicast {
+
+struct LsConfig {
+    sim::Time hello_interval = 2 * sim::kSecond;
+    sim::Time dead_interval = 6 * sim::kSecond;   // 3 × hello
+    sim::Time lsa_refresh = 20 * sim::kSecond;
+    sim::Time lsa_max_age = 60 * sim::kSecond;
+    sim::Time spf_delay = 20 * sim::kMillisecond; // damping
+};
+
+/// A router link-state advertisement.
+struct Lsa {
+    net::Ipv4Address origin; // router id
+    std::uint32_t seq = 0;
+    struct Link {
+        net::Ipv4Address neighbor; // router id
+        int metric;
+        friend bool operator==(const Link&, const Link&) = default;
+    };
+    struct AdvPrefix {
+        net::Prefix prefix;
+        int metric;
+        friend bool operator==(const AdvPrefix&, const AdvPrefix&) = default;
+    };
+    std::vector<Link> links;
+    std::vector<AdvPrefix> prefixes;
+
+    [[nodiscard]] std::vector<std::uint8_t> encode() const;
+    static std::optional<Lsa> decode(std::span<const std::uint8_t> bytes);
+};
+
+class LsAgent {
+public:
+    LsAgent(topo::Router& router, LsConfig config = {});
+
+    [[nodiscard]] Rib& rib() { return rib_; }
+    [[nodiscard]] const Rib& rib() const { return rib_; }
+    [[nodiscard]] std::size_t lsdb_size() const { return lsdb_.size(); }
+
+private:
+    struct Neighbor {
+        net::Ipv4Address address; // interface address on shared segment
+        sim::Time last_heard = 0;
+    };
+    struct DbEntry {
+        Lsa lsa;
+        sim::Time received_at = 0;
+    };
+
+    void on_message(int ifindex, const net::Packet& packet);
+    void on_hello_tick();
+    void send_hellos();
+    void expire_neighbors();
+    void originate_lsa();
+    void flood(const Lsa& lsa, int except_ifindex);
+    void schedule_spf();
+    void run_spf();
+
+    topo::Router* router_;
+    LsConfig config_;
+    Rib rib_;
+    // neighbors_[ifindex][router_id] = Neighbor
+    std::map<int, std::map<net::Ipv4Address, Neighbor>> neighbors_;
+    std::map<net::Ipv4Address, DbEntry> lsdb_;
+    std::uint32_t own_seq_ = 0;
+    sim::PeriodicTimer hello_timer_;
+    sim::PeriodicTimer refresh_timer_;
+    sim::OneshotTimer spf_timer_;
+    bool spf_pending_ = false;
+};
+
+class LsRoutingDomain {
+public:
+    explicit LsRoutingDomain(topo::Network& network, LsConfig config = {});
+    [[nodiscard]] LsAgent& agent_for(const topo::Router& router);
+
+private:
+    std::map<const topo::Router*, std::unique_ptr<LsAgent>> agents_;
+};
+
+} // namespace pimlib::unicast

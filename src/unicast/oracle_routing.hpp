@@ -1,0 +1,40 @@
+// "Oracle" unicast routing: computes every router's RIB directly from the
+// global topology with Dijkstra, the way a converged routing domain would
+// look. Used when a scenario wants deterministic, instantly-converged
+// unicast routing so the multicast protocol under test is the only moving
+// part. Call recompute() after topology changes (link/interface up/down).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "topo/network.hpp"
+#include "unicast/rib.hpp"
+
+namespace pimlib::unicast {
+
+class OracleRouting {
+public:
+    /// Builds RIBs for all routers currently in `network` and installs each
+    /// as the router's unicast lookup.
+    explicit OracleRouting(topo::Network& network);
+
+    /// Recomputes all RIBs from the current topology state. Routers keep
+    /// their Rib objects (observers survive); only contents change.
+    void recompute();
+
+    [[nodiscard]] Rib& rib_for(const topo::Router& router);
+
+    /// Shortest-path metric between two routers under current topology, or
+    /// nullopt if partitioned. (Convenience for tests/benchmarks.)
+    [[nodiscard]] std::optional<int> distance(const topo::Router& from,
+                                              const topo::Router& to) const;
+
+private:
+    void compute_for(topo::Router& router);
+
+    topo::Network* network_;
+    std::map<const topo::Router*, std::unique_ptr<Rib>> ribs_;
+};
+
+} // namespace pimlib::unicast

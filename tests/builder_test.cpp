@@ -1,0 +1,123 @@
+// Topology-spec parser tests: the happy path (the paper's Fig. 3 written as
+// a spec, then driven end-to-end under PIM), every directive, and the error
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "topo/builder.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using topo::TopologyBuilder;
+
+constexpr const char* kFig3Spec = R"(
+# Figure 3 of the paper
+router A B C D
+lan    lan0 A
+host   receiver lan0
+link   A B
+link   B C
+link   B D
+lan    lan1 D
+host   source lan1
+)";
+
+TEST(TopologyBuilder, ParsesFig3AndRunsPim) {
+    topo::Network net;
+    auto b = TopologyBuilder::parse(net, kFig3Spec);
+    EXPECT_EQ(b.router_count(), 4u);
+    EXPECT_EQ(b.host_count(), 2u);
+    EXPECT_EQ(net.segments().size(), 5u);
+
+    unicast::OracleRouting routing(net);
+    scenario::PimSmStack stack(net, fast_config());
+    stack.set_rp(kGroup, {b.router("C").router_id()});
+    net.run_for(200 * sim::kMillisecond);
+    stack.host_agent(b.host("receiver")).join(kGroup);
+    net.run_for(300 * sim::kMillisecond);
+    b.host("source").send_stream(kGroup, 3, 20 * sim::kMillisecond);
+    net.run_for(500 * sim::kMillisecond);
+    EXPECT_EQ(b.host("receiver").received_count(kGroup), 3u);
+}
+
+TEST(TopologyBuilder, LinkOptionsApplied) {
+    topo::Network net;
+    auto b = TopologyBuilder::parse(net, R"(
+router A B
+link A B delay=7ms metric=5
+)");
+    auto& link = b.link("A", "B");
+    EXPECT_EQ(link.delay(), 7 * sim::kMillisecond);
+    EXPECT_EQ(link.metric(), 5);
+}
+
+TEST(TopologyBuilder, DelayUnits) {
+    topo::Network net;
+    auto b = TopologyBuilder::parse(net, R"(
+router A B C
+link A B delay=250us
+link B C delay=1s
+)");
+    EXPECT_EQ(b.link("A", "B").delay(), 250 * sim::kMicrosecond);
+    EXPECT_EQ(b.link("B", "C").delay(), sim::kSecond);
+}
+
+TEST(TopologyBuilder, AttachAddsRouterToLan) {
+    topo::Network net;
+    auto b = TopologyBuilder::parse(net, R"(
+router A B
+lan shared A
+attach B shared
+)");
+    EXPECT_EQ(b.lan("shared").attachments().size(), 2u);
+}
+
+TEST(TopologyBuilder, CommentsAndBlankLinesIgnored) {
+    topo::Network net;
+    auto b = TopologyBuilder::parse(net, "\n# nothing\nrouter A # trailing\n\n");
+    EXPECT_EQ(b.router_count(), 1u);
+}
+
+TEST(TopologyBuilder, ErrorsCarryLineNumbers) {
+    topo::Network net;
+    try {
+        TopologyBuilder::parse(net, "router A\nlink A Z\n");
+        FAIL() << "expected parse failure";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("unknown router 'Z'"), std::string::npos);
+    }
+}
+
+TEST(TopologyBuilder, RejectsMalformedInput) {
+    auto expect_throw = [](const char* spec) {
+        topo::Network net;
+        EXPECT_THROW(TopologyBuilder::parse(net, spec), std::runtime_error) << spec;
+    };
+    expect_throw("bogus A\n");
+    expect_throw("router\n");
+    expect_throw("router A\nrouter A\n");                 // duplicate
+    expect_throw("router A B\nlink A B metric=0\n");      // bad metric
+    expect_throw("router A B\nlink A B delay=5parsecs\n"); // bad unit
+    expect_throw("router A B\nlink A B frobnicate=1\n");  // unknown option
+    expect_throw("router A\nlink A A\n");                 // self link
+    expect_throw("host h nowhere\n");                     // unknown lan
+    expect_throw("lan l\nhost h l extra\n");              // arity
+}
+
+TEST(TopologyBuilder, LookupFailuresThrow) {
+    topo::Network net;
+    auto b = TopologyBuilder::parse(net, "router A B\nlink A B\n");
+    EXPECT_THROW(b.router("Z"), std::out_of_range);
+    EXPECT_THROW(b.host("Z"), std::out_of_range);
+    EXPECT_THROW(b.lan("Z"), std::out_of_range);
+    EXPECT_NO_THROW(b.link("A", "B"));
+    topo::Network net2;
+    auto b2 = TopologyBuilder::parse(net2, "router A B C\nlink A B\n");
+    EXPECT_THROW(b2.link("A", "C"), std::out_of_range);
+}
+
+} // namespace
+} // namespace pimlib::test

@@ -1,0 +1,155 @@
+// DVMRP baseline tests: message codecs, truncated RPF broadcast, prune,
+// regrowth, graft — and operation over the distance-vector unicast provider
+// (the RIP-like routing real DVMRP embeds).
+#include <gtest/gtest.h>
+
+#include "dvmrp/dvmrp.hpp"
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+#include "unicast/distance_vector.hpp"
+
+namespace pimlib::test {
+namespace {
+
+TEST(DvmrpMessages, CodecRoundTrips) {
+    const dvmrp::Probe probe{35000};
+    auto p = dvmrp::Probe::decode(probe.encode());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->holdtime_ms, 35000u);
+
+    const dvmrp::PruneMsg prune{net::Ipv4Address(10, 0, 1, 3), kGroup.address(), 120000};
+    auto pr = dvmrp::PruneMsg::decode(prune.encode());
+    ASSERT_TRUE(pr.has_value());
+    EXPECT_EQ(pr->source, prune.source);
+    EXPECT_EQ(pr->group, prune.group);
+    EXPECT_EQ(pr->lifetime_ms, prune.lifetime_ms);
+
+    const dvmrp::GraftMsg graft{net::Ipv4Address(10, 0, 1, 3), kGroup.address()};
+    auto g = dvmrp::GraftMsg::decode(graft.encode());
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->source, graft.source);
+    EXPECT_EQ(g->group, graft.group);
+
+    // Cross-decoding rejected; truncations rejected.
+    EXPECT_FALSE(dvmrp::PruneMsg::decode(probe.encode()).has_value());
+    const auto bytes = prune.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(dvmrp::PruneMsg::decode({bytes.data(), len}).has_value());
+    }
+    EXPECT_EQ(dvmrp::peek_code(probe.encode()), dvmrp::Code::kProbe);
+    EXPECT_FALSE(dvmrp::peek_code(std::vector<std::uint8_t>{0x14, 1}).has_value());
+}
+
+// source—LAN—R1—R2—{R3(member LAN), R4(empty LAN)}
+struct DvmrpFixture : public ::testing::Test {
+    topo::Network net;
+    topo::Router* r1;
+    topo::Router* r2;
+    topo::Router* r3;
+    topo::Router* r4;
+    topo::Host* source;
+    topo::Host* member;
+    topo::Segment* empty_lan;
+    std::unique_ptr<unicast::OracleRouting> routing;
+    std::unique_ptr<scenario::DvmrpStack> stack;
+
+    DvmrpFixture() {
+        r1 = &net.add_router("R1");
+        r2 = &net.add_router("R2");
+        r3 = &net.add_router("R3");
+        r4 = &net.add_router("R4");
+        auto& src_lan = net.add_lan({r1});
+        source = &net.add_host("source", src_lan);
+        net.add_link(*r1, *r2);
+        net.add_link(*r2, *r3);
+        net.add_link(*r2, *r4);
+        auto& member_lan = net.add_lan({r3});
+        member = &net.add_host("member", member_lan);
+        empty_lan = &net.add_lan({r4});
+        routing = std::make_unique<unicast::OracleRouting>(net);
+        stack = std::make_unique<scenario::DvmrpStack>(net, fast_config());
+        net.run_for(100 * sim::kMillisecond);
+    }
+};
+
+TEST_F(DvmrpFixture, TruncatedBroadcastAndPrune) {
+    stack->host_agent(*member).join(kGroup);
+    net.run_for(100 * sim::kMillisecond);
+    source->send_data(kGroup);
+    net.run_for(100 * sim::kMillisecond);
+    EXPECT_EQ(member->received_count(kGroup), 1u);
+    EXPECT_EQ(net.stats().data_packets_on(empty_lan->id()), 0u);
+
+    // R4 pruned itself; R2 no longer forwards its way.
+    auto* sg_r2 = stack->dvmrp_at(*r2).cache().find_sg(source->address(), kGroup);
+    ASSERT_NE(sg_r2, nullptr);
+    const int r2_to_r4 = r2->ifindex_on(*net.find_link(*r2, *r4)).value();
+    EXPECT_FALSE(sg_r2->has_oif(r2_to_r4));
+}
+
+TEST_F(DvmrpFixture, PeriodicRebroadcastAfterPruneTimeout) {
+    stack->host_agent(*member).join(kGroup);
+    net.run_for(100 * sim::kMillisecond);
+    // Stream for several prune lifetimes (1.2 s scaled); count data on the
+    // pruned R2—R4 link: the branch must grow back periodically — the
+    // paper's scaling complaint about DVMRP (§1.1, §1.3).
+    source->send_data(kGroup);
+    net.run_for(300 * sim::kMillisecond); // initial flood + prune
+    net.stats().reset_data_counters();
+    source->send_stream(kGroup, 60, 100 * sim::kMillisecond);
+    net.run_for(7 * sim::kSecond);
+    const auto* link = net.find_link(*r2, *r4);
+    const auto leaked = net.stats().data_packets_on(link->id());
+    EXPECT_GE(leaked, 2u);
+    EXPECT_LT(leaked, 30u);
+    EXPECT_EQ(member->received_count(kGroup), 61u);
+    EXPECT_EQ(member->duplicate_count(), 0u);
+}
+
+TEST_F(DvmrpFixture, GraftRestoresPrunedBranch) {
+    stack->host_agent(*member).join(kGroup);
+    net.run_for(100 * sim::kMillisecond);
+    source->send_data(kGroup);
+    net.run_for(300 * sim::kMillisecond);
+
+    auto& late = net.add_host("late", *empty_lan);
+    igmp::HostAgent agent(late, fast_config().host);
+    agent.join(kGroup);
+    net.run_for(150 * sim::kMillisecond);
+    source->send_data(kGroup);
+    net.run_for(100 * sim::kMillisecond);
+    EXPECT_EQ(late.received_count(kGroup), 1u);
+}
+
+TEST(Dvmrp, RunsOverDistanceVectorRouting) {
+    // The historically faithful combination: DVMRP data plane with
+    // RIP-style distance-vector routing providing RPF.
+    topo::Network net;
+    auto& r1 = net.add_router("R1");
+    auto& r2 = net.add_router("R2");
+    auto& r3 = net.add_router("R3");
+    auto& src_lan = net.add_lan({&r1});
+    auto& source = net.add_host("source", src_lan);
+    net.add_link(r1, r2);
+    net.add_link(r2, r3);
+    auto& member_lan = net.add_lan({&r3});
+    auto& member = net.add_host("member", member_lan);
+
+    unicast::DvConfig dv_cfg;
+    dv_cfg.update_interval = 100 * sim::kMillisecond;
+    dv_cfg.route_timeout = 300 * sim::kMillisecond;
+    dv_cfg.gc_delay = 200 * sim::kMillisecond;
+    unicast::DvRoutingDomain dv(net, dv_cfg);
+    scenario::DvmrpStack stack(net, fast_config());
+    net.run_for(1 * sim::kSecond); // let DV converge
+
+    stack.host_agent(member).join(kGroup);
+    net.run_for(200 * sim::kMillisecond);
+    source.send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(member.received_count(kGroup), 5u);
+    EXPECT_EQ(member.duplicate_count(), 0u);
+}
+
+} // namespace
+} // namespace pimlib::test

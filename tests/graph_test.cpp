@@ -1,0 +1,216 @@
+// Unit + property tests for the graph toolkit, including Wall's 2× bound on
+// optimal center-based trees (§1.3, reference [11]).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/center_tree.hpp"
+#include "graph/random_graph.hpp"
+#include "graph/shortest_path.hpp"
+#include "graph/tree_metrics.hpp"
+
+namespace pimlib::graph {
+namespace {
+
+Graph square_with_diagonal() {
+    // 0-1, 1-2, 2-3, 3-0 (weight 1 each) plus 0-2 (weight 5).
+    Graph g(4);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(2, 3, 1);
+    g.add_edge(3, 0, 1);
+    g.add_edge(0, 2, 5);
+    return g;
+}
+
+TEST(Graph, BasicAccounting) {
+    Graph g = square_with_diagonal();
+    EXPECT_EQ(g.node_count(), 4);
+    EXPECT_EQ(g.edge_count(), 5);
+    EXPECT_TRUE(g.has_edge(0, 2));
+    EXPECT_TRUE(g.has_edge(2, 0));
+    EXPECT_FALSE(g.has_edge(1, 3));
+    EXPECT_DOUBLE_EQ(g.average_degree(), 2.5);
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, RejectsBadEdges) {
+    Graph g(3);
+    EXPECT_THROW(g.add_edge(0, 0, 1), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(0, 3, 1), std::out_of_range);
+}
+
+TEST(Graph, DisconnectedDetected) {
+    Graph g(4);
+    g.add_edge(0, 1, 1);
+    g.add_edge(2, 3, 1);
+    EXPECT_FALSE(g.connected());
+}
+
+TEST(Dijkstra, ShortestPathsOnSquare) {
+    Graph g = square_with_diagonal();
+    ShortestPathTree t = dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(t.distance[0], 0);
+    EXPECT_DOUBLE_EQ(t.distance[1], 1);
+    EXPECT_DOUBLE_EQ(t.distance[2], 2); // via 1 or 3, not the weight-5 diagonal
+    EXPECT_DOUBLE_EQ(t.distance[3], 1);
+    const auto path = t.path_to(2);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 2);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+    Graph g(3);
+    g.add_edge(0, 1, 1);
+    ShortestPathTree t = dijkstra(g, 0);
+    EXPECT_TRUE(std::isinf(t.distance[2]));
+    EXPECT_TRUE(t.path_to(2).empty());
+}
+
+TEST(AllPairs, MatchesSingleSource) {
+    std::mt19937 rng(11);
+    Graph g = random_connected_graph({.nodes = 20, .average_degree = 3}, rng);
+    AllPairs ap(g);
+    for (int s = 0; s < 20; s += 5) {
+        ShortestPathTree t = dijkstra(g, s);
+        for (int v = 0; v < 20; ++v) {
+            EXPECT_DOUBLE_EQ(ap.distance(s, v), t.distance[static_cast<std::size_t>(v)]);
+        }
+    }
+}
+
+TEST(RandomGraph, ConnectedWithRequestedSize) {
+    std::mt19937 rng(42);
+    for (double degree : {3.0, 5.0, 8.0}) {
+        Graph g = random_connected_graph({.nodes = 50, .average_degree = degree}, rng);
+        EXPECT_EQ(g.node_count(), 50);
+        EXPECT_TRUE(g.connected());
+        EXPECT_NEAR(g.average_degree(), degree, 0.1);
+    }
+}
+
+TEST(RandomGraph, RejectsImpossibleDegree) {
+    std::mt19937 rng(1);
+    EXPECT_THROW(random_connected_graph({.nodes = 4, .average_degree = 10}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(random_connected_graph({.nodes = 1, .average_degree = 1}, rng),
+                 std::invalid_argument);
+}
+
+TEST(RandomGraph, SampleNodesDistinct) {
+    std::mt19937 rng(5);
+    auto picked = sample_nodes(50, 10, rng);
+    EXPECT_EQ(picked.size(), 10u);
+    std::sort(picked.begin(), picked.end());
+    EXPECT_EQ(std::unique(picked.begin(), picked.end()), picked.end());
+    EXPECT_THROW(sample_nodes(5, 6, rng), std::invalid_argument);
+}
+
+TEST(CenterTree, MaxDelayUsesTopTwoDistances) {
+    // Path 0 - 1 - 2 with weights 1, 2; members {0, 2}; core candidates:
+    Graph g(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 2);
+    AllPairs ap(g);
+    const std::vector<int> members{0, 2};
+    // Via core 1: d(0,1)+d(1,2) = 3. Via core 0: d(2,0)+d(0,... second max
+    // is member 0 itself at distance 0 -> 3 + 0? No: ordered pairs require
+    // distinct members: top1=d(2,0)=3, top2=d(0,0)=0 -> 3.
+    EXPECT_DOUBLE_EQ(core_tree_max_delay(ap, members, 1), 3.0);
+    EXPECT_DOUBLE_EQ(core_tree_max_delay(ap, members, 0), 3.0);
+    EXPECT_DOUBLE_EQ(spt_max_delay(ap, members), 3.0);
+}
+
+TEST(CenterTree, OptimalCoreMinimizesMaxDelay) {
+    // Star: center 0 with leaves 1..4 (weight 1). Members = leaves.
+    Graph g(5);
+    for (int leaf = 1; leaf <= 4; ++leaf) g.add_edge(0, leaf, 1);
+    AllPairs ap(g);
+    const std::vector<int> members{1, 2, 3, 4};
+    EXPECT_EQ(optimal_core(ap, members), 0);
+    EXPECT_DOUBLE_EQ(core_tree_max_delay(ap, members, 0), 2.0);
+    EXPECT_DOUBLE_EQ(core_tree_max_delay(ap, members, 1), 4.0);
+}
+
+TEST(CenterTree, BuildCollectsUnionOfPaths) {
+    Graph g(5);
+    for (int leaf = 1; leaf <= 4; ++leaf) g.add_edge(0, leaf, 1);
+    AllPairs ap(g);
+    CenterTree tree = build_center_tree(ap, {1, 2, 3}, 0);
+    EXPECT_EQ(tree.edges.size(), 3u);
+    EXPECT_TRUE(tree.edges.contains({0, 1}));
+    EXPECT_TRUE(tree.edges.contains({0, 3}));
+    EXPECT_FALSE(tree.edges.contains({0, 4}));
+}
+
+// The paper (§1.3): "David Wall proved that the bound on maximum delay of an
+// optimal core-based tree is 2 times the shortest-path delay." Property-test
+// it over random graphs and group sizes.
+class WallBoundTest : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(WallBoundTest, OptimalCoreWithinTwiceSpt) {
+    const auto [nodes, degree, group_size] = GetParam();
+    std::mt19937 rng(static_cast<std::uint32_t>(nodes * 1000 + group_size));
+    for (int trial = 0; trial < 20; ++trial) {
+        Graph g = random_connected_graph({.nodes = nodes, .average_degree = degree}, rng);
+        AllPairs ap(g);
+        const auto members = sample_nodes(nodes, group_size, rng);
+        const int core = optimal_core(ap, members);
+        const double cbt = core_tree_max_delay(ap, members, core);
+        const double spt = spt_max_delay(ap, members);
+        EXPECT_LE(cbt, 2.0 * spt + 1e-9);
+        EXPECT_GE(cbt, spt - 1e-9); // a shared tree can never beat direct paths
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WallBoundTest,
+    ::testing::Combine(::testing::Values(20, 50), ::testing::Values(3.0, 6.0),
+                       ::testing::Values(2, 5, 10)));
+
+TEST(TrafficConcentration, CbtConcentratesMoreThanSpt) {
+    std::mt19937 rng(99);
+    Graph g = random_connected_graph({.nodes = 50, .average_degree = 4}, rng);
+    AllPairs ap(g);
+    LinkFlowCounter spt_counter;
+    LinkFlowCounter cbt_counter;
+    for (int group = 0; group < 50; ++group) {
+        auto members = sample_nodes(50, 40, rng);
+        std::vector<int> senders(members.begin(), members.begin() + 32);
+        add_spt_group_flows(ap, members, senders, spt_counter);
+        const int core = optimal_core(ap, members);
+        CenterTree tree = build_center_tree(ap, members, core);
+        add_center_tree_group_flows(ap, members, senders, tree, cbt_counter);
+    }
+    // The paper's Fig. 2(b) result in miniature.
+    EXPECT_GT(cbt_counter.max_flows(), spt_counter.max_flows());
+}
+
+TEST(TrafficConcentration, FlowCounterBasics) {
+    LinkFlowCounter c;
+    EXPECT_EQ(c.max_flows(), 0u);
+    c.add_flow_on(1, 2);
+    c.add_flow_on(2, 1); // same undirected link
+    c.add_flow_on(3, 4);
+    EXPECT_EQ(c.max_flows(), 2u);
+    EXPECT_EQ(c.total_flows(), 3u);
+    EXPECT_EQ(c.links_used(), 2u);
+}
+
+TEST(TrafficConcentration, SenderOffTreeAddsPathToCore) {
+    // Path 0-1-2; members {1,2} so the tree is {1-2} rooted wherever; sender
+    // 0 is off-tree and must reach the core.
+    Graph g(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    AllPairs ap(g);
+    const std::vector<int> members{1, 2};
+    CenterTree tree = build_center_tree(ap, members, /*core=*/1);
+    LinkFlowCounter counter;
+    add_center_tree_group_flows(ap, members, {0}, tree, counter);
+    EXPECT_EQ(counter.links_used(), 2u); // 0-1 (to core) and 1-2 (tree)
+}
+
+} // namespace
+} // namespace pimlib::graph

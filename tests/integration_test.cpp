@@ -1,0 +1,381 @@
+// Cross-module integration tests:
+//  - PIM-SM running over the distance-vector and link-state unicast
+//    providers (the paper's "protocol independence", §2), including
+//    re-homing after link failure driven purely by the routing protocol's
+//    own reconvergence (§3.8);
+//  - multi-access LAN procedures: DR election, join override of prunes,
+//    duplicate-join suppression (§3.7);
+//  - sparse-mode state economics vs dense mode on the same topology.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+#include "unicast/distance_vector.hpp"
+#include "unicast/link_state.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using pim::SptPolicy;
+
+// receiver—LAN—A—B—C(RP)—D—LAN—source with a backup path A—E—C.
+struct RedundantTopology {
+    topo::Network net;
+    topo::Router *a, *b, *c, *d, *e;
+    topo::Host *receiver, *source;
+
+    RedundantTopology() {
+        a = &net.add_router("A");
+        b = &net.add_router("B");
+        c = &net.add_router("C");
+        d = &net.add_router("D");
+        e = &net.add_router("E");
+        auto& lan0 = net.add_lan({a});
+        receiver = &net.add_host("receiver", lan0);
+        net.add_link(*a, *b);
+        net.add_link(*b, *c);
+        net.add_link(*a, *e, sim::kMillisecond, 3);
+        net.add_link(*e, *c, sim::kMillisecond, 3);
+        net.add_link(*c, *d);
+        auto& lan1 = net.add_lan({d});
+        source = &net.add_host("source", lan1);
+    }
+};
+
+TEST(PimOverDistanceVector, DeliveryAndFailover) {
+    RedundantTopology t;
+    unicast::DvConfig dv_cfg;
+    dv_cfg.update_interval = 100 * sim::kMillisecond;
+    dv_cfg.route_timeout = 300 * sim::kMillisecond;
+    dv_cfg.gc_delay = 200 * sim::kMillisecond;
+    dv_cfg.triggered_delay = 5 * sim::kMillisecond;
+    unicast::DvRoutingDomain dv(t.net, dv_cfg);
+    scenario::PimSmStack stack(t.net, fast_config());
+    stack.set_rp(kGroup, {t.c->router_id()});
+    stack.set_spt_policy(SptPolicy::never());
+    t.net.run_for(1 * sim::kSecond); // DV convergence
+
+    stack.host_agent(*t.receiver).join(kGroup);
+    t.net.run_for(300 * sim::kMillisecond);
+    t.source->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    t.net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(t.receiver->received_count(kGroup), 5u);
+    EXPECT_EQ(t.receiver->duplicate_count(), 0u);
+
+    // Fail A—B. The DV protocol times the route out on its own; PIM's
+    // route-change subscription re-homes the (*,G) iif toward E (§3.8).
+    t.net.find_link(*t.a, *t.b)->set_up(false);
+    t.net.run_for(3 * sim::kSecond);
+    auto* wc_a = stack.pim_at(*t.a).cache().find_wc(kGroup);
+    ASSERT_NE(wc_a, nullptr);
+    topo::Segment* a_e = t.net.find_link(*t.a, *t.e);
+    EXPECT_EQ(wc_a->iif(), t.a->ifindex_on(*a_e).value());
+
+    t.receiver->clear_received();
+    t.source->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    t.net.run_for(2 * sim::kSecond);
+    EXPECT_GE(t.receiver->received_count(kGroup), 5u);
+}
+
+TEST(PimOverLinkState, DeliveryAndFailover) {
+    RedundantTopology t;
+    unicast::LsConfig ls_cfg;
+    ls_cfg.hello_interval = 50 * sim::kMillisecond;
+    ls_cfg.dead_interval = 150 * sim::kMillisecond;
+    ls_cfg.lsa_refresh = 500 * sim::kMillisecond;
+    ls_cfg.lsa_max_age = 2 * sim::kSecond;
+    ls_cfg.spf_delay = 5 * sim::kMillisecond;
+    unicast::LsRoutingDomain ls(t.net, ls_cfg);
+    scenario::PimSmStack stack(t.net, fast_config());
+    stack.set_rp(kGroup, {t.c->router_id()});
+    stack.set_spt_policy(SptPolicy::immediate());
+    t.net.run_for(1 * sim::kSecond);
+
+    stack.host_agent(*t.receiver).join(kGroup);
+    t.net.run_for(300 * sim::kMillisecond);
+    t.source->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    t.net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(t.receiver->received_count(kGroup), 5u);
+    EXPECT_EQ(t.receiver->duplicate_count(), 0u);
+
+    t.net.find_link(*t.a, *t.b)->set_up(false);
+    t.net.run_for(2 * sim::kSecond);
+    t.receiver->clear_received();
+    t.source->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    t.net.run_for(2 * sim::kSecond);
+    EXPECT_GE(t.receiver->received_count(kGroup), 5u);
+}
+
+// Transit LAN topology for §3.7: upstream U serves a LAN with two
+// downstream routers D1, D2, each with its own receiver LAN.
+//
+//   U — transitLAN — {D1 — lan1(r1), D2 — lan2(r2)};  U — C(RP) — S(src DR)
+struct TransitLanTopology {
+    topo::Network net;
+    topo::Router *u, *d1, *d2, *c, *s;
+    topo::Host *r1, *r2, *source;
+    topo::Segment* transit;
+    std::unique_ptr<unicast::OracleRouting> routing;
+
+    TransitLanTopology() {
+        u = &net.add_router("U");
+        d1 = &net.add_router("D1");
+        d2 = &net.add_router("D2");
+        c = &net.add_router("C");
+        s = &net.add_router("S");
+        transit = &net.add_lan({u, d1, d2});
+        auto& lan1 = net.add_lan({d1});
+        r1 = &net.add_host("r1", lan1);
+        auto& lan2 = net.add_lan({d2});
+        r2 = &net.add_host("r2", lan2);
+        net.add_link(*u, *c);
+        net.add_link(*c, *s);
+        auto& src_lan = net.add_lan({s});
+        source = &net.add_host("source", src_lan);
+        routing = std::make_unique<unicast::OracleRouting>(net);
+    }
+};
+
+TEST(LanProcedures, JoinOverridesPeerPrune) {
+    TransitLanTopology t;
+    scenario::PimSmStack stack(t.net, fast_config());
+    stack.set_rp(kGroup, {t.c->router_id()});
+    stack.set_spt_policy(SptPolicy::never());
+    t.net.run_for(200 * sim::kMillisecond);
+
+    stack.host_agent(*t.r1).join(kGroup);
+    stack.host_agent(*t.r2).join(kGroup);
+    t.net.run_for(300 * sim::kMillisecond);
+
+    // Both downstream routers share U's single oif onto the transit LAN.
+    auto* wc_u = stack.pim_at(*t.u).cache().find_wc(kGroup);
+    ASSERT_NE(wc_u, nullptr);
+    const int u_oif = t.u->ifindex_on(*t.transit).value();
+    ASSERT_TRUE(wc_u->has_oif(u_oif));
+
+    // r2 leaves; D2 multicasts a prune onto the LAN. D1 must override with
+    // a join before U's delayed prune fires (§3.7).
+    stack.host_agent(*t.r2).leave(kGroup);
+    t.net.run_for(2 * sim::kSecond);
+    EXPECT_TRUE(wc_u->has_oif(u_oif)) << "override join failed to save the oif";
+
+    t.source->send_stream(kGroup, 3, 50 * sim::kMillisecond);
+    t.net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(t.r1->received_count(kGroup), 3u);
+    EXPECT_EQ(t.r1->duplicate_count(), 0u);
+    EXPECT_EQ(t.r2->received_count(kGroup), 0u);
+}
+
+TEST(LanProcedures, PruneTakesEffectWhenNobodyOverrides) {
+    TransitLanTopology t;
+    scenario::PimSmStack stack(t.net, fast_config());
+    stack.set_rp(kGroup, {t.c->router_id()});
+    stack.set_spt_policy(SptPolicy::never());
+    t.net.run_for(200 * sim::kMillisecond);
+
+    stack.host_agent(*t.r2).join(kGroup);
+    t.net.run_for(300 * sim::kMillisecond);
+    auto* wc_u = stack.pim_at(*t.u).cache().find_wc(kGroup);
+    ASSERT_NE(wc_u, nullptr);
+
+    stack.host_agent(*t.r2).leave(kGroup);
+    t.net.run_for(4 * sim::kSecond);
+    // No other downstream: the (delayed) prune removes the oif and the
+    // entry expires.
+    EXPECT_EQ(stack.pim_at(*t.u).cache().find_wc(kGroup), nullptr);
+}
+
+TEST(LanProcedures, JoinSuppressionReducesLanControlTraffic) {
+    // Both D1 and D2 stay joined; their periodic (*,G) joins share the
+    // transit LAN, so one router's refresh suppresses the other's.
+    TransitLanTopology t;
+    scenario::PimSmStack stack(t.net, fast_config());
+    stack.set_rp(kGroup, {t.c->router_id()});
+    stack.set_spt_policy(SptPolicy::never());
+    t.net.run_for(200 * sim::kMillisecond);
+    stack.host_agent(*t.r1).join(kGroup);
+    stack.host_agent(*t.r2).join(kGroup);
+    t.net.run_for(300 * sim::kMillisecond);
+
+    const auto before_d1 = stack.pim_at(*t.d1).join_prune_messages_sent();
+    const auto before_d2 = stack.pim_at(*t.d2).join_prune_messages_sent();
+    t.net.run_for(6 * sim::kSecond); // 10 refresh periods
+    const auto sent = (stack.pim_at(*t.d1).join_prune_messages_sent() - before_d1) +
+                      (stack.pim_at(*t.d2).join_prune_messages_sent() - before_d2);
+
+    // 10 refresh periods: without suppression D1 and D2 would send ~20
+    // joins combined; with §3.7 suppression one of them stays quiet while
+    // the other's join is fresh, so the total stays well under that.
+    EXPECT_LT(sent, 16u);
+
+    // And the state is still alive end to end — suppression must not starve
+    // the upstream soft state.
+    t.source->send_data(kGroup);
+    t.net.run_for(500 * sim::kMillisecond);
+    EXPECT_EQ(t.r1->received_count(kGroup), 1u);
+    EXPECT_EQ(t.r2->received_count(kGroup), 1u);
+}
+
+TEST(LanProcedures, DrElectionHighestAddressActs) {
+    // Two routers on the receiver LAN; only the DR (highest address on the
+    // LAN) creates state and joins.
+    topo::Network net;
+    auto& low = net.add_router("low");
+    auto& high = net.add_router("high");
+    auto& rp = net.add_router("rp");
+    auto& lan = net.add_lan({&low, &high}); // low gets .1, high gets .2
+    auto& receiver = net.add_host("receiver", lan);
+    net.add_link(low, rp);
+    net.add_link(high, rp);
+    auto& src_lan = net.add_lan({&rp});
+    auto& source = net.add_host("source", src_lan);
+    unicast::OracleRouting routing(net);
+    scenario::PimSmStack stack(net, fast_config());
+    stack.set_rp(kGroup, {rp.router_id()});
+    stack.set_spt_policy(SptPolicy::never());
+    net.run_for(200 * sim::kMillisecond);
+
+    const int lan_if_low = low.ifindex_on(lan).value();
+    EXPECT_FALSE(stack.pim_at(low).is_dr_on(lan_if_low));
+    EXPECT_TRUE(stack.pim_at(high).is_dr_on(high.ifindex_on(lan).value()));
+
+    stack.host_agent(receiver).join(kGroup);
+    net.run_for(300 * sim::kMillisecond);
+    EXPECT_EQ(stack.pim_at(low).cache().find_wc(kGroup), nullptr);
+    ASSERT_NE(stack.pim_at(high).cache().find_wc(kGroup), nullptr);
+
+    source.send_stream(kGroup, 3, 50 * sim::kMillisecond);
+    net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(receiver.received_count(kGroup), 3u);
+    EXPECT_EQ(receiver.duplicate_count(), 0u);
+
+    // Kill the DR. The survivor must take over the membership (new DR) and
+    // restore delivery.
+    for (int i = 0; i < high.interface_count(); ++i) high.set_interface_up(i, false);
+    routing.recompute();
+    net.run_for(3 * sim::kSecond);
+    EXPECT_TRUE(stack.pim_at(low).is_dr_on(lan_if_low));
+    receiver.clear_received();
+    source.send_stream(kGroup, 3, 50 * sim::kMillisecond);
+    net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(receiver.received_count(kGroup), 3u);
+}
+
+TEST(SparseVsDense, PimTouchesOnlyTheTree) {
+    // Fig. 1 in miniature: a 6-router line with one member at the far end.
+    // DVMRP's periodic broadcast touches every segment; PIM only the path.
+    auto build = [](topo::Network& net, std::vector<topo::Router*>& routers,
+                    topo::Host** source, topo::Host** member,
+                    std::vector<topo::Segment*>& stub_lans) {
+        for (int i = 0; i < 6; ++i) {
+            routers.push_back(&net.add_router("r" + std::to_string(i)));
+        }
+        auto& src_lan = net.add_lan({routers[0]});
+        *source = &net.add_host("source", src_lan);
+        for (int i = 0; i + 1 < 6; ++i) net.add_link(*routers[i], *routers[i + 1]);
+        // Each transit router also has a stub LAN with a second router
+        // behind it (so dense mode floods there).
+        for (int i = 1; i < 5; ++i) {
+            auto& stub_router = net.add_router("stub" + std::to_string(i));
+            net.add_link(*routers[i], stub_router);
+            stub_lans.push_back(&net.add_lan({&stub_router}));
+        }
+        auto& member_lan = net.add_lan({routers[5]});
+        *member = &net.add_host("member", member_lan);
+    };
+
+    std::size_t pim_state = 0;
+    std::size_t dvmrp_state = 0;
+    std::uint64_t pim_stub_packets = 0;
+    std::uint64_t dvmrp_stub_packets = 0;
+    {
+        topo::Network net;
+        std::vector<topo::Router*> routers;
+        std::vector<topo::Segment*> stubs;
+        topo::Host* source;
+        topo::Host* member;
+        build(net, routers, &source, &member, stubs);
+        unicast::OracleRouting routing(net);
+        scenario::PimSmStack stack(net, fast_config());
+        stack.set_rp(kGroup, {routers[5]->router_id()});
+        net.run_for(200 * sim::kMillisecond);
+        stack.host_agent(*member).join(kGroup);
+        net.run_for(300 * sim::kMillisecond);
+        source->send_stream(kGroup, 10, 50 * sim::kMillisecond);
+        net.run_for(2 * sim::kSecond);
+        EXPECT_EQ(member->received_count(kGroup), 10u);
+        for (const auto& r : net.routers()) {
+            if (r->name().starts_with("stub")) {
+                pim_state += 1; // count routers with any state below
+            }
+        }
+        pim_state = 0;
+        for (const auto& r : net.routers()) pim_state += stack.pim_at(*r).cache().size();
+        // stub routers must have zero multicast state under PIM
+        for (const auto& r : net.routers()) {
+            if (r->name().starts_with("stub")) {
+                EXPECT_EQ(stack.pim_at(*r).cache().size(), 0u) << r->name();
+            }
+        }
+        for (auto* lan : stubs) pim_stub_packets += net.stats().data_packets_on(lan->id());
+    }
+    {
+        topo::Network net;
+        std::vector<topo::Router*> routers;
+        std::vector<topo::Segment*> stubs;
+        topo::Host* source;
+        topo::Host* member;
+        build(net, routers, &source, &member, stubs);
+        unicast::OracleRouting routing(net);
+        scenario::DvmrpStack stack(net, fast_config());
+        net.run_for(200 * sim::kMillisecond);
+        stack.host_agent(*member).join(kGroup);
+        net.run_for(300 * sim::kMillisecond);
+        source->send_stream(kGroup, 10, 50 * sim::kMillisecond);
+        net.run_for(2 * sim::kSecond);
+        EXPECT_EQ(member->received_count(kGroup), 10u);
+        for (const auto& r : net.routers()) {
+            dvmrp_state += stack.dvmrp_at(*r).cache().size();
+        }
+        for (auto* lan : stubs) {
+            dvmrp_stub_packets += net.stats().data_packets_on(lan->id());
+        }
+    }
+    // DVMRP instantiated (S,G) state at every router (broadcast-and-prune);
+    // PIM only on the 6-router path. (§1.2's efficiency claim.)
+    EXPECT_LT(pim_state, dvmrp_state);
+    // Stub LANs are truncated-broadcast leaves with no members: no data in
+    // either protocol (their routers prune), but dense mode still *reached*
+    // the stub routers, which PIM never did — asserted via state above.
+    EXPECT_EQ(pim_stub_packets, 0u);
+}
+
+TEST(MultiGroup, IndependentGroupsDoNotInterfere) {
+    Fig3Topology t;
+    scenario::PimSmStack stack(t.net, fast_config());
+    const net::GroupAddress g1{net::Ipv4Address(224, 1, 1, 1)};
+    const net::GroupAddress g2{net::Ipv4Address(224, 1, 1, 2)};
+    stack.set_rp(g1, {t.c->router_id()});
+    stack.set_rp(g2, {t.b->router_id()}); // different RP per group
+    t.net.run_for(200 * sim::kMillisecond);
+
+    stack.host_agent(*t.receiver).join(g1);
+    stack.host_agent(*t.receiver).join(g2);
+    t.net.run_for(300 * sim::kMillisecond);
+    t.source->send_stream(g1, 3, 50 * sim::kMillisecond);
+    t.source->send_stream(g2, 4, 50 * sim::kMillisecond);
+    t.net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(t.receiver->received_count(g1), 3u);
+    EXPECT_EQ(t.receiver->received_count(g2), 4u);
+    EXPECT_EQ(t.receiver->duplicate_count(), 0u);
+
+    auto* wc1 = stack.pim_at(*t.a).cache().find_wc(g1);
+    auto* wc2 = stack.pim_at(*t.a).cache().find_wc(g2);
+    ASSERT_NE(wc1, nullptr);
+    ASSERT_NE(wc2, nullptr);
+    EXPECT_EQ(wc1->source_or_rp(), t.c->router_id());
+    EXPECT_EQ(wc2->source_or_rp(), t.b->router_id());
+}
+
+} // namespace
+} // namespace pimlib::test

@@ -1,0 +1,172 @@
+// §4 "Interoperation with dense mode networks / regions": a PIM-DM region
+// spliced onto a PIM-SM backbone through a border router whose region-facing
+// interface is flagged dense (§3.1). The border proxies the region's sources
+// (registers on their behalf) and joins the shared tree when the region has
+// members, per the paper's sketched mechanism.
+//
+//   backbone:  src_bb—LAN—T ——— C (RP) ——— BR   (PIM sparse mode)
+//   region:                         dense | p2p
+//                              I1 ——— I2—LAN—member   (PIM dense mode)
+//                              |
+//                              LAN—src_region
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::test {
+namespace {
+
+struct InteropWorld {
+    topo::Network net;
+    topo::Router *t, *c, *br, *i1, *i2;
+    topo::Host *src_bb, *member_bb, *src_region, *member_region;
+    std::unique_ptr<unicast::OracleRouting> routing;
+
+    // manual per-router stacks (SM on the backbone, DM in the region)
+    scenario::StackConfig cfg = fast_config();
+    std::map<const topo::Router*, std::unique_ptr<igmp::RouterAgent>> igmp;
+    std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> sm;
+    std::map<const topo::Router*, std::unique_ptr<pim::PimDmRouter>> dm;
+    std::vector<std::unique_ptr<igmp::HostAgent>> host_agents;
+    std::unique_ptr<scenario::DenseDomainBridge> bridge;
+    int dense_ifindex = -1;
+
+    InteropWorld() {
+        t = &net.add_router("T");
+        c = &net.add_router("C");
+        br = &net.add_router("BR");
+        i1 = &net.add_router("I1");
+        i2 = &net.add_router("I2");
+        auto& bb_src_lan = net.add_lan({t});
+        src_bb = &net.add_host("src_bb", bb_src_lan);
+        auto& bb_member_lan = net.add_lan({t});
+        member_bb = &net.add_host("member_bb", bb_member_lan);
+        net.add_link(*t, *c);
+        net.add_link(*c, *br);
+        auto& region_link = net.add_link(*br, *i1);
+        dense_ifindex = br->ifindex_on(region_link).value();
+        auto& region_src_lan = net.add_lan({i1});
+        src_region = &net.add_host("src_region", region_src_lan);
+        net.add_link(*i1, *i2);
+        auto& region_member_lan = net.add_lan({i2});
+        member_region = &net.add_host("member_region", region_member_lan);
+        routing = std::make_unique<unicast::OracleRouting>(net);
+
+        for (topo::Router* r : {t, c, br}) {
+            igmp.emplace(r, std::make_unique<igmp::RouterAgent>(*r, cfg.igmp));
+            sm.emplace(r, std::make_unique<pim::PimSmRouter>(*r, *igmp.at(r), cfg.pim));
+            sm.at(r)->rp_set().configure(kGroup, {c->router_id()});
+        }
+        for (topo::Router* r : {i1, i2}) {
+            igmp.emplace(r, std::make_unique<igmp::RouterAgent>(*r, cfg.igmp));
+            dm.emplace(r, std::make_unique<pim::PimDmRouter>(*r, *igmp.at(r), cfg.pim_dm));
+        }
+        for (topo::Host* h : {src_bb, member_bb, src_region, member_region}) {
+            host_agents.push_back(std::make_unique<igmp::HostAgent>(*h, cfg.host));
+        }
+        bridge = std::make_unique<scenario::DenseDomainBridge>(*sm.at(br), dense_ifindex);
+        bridge->watch(*igmp.at(i1));
+        bridge->watch(*igmp.at(i2));
+        net.run_for(200 * sim::kMillisecond);
+    }
+
+    igmp::HostAgent& agent_of(const topo::Host& h) {
+        for (auto& a : host_agents) {
+            if (&a->host() == &h) return *a;
+        }
+        throw std::logic_error("unknown host");
+    }
+};
+
+TEST(Interop, RegionMemberPullsBackboneSource) {
+    InteropWorld w;
+    // The first member in the dense region appears; the border must join
+    // the shared tree on its behalf ("border routers send explicit joins").
+    w.agent_of(*w.member_region).join(kGroup);
+    w.net.run_for(400 * sim::kMillisecond);
+    auto* wc_br = w.sm.at(w.br)->cache().find_wc(kGroup);
+    ASSERT_NE(wc_br, nullptr);
+    EXPECT_TRUE(wc_br->has_oif(w.dense_ifindex));
+
+    w.src_bb->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    w.net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(w.member_region->received_count(kGroup), 5u);
+    EXPECT_EQ(w.member_region->duplicate_count(), 0u);
+}
+
+TEST(Interop, BorderProxiesRegionSources) {
+    InteropWorld w;
+    w.agent_of(*w.member_bb).join(kGroup);
+    w.net.run_for(400 * sim::kMillisecond);
+
+    // The region's source floods to the border (dense mode assumes
+    // membership); the border registers with the RP on its behalf.
+    w.src_region->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    w.net.run_for(1 * sim::kSecond);
+    EXPECT_EQ(w.member_bb->received_count(kGroup), 5u);
+    EXPECT_EQ(w.member_bb->duplicate_count(), 0u);
+    // The RP learned the interior source through the border's registers.
+    EXPECT_EQ(w.sm.at(w.c)->active_sources(kGroup).size(), 1u);
+    // The border's (S,G) is rooted at the dense interface.
+    auto* sg_br = w.sm.at(w.br)->cache().find_sg(w.src_region->address(), kGroup);
+    ASSERT_NE(sg_br, nullptr);
+    EXPECT_EQ(sg_br->iif(), w.dense_ifindex);
+}
+
+TEST(Interop, BothDirectionsSimultaneously) {
+    InteropWorld w;
+    w.agent_of(*w.member_bb).join(kGroup);
+    w.agent_of(*w.member_region).join(kGroup);
+    w.net.run_for(400 * sim::kMillisecond);
+
+    w.src_bb->send_data(kGroup); // warm-up both trees
+    w.src_region->send_data(kGroup);
+    w.net.run_for(1 * sim::kSecond);
+    w.member_bb->clear_received();
+    w.member_region->clear_received();
+
+    w.src_bb->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    w.src_region->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    w.net.run_for(1500 * sim::kMillisecond);
+
+    // Each member hears both sources exactly once per packet. (The region
+    // member hears its own region's source via dense-mode flooding.)
+    EXPECT_EQ(w.member_bb->received_count_from(w.src_bb->address(), kGroup), 5u);
+    EXPECT_EQ(w.member_bb->received_count_from(w.src_region->address(), kGroup), 5u);
+    EXPECT_EQ(w.member_region->received_count_from(w.src_bb->address(), kGroup), 5u);
+    EXPECT_EQ(w.member_region->received_count_from(w.src_region->address(), kGroup), 5u);
+    EXPECT_EQ(w.member_bb->duplicate_count(), 0u);
+    EXPECT_EQ(w.member_region->duplicate_count(), 0u);
+}
+
+TEST(Interop, RegionLeaveDissolvesSplice) {
+    InteropWorld w;
+    w.agent_of(*w.member_region).join(kGroup);
+    w.net.run_for(400 * sim::kMillisecond);
+    ASSERT_NE(w.sm.at(w.br)->cache().find_wc(kGroup), nullptr);
+
+    w.agent_of(*w.member_region).leave(kGroup);
+    // Membership ages out in the region, the bridge unpins the dense
+    // interface, and the border's shared-tree state dissolves.
+    w.net.run_for(5 * sim::kSecond);
+    EXPECT_EQ(w.sm.at(w.br)->cache().find_wc(kGroup), nullptr);
+
+    // Backbone data no longer enters the region.
+    w.net.stats().reset_data_counters();
+    w.src_bb->send_data(kGroup);
+    w.net.run_for(500 * sim::kMillisecond);
+    const auto* region_link = w.net.find_link(*w.br, *w.i1);
+    EXPECT_EQ(w.net.stats().data_packets_on(region_link->id()), 0u);
+}
+
+TEST(Interop, DenseInterfaceFlagQueries) {
+    InteropWorld w;
+    EXPECT_TRUE(w.sm.at(w.br)->is_interface_dense(w.dense_ifindex));
+    EXPECT_FALSE(w.sm.at(w.br)->is_interface_dense(0));
+    w.sm.at(w.br)->set_interface_dense(w.dense_ifindex, false);
+    EXPECT_FALSE(w.sm.at(w.br)->is_interface_dense(w.dense_ifindex));
+}
+
+} // namespace
+} // namespace pimlib::test

@@ -1,0 +1,280 @@
+// Forwarding-entry and data-plane tests: oif timers, pinning, the §3.5
+// forwarding rules including both SPT-bit transition exceptions, and the
+// negative-cache prune bookkeeping.
+#include <gtest/gtest.h>
+
+#include "mcast/forwarding_cache.hpp"
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using mcast::ForwardingCache;
+using mcast::ForwardingEntry;
+
+const net::Ipv4Address kSrc(10, 0, 1, 3);
+const net::Ipv4Address kRp(192, 168, 0, 3);
+
+TEST(ForwardingEntry, FactoryFlags) {
+    auto sg = ForwardingEntry::make_sg(kSrc, kGroup);
+    EXPECT_FALSE(sg.wildcard());
+    EXPECT_FALSE(sg.rp_bit());
+    EXPECT_FALSE(sg.spt_bit());
+    EXPECT_EQ(sg.source_or_rp(), kSrc);
+
+    auto wc = ForwardingEntry::make_wc(kRp, kGroup);
+    EXPECT_TRUE(wc.wildcard());
+    EXPECT_TRUE(wc.rp_bit()); // shared tree iif faces the RP
+    EXPECT_EQ(wc.source_or_rp(), kRp); // "saves the RP address in place of the source"
+}
+
+TEST(ForwardingEntry, OifTimersExpireAndRefresh) {
+    auto e = ForwardingEntry::make_sg(kSrc, kGroup);
+    e.add_oif(1, 100);
+    e.add_oif(2, 200);
+    EXPECT_EQ(e.live_oifs(50).size(), 2u);
+    EXPECT_EQ(e.live_oifs(150).size(), 1u);
+    e.refresh_oif(1, 300);
+    EXPECT_EQ(e.live_oifs(150).size(), 2u);
+    // refresh never shortens a timer
+    e.refresh_oif(1, 120);
+    EXPECT_TRUE(e.oifs().at(1).expires == 300);
+    auto removed = e.expire_oifs(250);
+    EXPECT_EQ(removed, std::vector<int>{2});
+    EXPECT_FALSE(e.has_oif(2));
+}
+
+TEST(ForwardingEntry, PinnedOifsNeverExpire) {
+    auto e = ForwardingEntry::make_wc(kRp, kGroup);
+    e.pin_oif(1);
+    EXPECT_EQ(e.live_oifs(1'000'000).size(), 1u);
+    EXPECT_TRUE(e.expire_oifs(1'000'000).empty());
+    e.unpin_oif(1);
+    EXPECT_FALSE(e.has_oif(1));
+    // Pinned + timed: unpin keeps the timed part.
+    e.add_oif(2, 500);
+    e.pin_oif(2);
+    e.unpin_oif(2);
+    EXPECT_TRUE(e.has_oif(2));
+    EXPECT_EQ(e.live_oifs(400).size(), 1u);
+    EXPECT_EQ(e.live_oifs(600).size(), 0u);
+}
+
+TEST(ForwardingEntry, AddOifClearsDeletionTimer) {
+    auto e = ForwardingEntry::make_sg(kSrc, kGroup);
+    e.set_delete_at(500);
+    e.add_oif(1, 100);
+    EXPECT_EQ(e.delete_at(), 0);
+}
+
+TEST(ForwardingEntry, PrunedOifBookkeeping) {
+    auto e = ForwardingEntry::make_sg(kSrc, kGroup);
+    e.set_rp_bit(true);
+    e.add_oif(1, 100);
+    e.add_oif(2, 100);
+    e.mark_pruned(1);
+    EXPECT_FALSE(e.has_oif(1));
+    EXPECT_TRUE(e.is_pruned(1));
+    EXPECT_TRUE(e.has_oif(2));
+    e.clear_pruned(1);
+    EXPECT_FALSE(e.is_pruned(1));
+}
+
+TEST(ForwardingCache, LookupPrecedence) {
+    ForwardingCache cache;
+    cache.ensure_wc(kRp, kGroup);
+    cache.ensure_sg(kSrc, kGroup);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.sg_count(), 1u);
+    EXPECT_EQ(cache.wc_count(), 1u);
+    EXPECT_NE(cache.find_sg(kSrc, kGroup), nullptr);
+    EXPECT_NE(cache.find_wc(kGroup), nullptr);
+    EXPECT_EQ(cache.find_sg(net::Ipv4Address(9, 9, 9, 9), kGroup), nullptr);
+    cache.remove_sg(kSrc, kGroup);
+    cache.remove_wc(kGroup);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ForwardingCache, ReapExpiredEntries) {
+    ForwardingCache cache;
+    auto& a = cache.ensure_sg(kSrc, kGroup);
+    a.set_delete_at(100);
+    auto& b = cache.ensure_sg(net::Ipv4Address(10, 0, 2, 3), kGroup);
+    b.set_delete_at(300);
+    auto removed = cache.reap_expired_entries(200);
+    ASSERT_EQ(removed.size(), 1u);
+    EXPECT_EQ(removed[0].first, kSrc);
+    EXPECT_EQ(cache.sg_count(), 1u);
+}
+
+// --- Data-plane tests on a tiny real topology ---
+
+class DataPlaneTest : public ::testing::Test, public mcast::DataPlane::Delegate {
+protected:
+    DataPlaneTest() {
+        r = &net.add_router("r");
+        lan_in = &net.add_lan({r});   // ifindex 0
+        lan_a = &net.add_lan({r});    // ifindex 1
+        lan_b = &net.add_lan({r});    // ifindex 2
+        source = &net.add_host("src", *lan_in);
+        member_a = &net.add_host("a", *lan_a);
+        member_b = &net.add_host("b", *lan_b);
+        member_a->join_group(kGroup);
+        member_b->join_group(kGroup);
+        plane = std::make_unique<mcast::DataPlane>(*r, cache);
+        plane->set_delegate(this);
+    }
+
+    void send_from_source() {
+        source->send_data(kGroup);
+        net.run_for(10 * sim::kMillisecond);
+    }
+
+    // Delegate counters.
+    void on_no_entry(int, const net::Packet&) override { ++no_entry; }
+    void on_wildcard_forward(int, const net::Packet&) override { ++wildcard_forward; }
+    void on_spt_bit_set(mcast::ForwardingEntry&) override { ++spt_set; }
+    void on_iif_check_failed(int, const net::Packet&) override { ++iif_failed; }
+
+    topo::Network net;
+    topo::Router* r;
+    topo::Segment* lan_in;
+    topo::Segment* lan_a;
+    topo::Segment* lan_b;
+    topo::Host* source;
+    topo::Host* member_a;
+    topo::Host* member_b;
+    ForwardingCache cache;
+    std::unique_ptr<mcast::DataPlane> plane;
+    int no_entry = 0;
+    int wildcard_forward = 0;
+    int spt_set = 0;
+    int iif_failed = 0;
+};
+
+TEST_F(DataPlaneTest, NoEntryInvokesDelegateOnly) {
+    send_from_source();
+    EXPECT_EQ(no_entry, 1);
+    EXPECT_EQ(member_a->received_count(kGroup), 0u);
+}
+
+TEST_F(DataPlaneTest, SgEntryReplicatesToLiveOifs) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.set_spt_bit(true);
+    sg.pin_oif(1);
+    sg.pin_oif(2);
+    send_from_source();
+    EXPECT_EQ(member_a->received_count(kGroup), 1u);
+    EXPECT_EQ(member_b->received_count(kGroup), 1u);
+    EXPECT_GT(sg.last_data_at(), 0);
+}
+
+TEST_F(DataPlaneTest, IifCheckDropsWrongInterface) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(1); // wrong on purpose: data arrives on 0
+    sg.set_spt_bit(true);
+    sg.pin_oif(2);
+    send_from_source();
+    EXPECT_EQ(iif_failed, 1);
+    EXPECT_EQ(member_b->received_count(kGroup), 0u);
+    EXPECT_EQ(net.stats().data_dropped_iif(), 1u);
+}
+
+TEST_F(DataPlaneTest, WildcardMatchForwardsAndNotifies) {
+    auto& wc = cache.ensure_wc(kRp, kGroup);
+    wc.set_iif(0);
+    wc.pin_oif(1);
+    send_from_source();
+    EXPECT_EQ(wildcard_forward, 1);
+    EXPECT_EQ(member_a->received_count(kGroup), 1u);
+    EXPECT_EQ(member_b->received_count(kGroup), 0u);
+}
+
+TEST_F(DataPlaneTest, ClearedSptBitFirstException) {
+    // (S,G) exists with cleared SPT bit and iif 1 (the SPT side), but data
+    // still arrives on the shared iif 0: must forward per (*,G).
+    auto& wc = cache.ensure_wc(kRp, kGroup);
+    wc.set_iif(0);
+    wc.pin_oif(2);
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(1);
+    sg.pin_oif(2);
+    send_from_source();
+    EXPECT_EQ(member_b->received_count(kGroup), 1u);
+    EXPECT_FALSE(sg.spt_bit());
+    EXPECT_EQ(spt_set, 0);
+    EXPECT_EQ(wildcard_forward, 1);
+}
+
+TEST_F(DataPlaneTest, ClearedSptBitSecondExceptionSetsBit) {
+    // Data arrives on the (S,G) iif: forward and set the SPT bit.
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.pin_oif(1);
+    send_from_source();
+    EXPECT_TRUE(sg.spt_bit());
+    EXPECT_EQ(spt_set, 1);
+    EXPECT_EQ(member_a->received_count(kGroup), 1u);
+}
+
+TEST_F(DataPlaneTest, ClearedSptBitWrongEverywhereDrops) {
+    auto& wc = cache.ensure_wc(kRp, kGroup);
+    wc.set_iif(1);
+    wc.pin_oif(2);
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(2);
+    sg.pin_oif(1);
+    send_from_source();
+    EXPECT_EQ(iif_failed, 1);
+    EXPECT_EQ(member_a->received_count(kGroup), 0u);
+    EXPECT_EQ(member_b->received_count(kGroup), 0u);
+}
+
+TEST_F(DataPlaneTest, ExpiredOifNotUsed) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.set_spt_bit(true);
+    sg.add_oif(1, net.simulator().now() + 1); // expires ~immediately
+    sg.pin_oif(2);
+    net.run_for(10 * sim::kMillisecond);
+    send_from_source();
+    EXPECT_EQ(member_a->received_count(kGroup), 0u);
+    EXPECT_EQ(member_b->received_count(kGroup), 1u);
+}
+
+TEST_F(DataPlaneTest, TtlOneNotReplicated) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.set_spt_bit(true);
+    sg.pin_oif(1);
+    net::Packet p;
+    p.src = source->address();
+    p.dst = kGroup.address();
+    p.proto = net::IpProto::kUdp;
+    p.ttl = 1;
+    p.seq = 1;
+    source->send(0, net::Frame{std::nullopt, std::move(p)});
+    net.run_for(10 * sim::kMillisecond);
+    EXPECT_EQ(member_a->received_count(kGroup), 0u);
+    EXPECT_EQ(net.stats().data_dropped_ttl(), 1u);
+}
+
+TEST_F(DataPlaneTest, ReplicateNeverSendsBackOutArrivalInterface) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.set_spt_bit(true);
+    sg.pin_oif(0); // deliberately include the iif in the oif list
+    sg.pin_oif(1);
+    auto& echo_listener = net.add_host("echo", *lan_in);
+    echo_listener.join_group(kGroup);
+    send_from_source();
+    EXPECT_EQ(member_a->received_count(kGroup), 1u);
+    // The host on the source LAN hears the original LAN transmission (1)
+    // but must not get a router-echoed copy.
+    EXPECT_EQ(echo_listener.received_count(kGroup), 1u);
+}
+
+} // namespace
+} // namespace pimlib::test

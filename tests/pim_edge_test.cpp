@@ -1,0 +1,324 @@
+// Edge cases and adversarial inputs for PIM-SM: crafted join/prune
+// messages, state machine corners (negative-cache conversion, footnote 12
+// timer propagation, RP mismatch), RP-set precedence, and handler-level
+// fuzzing of every control-plane entry point.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pim/messages.hpp"
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using pim::AddressEntry;
+using pim::EntryFlags;
+using pim::JoinPrune;
+
+/// Delivers a crafted PIM packet to `router` as if it arrived on `ifindex`
+/// from link-layer neighbor `from`.
+void inject_pim(topo::Router& router, int ifindex, net::Ipv4Address from,
+                const std::vector<std::uint8_t>& payload) {
+    net::Packet packet;
+    packet.src = from;
+    packet.dst = net::kAllRouters;
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = payload;
+    router.receive(ifindex, packet);
+}
+
+class PimEdgeTest : public ::testing::Test {
+protected:
+    PimEdgeTest() : stack_(topo_.net, fast_config()) {
+        stack_.set_rp(kGroup, {topo_.c->router_id()});
+        topo_.net.run_for(100 * sim::kMillisecond);
+    }
+
+    /// B's interface toward A and A's address on that link.
+    std::pair<int, net::Ipv4Address> b_from_a() {
+        auto* link = topo_.net.find_link(*topo_.a, *topo_.b);
+        return {topo_.b->ifindex_on(*link).value(),
+                topo_.a->interface(topo_.a->ifindex_on(*link).value()).address};
+    }
+
+    Fig3Topology topo_;
+    scenario::PimSmStack stack_;
+};
+
+TEST_F(PimEdgeTest, TransitRouterBuildsSharedTreeFromJoinAlone) {
+    // B has no RP mapping configured for this group; the WC join carries the
+    // RP address, which is all a transit router needs (§3.2: the RP address
+    // is "included in upstream join messages").
+    const net::GroupAddress g{net::Ipv4Address(229, 7, 7, 7)};
+    auto [ifindex, from] = b_from_a();
+    JoinPrune msg;
+    msg.upstream_neighbor = topo_.b->interface(ifindex).address;
+    msg.holdtime_ms = 1800;
+    msg.group = g.address();
+    msg.joins = {AddressEntry{topo_.c->router_id(), EntryFlags{true, true}}};
+    inject_pim(*topo_.b, ifindex, from, msg.encode());
+    topo_.net.run_for(50 * sim::kMillisecond);
+
+    auto* wc_b = stack_.pim_at(*topo_.b).cache().find_wc(g);
+    ASSERT_NE(wc_b, nullptr);
+    EXPECT_EQ(wc_b->source_or_rp(), topo_.c->router_id());
+    EXPECT_TRUE(wc_b->has_oif(ifindex));
+    // And it propagated: the RP terminated the join.
+    EXPECT_NE(stack_.pim_at(*topo_.c).cache().find_wc(g), nullptr);
+}
+
+TEST_F(PimEdgeTest, WcJoinWithDifferentReachableRpKeepsCurrent) {
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(200 * sim::kMillisecond);
+    auto* wc_b = stack_.pim_at(*topo_.b).cache().find_wc(kGroup);
+    ASSERT_NE(wc_b, nullptr);
+    ASSERT_EQ(wc_b->source_or_rp(), topo_.c->router_id());
+
+    // A rogue/partitioned downstream claims D is the RP. C is still
+    // reachable, so B must not re-root its shared tree.
+    auto [ifindex, from] = b_from_a();
+    JoinPrune msg;
+    msg.upstream_neighbor = topo_.b->interface(ifindex).address;
+    msg.holdtime_ms = 1800;
+    msg.group = kGroup.address();
+    msg.joins = {AddressEntry{topo_.d->router_id(), EntryFlags{true, true}}};
+    inject_pim(*topo_.b, ifindex, from, msg.encode());
+    topo_.net.run_for(50 * sim::kMillisecond);
+    EXPECT_EQ(stack_.pim_at(*topo_.b).cache().find_wc(kGroup)->source_or_rp(),
+              topo_.c->router_id());
+}
+
+TEST_F(PimEdgeTest, PruneForUnknownStateIsHarmless) {
+    auto [ifindex, from] = b_from_a();
+    JoinPrune msg;
+    msg.upstream_neighbor = topo_.b->interface(ifindex).address;
+    msg.holdtime_ms = 1800;
+    msg.group = kGroup.address();
+    msg.prunes = {
+        AddressEntry{topo_.source->address(), EntryFlags{false, false}}, // (S,G)
+        AddressEntry{topo_.c->router_id(), EntryFlags{true, true}},      // (*,G)
+    };
+    inject_pim(*topo_.b, ifindex, from, msg.encode());
+    topo_.net.run_for(50 * sim::kMillisecond);
+    EXPECT_EQ(stack_.pim_at(*topo_.b).cache().size(), 0u);
+}
+
+TEST_F(PimEdgeTest, RpBitPruneWithoutSharedTreeIgnored) {
+    // A negative cache only makes sense relative to an existing (*,G); an
+    // RP-bit prune without one must not create state (§3.3).
+    auto [ifindex, from] = b_from_a();
+    JoinPrune msg;
+    msg.upstream_neighbor = topo_.b->interface(ifindex).address;
+    msg.holdtime_ms = 1800;
+    msg.group = kGroup.address();
+    msg.prunes = {AddressEntry{topo_.source->address(), EntryFlags{false, true}}};
+    inject_pim(*topo_.b, ifindex, from, msg.encode());
+    topo_.net.run_for(50 * sim::kMillisecond);
+    EXPECT_EQ(stack_.pim_at(*topo_.b).cache().size(), 0u);
+}
+
+TEST_F(PimEdgeTest, RpBitPruneCreatesNegativeCacheAndPropagates) {
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(200 * sim::kMillisecond);
+    // Craft A's RP-bit prune at B (as if A had switched to the SPT and its
+    // SPT iif diverged — which it does not in this topology, so we build
+    // the message by hand).
+    auto [ifindex, from] = b_from_a();
+    JoinPrune msg;
+    msg.upstream_neighbor = topo_.b->interface(ifindex).address;
+    msg.holdtime_ms = 1800;
+    msg.group = kGroup.address();
+    msg.prunes = {AddressEntry{topo_.source->address(), EntryFlags{false, true}}};
+    inject_pim(*topo_.b, ifindex, from, msg.encode());
+    topo_.net.run_for(100 * sim::kMillisecond);
+
+    auto* neg = stack_.pim_at(*topo_.b).cache().find_sg(topo_.source->address(), kGroup);
+    ASSERT_NE(neg, nullptr);
+    EXPECT_TRUE(neg->rp_bit());
+    EXPECT_TRUE(neg->is_pruned(ifindex));
+    // Its iif follows the shared tree toward the RP.
+    EXPECT_EQ(neg->iif(), stack_.pim_at(*topo_.b).cache().find_wc(kGroup)->iif());
+    // Empty negative cache propagated the prune: the RP's (*,G) branch to B
+    // lost this source... i.e. C now holds a negative cache too.
+    auto* neg_c = stack_.pim_at(*topo_.c).cache().find_sg(topo_.source->address(), kGroup);
+    ASSERT_NE(neg_c, nullptr);
+
+    // A subsequent (*,G) join on the pruned interface reinstates delivery
+    // (join overrides, §3.7 semantics).
+    JoinPrune rejoin;
+    rejoin.upstream_neighbor = topo_.b->interface(ifindex).address;
+    rejoin.holdtime_ms = 1800;
+    rejoin.group = kGroup.address();
+    rejoin.joins = {AddressEntry{topo_.c->router_id(), EntryFlags{true, true}}};
+    inject_pim(*topo_.b, ifindex, from, rejoin.encode());
+    EXPECT_FALSE(neg->is_pruned(ifindex));
+    EXPECT_TRUE(neg->has_oif(ifindex));
+}
+
+TEST_F(PimEdgeTest, NegativeCacheConvertsToRealEntryOnSgJoin) {
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(200 * sim::kMillisecond);
+    auto [ifindex, from] = b_from_a();
+    // First create the negative cache...
+    JoinPrune prune;
+    prune.upstream_neighbor = topo_.b->interface(ifindex).address;
+    prune.holdtime_ms = 1800;
+    prune.group = kGroup.address();
+    prune.prunes = {AddressEntry{topo_.source->address(), EntryFlags{false, true}}};
+    inject_pim(*topo_.b, ifindex, from, prune.encode());
+    auto* entry = stack_.pim_at(*topo_.b).cache().find_sg(topo_.source->address(), kGroup);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_TRUE(entry->rp_bit());
+
+    // ...then a genuine (S,G) join arrives: the entry becomes a real
+    // shortest-path entry rooted toward the source.
+    JoinPrune join;
+    join.upstream_neighbor = topo_.b->interface(ifindex).address;
+    join.holdtime_ms = 1800;
+    join.group = kGroup.address();
+    join.joins = {AddressEntry{topo_.source->address(), EntryFlags{false, false}}};
+    inject_pim(*topo_.b, ifindex, from, join.encode());
+    topo_.net.run_for(50 * sim::kMillisecond);
+
+    entry = stack_.pim_at(*topo_.b).cache().find_sg(topo_.source->address(), kGroup);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(entry->rp_bit());
+    EXPECT_EQ(entry->iif(), topo_.ifindex_toward(*topo_.b, *topo_.d));
+    EXPECT_TRUE(entry->has_oif(ifindex));
+}
+
+TEST_F(PimEdgeTest, Footnote12WcJoinRefreshesSgOifTimers) {
+    // "When a timer is reset for an outgoing interface listed in (*,G)
+    // entry, we should also reset the interface timers for all (S,G)
+    // entries which contain that interface."
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(200 * sim::kMillisecond);
+    auto [ifindex, from] = b_from_a();
+    // Give B an (S,G) entry whose only refresh will come from (*,G) joins.
+    JoinPrune sg_join;
+    sg_join.upstream_neighbor = topo_.b->interface(ifindex).address;
+    sg_join.holdtime_ms = 1800;
+    sg_join.group = kGroup.address();
+    sg_join.joins = {AddressEntry{topo_.source->address(), EntryFlags{false, false}}};
+    inject_pim(*topo_.b, ifindex, from, sg_join.encode());
+    auto* sg = stack_.pim_at(*topo_.b).cache().find_sg(topo_.source->address(), kGroup);
+    ASSERT_NE(sg, nullptr);
+    const sim::Time before = sg->oifs().at(ifindex).expires;
+
+    topo_.net.run_for(100 * sim::kMillisecond);
+    JoinPrune wc_join;
+    wc_join.upstream_neighbor = topo_.b->interface(ifindex).address;
+    wc_join.holdtime_ms = 1800;
+    wc_join.group = kGroup.address();
+    wc_join.joins = {AddressEntry{topo_.c->router_id(), EntryFlags{true, true}}};
+    inject_pim(*topo_.b, ifindex, from, wc_join.encode());
+    EXPECT_GT(sg->oifs().at(ifindex).expires, before);
+}
+
+TEST_F(PimEdgeTest, RpReachabilityOnWrongInterfaceIgnored) {
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(200 * sim::kMillisecond);
+    auto* wc_a = stack_.pim_at(*topo_.a).cache().find_wc(kGroup);
+    ASSERT_NE(wc_a, nullptr);
+    const sim::Time deadline = wc_a->rp_timer_deadline();
+
+    // Spoofed reachability arriving on the receiver LAN (not the iif).
+    pim::RpReachability msg{kGroup.address(), topo_.c->router_id(), 900000};
+    net::Packet packet;
+    packet.src = net::Ipv4Address(10, 0, 0, 99);
+    packet.dst = net::kAllRouters;
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = msg.encode();
+    topo_.a->receive(/*ifindex=*/0, packet);
+    EXPECT_EQ(wc_a->rp_timer_deadline(), deadline);
+}
+
+TEST_F(PimEdgeTest, JoinForOwnAddressAtRpDoesNotLoop) {
+    // The RP "recognizes its own address and does not attempt to send join
+    // messages for this entry upstream" (§3.2).
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(500 * sim::kMillisecond);
+    auto* wc_c = stack_.pim_at(*topo_.c).cache().find_wc(kGroup);
+    ASSERT_NE(wc_c, nullptr);
+    EXPECT_EQ(wc_c->iif(), -1);
+    EXPECT_FALSE(wc_c->upstream_neighbor().has_value());
+}
+
+TEST(RpSetTest, PrecedenceExactLearnedRange) {
+    pim::RpSet set;
+    const net::GroupAddress g1{net::Ipv4Address(224, 1, 0, 5)};
+    const net::Ipv4Address rp_static(192, 168, 0, 1);
+    const net::Ipv4Address rp_learned(192, 168, 0, 2);
+    const net::Ipv4Address rp_range(192, 168, 0, 3);
+    const net::Ipv4Address rp_wide(192, 168, 0, 4);
+
+    EXPECT_FALSE(set.has_mapping(g1));
+    set.configure_range(net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4}, {rp_wide});
+    set.configure_range(net::Prefix{net::Ipv4Address(224, 1, 0, 0), 16}, {rp_range});
+    EXPECT_EQ(set.rps_for(g1), std::vector<net::Ipv4Address>{rp_range}); // longest range
+    const net::GroupAddress other{net::Ipv4Address(230, 0, 0, 1)};
+    EXPECT_EQ(set.rps_for(other), std::vector<net::Ipv4Address>{rp_wide});
+
+    set.learn(g1, {rp_learned});
+    EXPECT_EQ(set.rps_for(g1), std::vector<net::Ipv4Address>{rp_learned});
+    set.configure(g1, {rp_static});
+    EXPECT_EQ(set.rps_for(g1), std::vector<net::Ipv4Address>{rp_static}); // config wins
+}
+
+TEST(PimConfigTest, ScalingIsUniform) {
+    pim::PimConfig cfg;
+    const pim::PimConfig scaled = cfg.scaled(0.5);
+    EXPECT_EQ(scaled.join_prune_interval, cfg.join_prune_interval / 2);
+    EXPECT_EQ(scaled.holdtime, cfg.holdtime / 2);
+    EXPECT_EQ(scaled.query_interval, cfg.query_interval / 2);
+    EXPECT_EQ(scaled.rp_timeout, cfg.rp_timeout / 2);
+    EXPECT_EQ(scaled.override_delay, cfg.override_delay / 2);
+    // Ratios preserved.
+    EXPECT_EQ(scaled.holdtime, 3 * scaled.join_prune_interval);
+}
+
+// Handler-level fuzz: random bytes thrown at every control-plane entry
+// point of a live PIM network must neither crash nor corrupt delivery.
+TEST_F(PimEdgeTest, HandlersSurviveGarbageControlTraffic) {
+    stack_.host_agent(*topo_.receiver).join(kGroup);
+    topo_.net.run_for(200 * sim::kMillisecond);
+
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> len(0, 48);
+    std::uniform_int_distribution<int> proto_pick(0, 4);
+    const net::IpProto protos[] = {net::IpProto::kIgmp, net::IpProto::kCbt,
+                                   net::IpProto::kOspf, net::IpProto::kRip,
+                                   net::IpProto::kUdp};
+    for (int trial = 0; trial < 2000; ++trial) {
+        net::Packet packet;
+        packet.src = net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(trial % 250 + 1));
+        packet.dst = trial % 3 == 0 ? net::kAllRouters
+                                    : net::Ipv4Address(224, 0, 0, 1);
+        packet.proto = protos[proto_pick(rng)];
+        packet.ttl = 1;
+        packet.payload.resize(static_cast<std::size_t>(len(rng)));
+        for (auto& b : packet.payload) b = static_cast<std::uint8_t>(byte(rng));
+        // Bias half the trials toward plausible PIM/IGMP headers so the
+        // deeper decode paths get exercised.
+        if (trial % 2 == 0 && packet.payload.size() >= 2) {
+            packet.payload[0] = 0x14;
+            packet.payload[1] = static_cast<std::uint8_t>(trial % 5);
+        }
+        topo_.b->receive(trial % topo_.b->interface_count(), packet);
+    }
+    topo_.net.run_for(200 * sim::kMillisecond);
+
+    // The network still works.
+    topo_.source->send_stream(kGroup, 3, 20 * sim::kMillisecond);
+    topo_.net.run_for(500 * sim::kMillisecond);
+    EXPECT_EQ(topo_.receiver->received_count(kGroup), 3u);
+    EXPECT_EQ(topo_.receiver->duplicate_count(), 0u);
+}
+
+} // namespace
+} // namespace pimlib::test

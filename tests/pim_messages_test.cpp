@@ -1,0 +1,148 @@
+// PIM v1 message codec tests: round trips, flag encoding, header
+// validation, truncation robustness, and random fuzz of the decoders.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "igmp/messages.hpp"
+#include "pim/messages.hpp"
+
+namespace pimlib::pim {
+namespace {
+
+const net::Ipv4Address kGroupAddr(224, 1, 1, 1);
+const net::Ipv4Address kRp(192, 168, 0, 3);
+const net::Ipv4Address kSrc(10, 0, 1, 3);
+
+TEST(PimMessages, PeekCode) {
+    Query q{1000};
+    EXPECT_EQ(peek_code(q.encode()), Code::kQuery);
+    JoinPrune jp;
+    jp.group = kGroupAddr;
+    EXPECT_EQ(peek_code(jp.encode()), Code::kJoinPrune);
+    // Wrong IGMP type byte.
+    std::vector<std::uint8_t> bogus{0x12, 0x02};
+    EXPECT_FALSE(peek_code(bogus).has_value());
+    // Unknown PIM code.
+    std::vector<std::uint8_t> unknown{igmp::kTypePim, 0x77};
+    EXPECT_FALSE(peek_code(unknown).has_value());
+    EXPECT_FALSE(peek_code(std::vector<std::uint8_t>{igmp::kTypePim}).has_value());
+}
+
+TEST(PimMessages, QueryRoundTrip) {
+    const Query q{123456};
+    auto decoded = Query::decode(q.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->holdtime_ms, 123456u);
+}
+
+TEST(PimMessages, RegisterRoundTripWithPayload) {
+    Register reg;
+    reg.group = kGroupAddr;
+    reg.inner_src = kSrc;
+    reg.inner_ttl = 17;
+    reg.inner_seq = 0xABCDEF0123456789ull;
+    reg.inner_payload = {1, 2, 3, 4, 5};
+    auto decoded = Register::decode(reg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->group, reg.group);
+    EXPECT_EQ(decoded->inner_src, reg.inner_src);
+    EXPECT_EQ(decoded->inner_ttl, reg.inner_ttl);
+    EXPECT_EQ(decoded->inner_seq, reg.inner_seq);
+    EXPECT_EQ(decoded->inner_payload, reg.inner_payload);
+}
+
+TEST(PimMessages, RegisterEmptyPayload) {
+    Register reg;
+    reg.group = kGroupAddr;
+    reg.inner_src = kSrc;
+    auto decoded = Register::decode(reg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->inner_payload.empty());
+}
+
+TEST(PimMessages, JoinPruneRoundTripWithFlags) {
+    JoinPrune msg;
+    msg.upstream_neighbor = net::Ipv4Address(10, 0, 0, 2);
+    msg.holdtime_ms = 180000;
+    msg.group = kGroupAddr;
+    msg.joins = {
+        AddressEntry{kRp, EntryFlags{true, true}},   // (*,G) join: WC|RP
+        AddressEntry{kSrc, EntryFlags{false, false}}, // (S,G) SPT join
+    };
+    msg.prunes = {
+        AddressEntry{kSrc, EntryFlags{false, true}}, // RP-bit prune (§3.3)
+    };
+    auto decoded = JoinPrune::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->upstream_neighbor, msg.upstream_neighbor);
+    EXPECT_EQ(decoded->holdtime_ms, msg.holdtime_ms);
+    EXPECT_EQ(decoded->group, msg.group);
+    EXPECT_EQ(decoded->joins, msg.joins);
+    EXPECT_EQ(decoded->prunes, msg.prunes);
+}
+
+TEST(PimMessages, JoinPruneEmptyListsValid) {
+    JoinPrune msg;
+    msg.group = kGroupAddr;
+    auto decoded = JoinPrune::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->joins.empty());
+    EXPECT_TRUE(decoded->prunes.empty());
+}
+
+TEST(PimMessages, RpReachabilityRoundTrip) {
+    const RpReachability msg{kGroupAddr, kRp, 90000};
+    auto decoded = RpReachability::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->group, msg.group);
+    EXPECT_EQ(decoded->rp, msg.rp);
+    EXPECT_EQ(decoded->holdtime_ms, msg.holdtime_ms);
+}
+
+TEST(PimMessages, DecoderRejectsWrongCode) {
+    Query q{5};
+    EXPECT_FALSE(JoinPrune::decode(q.encode()).has_value());
+    EXPECT_FALSE(Register::decode(q.encode()).has_value());
+    EXPECT_FALSE(RpReachability::decode(q.encode()).has_value());
+}
+
+TEST(PimMessages, EveryTruncationRejected) {
+    JoinPrune msg;
+    msg.upstream_neighbor = net::Ipv4Address(10, 0, 0, 2);
+    msg.group = kGroupAddr;
+    msg.joins = {AddressEntry{kRp, EntryFlags{true, true}}};
+    msg.prunes = {AddressEntry{kSrc, EntryFlags{false, true}}};
+    const auto bytes = msg.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(JoinPrune::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    // Trailing garbage also rejected.
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(JoinPrune::decode(extended).has_value());
+}
+
+TEST(PimMessages, FuzzRandomBytesNeverCrash) {
+    std::mt19937 rng(2024);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> len(0, 64);
+    for (int trial = 0; trial < 5000; ++trial) {
+        std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len(rng)));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(byte(rng));
+        // Make a fair fraction look like PIM so decoders get past the header.
+        if (trial % 2 == 0 && bytes.size() >= 2) {
+            bytes[0] = igmp::kTypePim;
+            bytes[1] = static_cast<std::uint8_t>(trial % 4);
+        }
+        (void)Query::decode(bytes);
+        (void)Register::decode(bytes);
+        (void)JoinPrune::decode(bytes);
+        (void)RpReachability::decode(bytes);
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace pimlib::pim

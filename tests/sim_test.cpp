@@ -1,0 +1,164 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace pimlib::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesFireInSchedulingOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule(5, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, CancelRemovesEvent) {
+    Simulator sim;
+    bool fired = false;
+    EventId id = sim.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id)); // second cancel is a no-op
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelNullIdIsNoop) {
+    Simulator sim;
+    EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule(10, [&] { ++count; });
+    sim.schedule(20, [&] { ++count; });
+    sim.schedule(30, [&] { ++count; });
+    EXPECT_EQ(sim.run_until(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.now(), 20);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run_until(100);
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(sim.now(), 100); // clock advances to the deadline
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+    Simulator sim;
+    std::vector<Time> fire_times;
+    sim.schedule(10, [&] {
+        fire_times.push_back(sim.now());
+        sim.schedule(5, [&] { fire_times.push_back(sim.now()); });
+    });
+    sim.run();
+    EXPECT_EQ(fire_times, (std::vector<Time>{10, 15}));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+    Simulator sim;
+    sim.schedule(10, [&] {
+        sim.schedule(-5, [&] { EXPECT_EQ(sim.now(), 10); });
+    });
+    sim.run();
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod) {
+    Simulator sim;
+    std::vector<Time> fires;
+    PeriodicTimer timer(sim, [&] { fires.push_back(sim.now()); });
+    timer.start(10);
+    sim.run_until(35);
+    EXPECT_EQ(fires, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(PeriodicTimer, StopPreventsFurtherFires) {
+    Simulator sim;
+    int count = 0;
+    PeriodicTimer timer(sim, [&] { ++count; });
+    timer.start(10);
+    sim.schedule(25, [&] { timer.stop(); });
+    sim.run_until(100);
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, CallbackCanStopItself) {
+    Simulator sim;
+    int count = 0;
+    PeriodicTimer timer(sim, [&] {
+        if (++count == 3) timer.stop();
+    });
+    timer.start(5);
+    sim.run_until(1000);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimer, RestartResetsPhase) {
+    Simulator sim;
+    std::vector<Time> fires;
+    PeriodicTimer timer(sim, [&] { fires.push_back(sim.now()); });
+    timer.start(10);
+    sim.schedule(15, [&] { timer.start(10); });
+    sim.run_until(40);
+    EXPECT_EQ(fires, (std::vector<Time>{10, 25, 35}));
+}
+
+TEST(OneshotTimer, FiresOnce) {
+    Simulator sim;
+    int count = 0;
+    OneshotTimer timer(sim, [&] { ++count; });
+    timer.arm(10);
+    EXPECT_TRUE(timer.armed());
+    EXPECT_EQ(timer.deadline(), 10);
+    sim.run_until(100);
+    EXPECT_EQ(count, 1);
+    EXPECT_FALSE(timer.armed());
+}
+
+TEST(OneshotTimer, RearmReplacesDeadline) {
+    Simulator sim;
+    std::vector<Time> fires;
+    OneshotTimer timer(sim, [&] { fires.push_back(sim.now()); });
+    timer.arm(10);
+    sim.schedule(5, [&] { timer.arm(20); }); // push deadline to 25
+    sim.run_until(100);
+    EXPECT_EQ(fires, (std::vector<Time>{25}));
+}
+
+TEST(OneshotTimer, CancelPreventsFire) {
+    Simulator sim;
+    bool fired = false;
+    OneshotTimer timer(sim, [&] { fired = true; });
+    timer.arm(10);
+    timer.cancel();
+    sim.run_until(100);
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DestructorOfTimerCancels) {
+    Simulator sim;
+    bool fired = false;
+    {
+        OneshotTimer timer(sim, [&] { fired = true; });
+        timer.arm(10);
+    }
+    sim.run_until(100);
+    EXPECT_FALSE(fired);
+}
+
+} // namespace
+} // namespace pimlib::sim

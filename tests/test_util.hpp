@@ -1,0 +1,66 @@
+// Shared helpers for protocol tests: canonical topologies from the paper's
+// figures and a uniformly time-compressed stack configuration.
+#pragma once
+
+#include <memory>
+
+#include "scenario/stacks.hpp"
+#include "topo/network.hpp"
+#include "unicast/oracle_routing.hpp"
+
+namespace pimlib::test {
+
+inline const net::GroupAddress kGroup{net::Ipv4Address(224, 1, 1, 1)};
+
+/// All protocol timers compressed 100×: PIM join/prune refresh 600 ms,
+/// holdtime 1.8 s, IGMP query 100 ms, etc. Simulated seconds stay cheap.
+inline scenario::StackConfig fast_config() {
+    scenario::StackConfig cfg;
+    cfg.igmp.query_interval = 10 * sim::kSecond;
+    cfg.igmp.membership_timeout = 25 * sim::kSecond;
+    cfg.igmp.other_querier_timeout = 25 * sim::kSecond;
+    cfg.host.query_response_max = 1 * sim::kSecond;
+    return cfg.scaled(0.01);
+}
+
+/// The topology of the paper's Figures 3–5:
+///
+///   receiver host — LAN0 — A — B — C (the RP)
+///                              |
+///                              D — LAN1 — source host
+///
+/// A's path to the RP runs A→B→C; A's path to the source runs A→B→D, so B
+/// is the divergence point between the shared tree and the SPT (§3.3).
+struct Fig3Topology {
+    topo::Network net;
+    topo::Router* a = nullptr;
+    topo::Router* b = nullptr;
+    topo::Router* c = nullptr; // RP
+    topo::Router* d = nullptr;
+    topo::Host* receiver = nullptr;
+    topo::Host* source = nullptr;
+    std::unique_ptr<unicast::OracleRouting> routing;
+
+    Fig3Topology() {
+        a = &net.add_router("A");
+        b = &net.add_router("B");
+        c = &net.add_router("C");
+        d = &net.add_router("D");
+        auto& lan0 = net.add_lan({a});
+        receiver = &net.add_host("receiver", lan0);
+        net.add_link(*a, *b);
+        net.add_link(*b, *c);
+        net.add_link(*b, *d);
+        auto& lan1 = net.add_lan({d});
+        source = &net.add_host("source", lan1);
+        routing = std::make_unique<unicast::OracleRouting>(net);
+    }
+
+    /// Interface index of `from` on the segment shared with `to`.
+    [[nodiscard]] int ifindex_toward(const topo::Router& from, const topo::Router& to) {
+        topo::Segment* link = net.find_link(from, to);
+        return link == nullptr ? -1 : from.ifindex_on(*link).value_or(-1);
+    }
+};
+
+} // namespace pimlib::test

@@ -1,0 +1,317 @@
+// Unicast routing tests: RIB longest-prefix match and observers; oracle,
+// distance-vector and link-state providers all converging to the same
+// shortest paths (the "protocol independent" substrate of the paper).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/random_graph.hpp"
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+#include "unicast/distance_vector.hpp"
+#include "unicast/link_state.hpp"
+#include "unicast/oracle_routing.hpp"
+#include "unicast/rib.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using unicast::Rib;
+using unicast::Route;
+
+TEST(Rib, LongestPrefixMatchWins) {
+    Rib rib;
+    rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 0, 0, 0), 8}, 1,
+                        net::Ipv4Address(1, 1, 1, 1), 10});
+    rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 1, 0, 0), 16}, 2,
+                        net::Ipv4Address(2, 2, 2, 2), 5});
+    rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 1, 2, 0), 24}, 3,
+                        net::Ipv4Address(3, 3, 3, 3), 1});
+
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 1, 2, 9))->ifindex, 3);
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 1, 9, 9))->ifindex, 2);
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 9, 9, 9))->ifindex, 1);
+    EXPECT_FALSE(rib.lookup(net::Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(Rib, DefaultRouteMatchesEverything) {
+    Rib rib;
+    rib.set_route(Route{net::Prefix{net::Ipv4Address{}, 0}, 7, net::Ipv4Address{}, 1});
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(8, 8, 8, 8))->ifindex, 7);
+}
+
+TEST(Rib, RemoveAndClear) {
+    Rib rib;
+    const net::Prefix p{net::Ipv4Address(10, 0, 0, 0), 8};
+    rib.set_route(Route{p, 1, net::Ipv4Address{}, 0});
+    EXPECT_EQ(rib.size(), 1u);
+    EXPECT_TRUE(rib.remove_route(p));
+    EXPECT_FALSE(rib.remove_route(p));
+    rib.set_route(Route{p, 1, net::Ipv4Address{}, 0});
+    rib.clear();
+    EXPECT_EQ(rib.size(), 0u);
+    EXPECT_EQ(rib.find(p), nullptr);
+}
+
+TEST(Rib, ObserversFireOnChangeOnly) {
+    Rib rib;
+    int fired = 0;
+    const int token = rib.subscribe([&] { ++fired; });
+    const Route route{net::Prefix{net::Ipv4Address(10, 0, 0, 0), 8}, 1,
+                      net::Ipv4Address{}, 3};
+    rib.set_route(route);
+    EXPECT_EQ(fired, 1);
+    rib.set_route(route); // identical: no notification (quiet refresh)
+    EXPECT_EQ(fired, 1);
+    Route changed = route;
+    changed.metric = 4;
+    rib.set_route(changed);
+    EXPECT_EQ(fired, 2);
+    rib.unsubscribe(token);
+    rib.remove_route(route.prefix);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Rib, UpdateBatchCoalescesNotifications) {
+    Rib rib;
+    int fired = 0;
+    rib.subscribe([&] { ++fired; });
+    {
+        Rib::UpdateBatch batch(rib);
+        for (int i = 0; i < 5; ++i) {
+            rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 0, std::uint8_t(i), 0), 24},
+                                i, net::Ipv4Address{}, 1});
+        }
+        EXPECT_EQ(fired, 0);
+    }
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(OracleRouting, ComputesShortestPathsAndConnectedRoutes) {
+    // r0 —(1)— r1 —(1)— r2, plus direct r0 —(5)— r2.
+    topo::Network net;
+    auto& r0 = net.add_router("r0");
+    auto& r1 = net.add_router("r1");
+    auto& r2 = net.add_router("r2");
+    net.add_link(r0, r1, sim::kMillisecond, 1);
+    net.add_link(r1, r2, sim::kMillisecond, 1);
+    net.add_link(r0, r2, sim::kMillisecond, 5);
+    unicast::OracleRouting routing(net);
+
+    EXPECT_EQ(routing.distance(r0, r2).value(), 2); // via r1, not the metric-5 link
+    auto route = r0.route_to(r2.router_id());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->ifindex, 0); // toward r1
+    EXPECT_EQ(route->next_hop, r1.interface(0).address);
+
+    // Connected prefix: no next hop.
+    auto connected = r0.route_to(net::Ipv4Address(10, 0, 0, 2));
+    ASSERT_TRUE(connected.has_value());
+    EXPECT_TRUE(connected->next_hop.is_unspecified());
+}
+
+TEST(OracleRouting, RecomputeAfterFailure) {
+    topo::Network net;
+    auto& r0 = net.add_router("r0");
+    auto& r1 = net.add_router("r1");
+    auto& r2 = net.add_router("r2");
+    net.add_link(r0, r1);
+    net.add_link(r1, r2);
+    auto& direct = net.add_link(r0, r2, sim::kMillisecond, 5);
+    unicast::OracleRouting routing(net);
+    ASSERT_EQ(routing.distance(r0, r2).value(), 2);
+
+    net.find_link(r0, r1)->set_up(false);
+    routing.recompute();
+    EXPECT_EQ(routing.distance(r0, r2).value(), 5); // now via the direct link
+    (void)direct;
+
+    net.find_link(r0, r1)->set_up(true);
+    direct.set_up(false);
+    routing.recompute();
+    EXPECT_EQ(routing.distance(r0, r2).value(), 2);
+}
+
+TEST(OracleRouting, PartitionYieldsNoRoute) {
+    topo::Network net;
+    auto& r0 = net.add_router("r0");
+    auto& r1 = net.add_router("r1");
+    net.add_link(r0, r1);
+    unicast::OracleRouting routing(net);
+    net.find_link(r0, r1)->set_up(false);
+    routing.recompute();
+    EXPECT_FALSE(routing.distance(r0, r1).has_value());
+    EXPECT_FALSE(r0.route_to(r1.router_id()).has_value());
+}
+
+TEST(DvUpdate, CodecRoundTrip) {
+    unicast::DvUpdate update;
+    update.entries.push_back({net::Prefix{net::Ipv4Address(10, 0, 0, 0), 24}, 3});
+    update.entries.push_back({net::Prefix{net::Ipv4Address(192, 168, 0, 1), 32}, 16});
+    const auto bytes = update.encode();
+    auto decoded = unicast::DvUpdate::decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->entries, update.entries);
+    // Truncated input rejected.
+    EXPECT_FALSE(unicast::DvUpdate::decode({bytes.data(), bytes.size() - 1}).has_value());
+}
+
+TEST(Lsa, CodecRoundTrip) {
+    unicast::Lsa lsa;
+    lsa.origin = net::Ipv4Address(192, 168, 0, 1);
+    lsa.seq = 42;
+    lsa.links.push_back({net::Ipv4Address(192, 168, 0, 2), 3});
+    lsa.prefixes.push_back({net::Prefix{net::Ipv4Address(10, 0, 0, 0), 24}, 1});
+    const auto bytes = lsa.encode();
+    auto decoded = unicast::Lsa::decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->origin, lsa.origin);
+    EXPECT_EQ(decoded->seq, lsa.seq);
+    EXPECT_EQ(decoded->links, lsa.links);
+    EXPECT_EQ(decoded->prefixes, lsa.prefixes);
+    EXPECT_FALSE(unicast::Lsa::decode({bytes.data(), bytes.size() - 2}).has_value());
+}
+
+/// Builds a random router topology and verifies that the protocol under
+/// test converges to the oracle's shortest-path metrics for all router ids.
+class ConvergenceTest : public ::testing::TestWithParam<int> {
+protected:
+    void build(topo::Network& net, std::vector<topo::Router*>& routers) {
+        std::mt19937 rng(static_cast<std::uint32_t>(GetParam()));
+        graph::Graph g =
+            graph::random_connected_graph({.nodes = 8, .average_degree = 3}, rng);
+        for (int i = 0; i < g.node_count(); ++i) {
+            routers.push_back(&net.add_router("r" + std::to_string(i)));
+        }
+        for (int u = 0; u < g.node_count(); ++u) {
+            for (const auto& e : g.neighbors(u)) {
+                if (e.to > u) net.add_link(*routers[u], *routers[e.to]);
+            }
+        }
+    }
+
+    void verify_against_oracle(topo::Network& net,
+                               const std::vector<topo::Router*>& routers) {
+        // A fresh oracle gives ground-truth metrics (it would clobber the
+        // routers' unicast pointers, so compute expected values first).
+        std::map<std::pair<int, int>, std::optional<int>> expected;
+        {
+            std::vector<const topo::UnicastLookup*> saved;
+            for (auto* r : routers) saved.push_back(r->unicast());
+            unicast::OracleRouting oracle(net);
+            for (std::size_t i = 0; i < routers.size(); ++i) {
+                for (std::size_t j = 0; j < routers.size(); ++j) {
+                    expected[{int(i), int(j)}] = oracle.distance(*routers[i], *routers[j]);
+                }
+            }
+            for (std::size_t i = 0; i < routers.size(); ++i) {
+                routers[i]->set_unicast(
+                    const_cast<topo::UnicastLookup*>(saved[i]));
+            }
+        }
+        for (std::size_t i = 0; i < routers.size(); ++i) {
+            for (std::size_t j = 0; j < routers.size(); ++j) {
+                if (i == j) continue;
+                auto route = routers[i]->route_to(routers[j]->router_id());
+                ASSERT_TRUE(route.has_value())
+                    << routers[i]->name() << " has no route to " << routers[j]->name();
+                const int want = expected[std::make_pair(int(i), int(j))].value();
+                EXPECT_EQ(route->metric, want)
+                    << routers[i]->name() << " -> " << routers[j]->name();
+            }
+        }
+    }
+};
+
+class DvConvergenceTest : public ConvergenceTest {};
+
+TEST_P(DvConvergenceTest, ConvergesToShortestPaths) {
+    topo::Network net;
+    std::vector<topo::Router*> routers;
+    build(net, routers);
+    unicast::DvConfig cfg;
+    cfg.update_interval = 100 * sim::kMillisecond;
+    cfg.route_timeout = 300 * sim::kMillisecond;
+    cfg.gc_delay = 200 * sim::kMillisecond;
+    cfg.triggered_delay = 5 * sim::kMillisecond;
+    unicast::DvRoutingDomain domain(net, cfg);
+    net.run_for(3 * sim::kSecond);
+    verify_against_oracle(net, routers);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, DvConvergenceTest, ::testing::Range(1, 6));
+
+class LsConvergenceTest : public ConvergenceTest {};
+
+TEST_P(LsConvergenceTest, ConvergesToShortestPaths) {
+    topo::Network net;
+    std::vector<topo::Router*> routers;
+    build(net, routers);
+    unicast::LsConfig cfg;
+    cfg.hello_interval = 50 * sim::kMillisecond;
+    cfg.dead_interval = 150 * sim::kMillisecond;
+    cfg.lsa_refresh = 300 * sim::kMillisecond;
+    cfg.lsa_max_age = 900 * sim::kMillisecond;
+    cfg.spf_delay = 5 * sim::kMillisecond;
+    unicast::LsRoutingDomain domain(net, cfg);
+    net.run_for(3 * sim::kSecond);
+    verify_against_oracle(net, routers);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, LsConvergenceTest, ::testing::Range(1, 6));
+
+TEST(DistanceVector, RouteTimesOutAfterLinkFailure) {
+    topo::Network net;
+    auto& r0 = net.add_router("r0");
+    auto& r1 = net.add_router("r1");
+    auto& r2 = net.add_router("r2");
+    net.add_link(r0, r1);
+    net.add_link(r1, r2);
+    unicast::DvConfig cfg;
+    cfg.update_interval = 100 * sim::kMillisecond;
+    cfg.route_timeout = 300 * sim::kMillisecond;
+    cfg.gc_delay = 200 * sim::kMillisecond;
+    unicast::DvRoutingDomain domain(net, cfg);
+    net.run_for(2 * sim::kSecond);
+    ASSERT_TRUE(r0.route_to(r2.router_id()).has_value());
+
+    net.find_link(r1, r2)->set_up(false);
+    net.run_for(2 * sim::kSecond);
+    EXPECT_FALSE(r0.route_to(r2.router_id()).has_value());
+}
+
+TEST(LinkState, ReconvergesAroundFailure) {
+    // Square: r0-r1-r2 and r0-r3-r2.
+    topo::Network net;
+    auto& r0 = net.add_router("r0");
+    auto& r1 = net.add_router("r1");
+    auto& r2 = net.add_router("r2");
+    auto& r3 = net.add_router("r3");
+    net.add_link(r0, r1);
+    net.add_link(r1, r2);
+    net.add_link(r0, r3);
+    net.add_link(r3, r2);
+    unicast::LsConfig cfg;
+    cfg.hello_interval = 50 * sim::kMillisecond;
+    cfg.dead_interval = 150 * sim::kMillisecond;
+    cfg.lsa_refresh = 300 * sim::kMillisecond;
+    cfg.spf_delay = 5 * sim::kMillisecond;
+    unicast::LsRoutingDomain domain(net, cfg);
+    net.run_for(2 * sim::kSecond);
+    auto route = r0.route_to(r2.router_id());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->metric, 2);
+
+    // Fail whichever path r0 uses; it must reroute via the other.
+    const bool via_r1 = route->next_hop == r1.interface(0).address;
+    net.find_link(r0, via_r1 ? r1 : r3)->set_up(false);
+    net.run_for(2 * sim::kSecond);
+    route = r0.route_to(r2.router_id());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->metric, 2);
+    EXPECT_EQ(route->next_hop,
+              (via_r1 ? r3 : r1).interface(0).address);
+}
+
+} // namespace
+} // namespace pimlib::test
