@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_traffic_concentration.dir/fig2b_traffic_concentration.cpp.o"
+  "CMakeFiles/fig2b_traffic_concentration.dir/fig2b_traffic_concentration.cpp.o.d"
+  "fig2b_traffic_concentration"
+  "fig2b_traffic_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_traffic_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

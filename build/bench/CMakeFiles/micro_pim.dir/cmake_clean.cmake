@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pim.dir/micro_pim.cpp.o"
+  "CMakeFiles/micro_pim.dir/micro_pim.cpp.o.d"
+  "micro_pim"
+  "micro_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_overhead.dir/scaling_overhead.cpp.o"
+  "CMakeFiles/scaling_overhead.dir/scaling_overhead.cpp.o.d"
+  "scaling_overhead"
+  "scaling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_vs_sparse.dir/dense_vs_sparse.cpp.o"
+  "CMakeFiles/dense_vs_sparse.dir/dense_vs_sparse.cpp.o.d"
+  "dense_vs_sparse"
+  "dense_vs_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_vs_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

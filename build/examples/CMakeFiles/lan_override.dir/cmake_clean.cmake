@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_override.dir/lan_override.cpp.o"
+  "CMakeFiles/lan_override.dir/lan_override.cpp.o.d"
+  "lan_override"
+  "lan_override.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_override.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

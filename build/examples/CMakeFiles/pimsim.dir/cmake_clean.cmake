@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimsim.dir/pimsim.cpp.o"
+  "CMakeFiles/pimsim.dir/pimsim.cpp.o.d"
+  "pimsim"
+  "pimsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_failover.dir/rp_failover.cpp.o"
+  "CMakeFiles/rp_failover.dir/rp_failover.cpp.o.d"
+  "rp_failover"
+  "rp_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

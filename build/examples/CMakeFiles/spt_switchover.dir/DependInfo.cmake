@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spt_switchover.cpp" "examples/CMakeFiles/spt_switchover.dir/spt_switchover.cpp.o" "gcc" "examples/CMakeFiles/spt_switchover.dir/spt_switchover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimlib_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_dvmrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_cbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_mospf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_unicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

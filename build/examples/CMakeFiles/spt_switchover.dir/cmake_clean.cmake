@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_switchover.dir/spt_switchover.cpp.o"
+  "CMakeFiles/spt_switchover.dir/spt_switchover.cpp.o.d"
+  "spt_switchover"
+  "spt_switchover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_switchover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

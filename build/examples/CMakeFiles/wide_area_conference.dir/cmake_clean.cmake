@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_conference.dir/wide_area_conference.cpp.o"
+  "CMakeFiles/wide_area_conference.dir/wide_area_conference.cpp.o.d"
+  "wide_area_conference"
+  "wide_area_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_cbt.dir/cbt/cbt.cpp.o"
+  "CMakeFiles/pimlib_cbt.dir/cbt/cbt.cpp.o.d"
+  "libpimlib_cbt.a"
+  "libpimlib_cbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_cbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_dvmrp.dir/dvmrp/dvmrp.cpp.o"
+  "CMakeFiles/pimlib_dvmrp.dir/dvmrp/dvmrp.cpp.o.d"
+  "libpimlib_dvmrp.a"
+  "libpimlib_dvmrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_dvmrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

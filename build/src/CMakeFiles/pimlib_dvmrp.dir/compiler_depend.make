@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pimlib_dvmrp.
+# This may be replaced when dependencies are built.

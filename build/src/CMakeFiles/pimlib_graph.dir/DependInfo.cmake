@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/center_tree.cpp" "src/CMakeFiles/pimlib_graph.dir/graph/center_tree.cpp.o" "gcc" "src/CMakeFiles/pimlib_graph.dir/graph/center_tree.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/pimlib_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/pimlib_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/random_graph.cpp" "src/CMakeFiles/pimlib_graph.dir/graph/random_graph.cpp.o" "gcc" "src/CMakeFiles/pimlib_graph.dir/graph/random_graph.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/CMakeFiles/pimlib_graph.dir/graph/shortest_path.cpp.o" "gcc" "src/CMakeFiles/pimlib_graph.dir/graph/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/tree_metrics.cpp" "src/CMakeFiles/pimlib_graph.dir/graph/tree_metrics.cpp.o" "gcc" "src/CMakeFiles/pimlib_graph.dir/graph/tree_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_graph.dir/graph/center_tree.cpp.o"
+  "CMakeFiles/pimlib_graph.dir/graph/center_tree.cpp.o.d"
+  "CMakeFiles/pimlib_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/pimlib_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/pimlib_graph.dir/graph/random_graph.cpp.o"
+  "CMakeFiles/pimlib_graph.dir/graph/random_graph.cpp.o.d"
+  "CMakeFiles/pimlib_graph.dir/graph/shortest_path.cpp.o"
+  "CMakeFiles/pimlib_graph.dir/graph/shortest_path.cpp.o.d"
+  "CMakeFiles/pimlib_graph.dir/graph/tree_metrics.cpp.o"
+  "CMakeFiles/pimlib_graph.dir/graph/tree_metrics.cpp.o.d"
+  "libpimlib_graph.a"
+  "libpimlib_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/igmp/host_agent.cpp" "src/CMakeFiles/pimlib_igmp.dir/igmp/host_agent.cpp.o" "gcc" "src/CMakeFiles/pimlib_igmp.dir/igmp/host_agent.cpp.o.d"
+  "/root/repo/src/igmp/messages.cpp" "src/CMakeFiles/pimlib_igmp.dir/igmp/messages.cpp.o" "gcc" "src/CMakeFiles/pimlib_igmp.dir/igmp/messages.cpp.o.d"
+  "/root/repo/src/igmp/router_agent.cpp" "src/CMakeFiles/pimlib_igmp.dir/igmp/router_agent.cpp.o" "gcc" "src/CMakeFiles/pimlib_igmp.dir/igmp/router_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimlib_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

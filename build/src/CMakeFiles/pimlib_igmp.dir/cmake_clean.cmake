@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_igmp.dir/igmp/host_agent.cpp.o"
+  "CMakeFiles/pimlib_igmp.dir/igmp/host_agent.cpp.o.d"
+  "CMakeFiles/pimlib_igmp.dir/igmp/messages.cpp.o"
+  "CMakeFiles/pimlib_igmp.dir/igmp/messages.cpp.o.d"
+  "CMakeFiles/pimlib_igmp.dir/igmp/router_agent.cpp.o"
+  "CMakeFiles/pimlib_igmp.dir/igmp/router_agent.cpp.o.d"
+  "libpimlib_igmp.a"
+  "libpimlib_igmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_igmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

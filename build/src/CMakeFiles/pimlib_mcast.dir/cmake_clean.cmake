@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_mcast.dir/mcast/forwarding_cache.cpp.o"
+  "CMakeFiles/pimlib_mcast.dir/mcast/forwarding_cache.cpp.o.d"
+  "CMakeFiles/pimlib_mcast.dir/mcast/forwarding_entry.cpp.o"
+  "CMakeFiles/pimlib_mcast.dir/mcast/forwarding_entry.cpp.o.d"
+  "libpimlib_mcast.a"
+  "libpimlib_mcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pimlib_mcast.
+# This may be replaced when dependencies are built.

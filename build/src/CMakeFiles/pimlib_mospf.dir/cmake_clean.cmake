@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_mospf.dir/mospf/mospf.cpp.o"
+  "CMakeFiles/pimlib_mospf.dir/mospf/mospf.cpp.o.d"
+  "libpimlib_mospf.a"
+  "libpimlib_mospf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_mospf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

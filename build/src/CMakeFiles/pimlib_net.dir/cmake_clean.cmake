@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_net.dir/net/buffer.cpp.o"
+  "CMakeFiles/pimlib_net.dir/net/buffer.cpp.o.d"
+  "CMakeFiles/pimlib_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/pimlib_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/pimlib_net.dir/net/packet.cpp.o"
+  "CMakeFiles/pimlib_net.dir/net/packet.cpp.o.d"
+  "libpimlib_net.a"
+  "libpimlib_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

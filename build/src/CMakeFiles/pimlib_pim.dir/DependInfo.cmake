@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/messages.cpp" "src/CMakeFiles/pimlib_pim.dir/pim/messages.cpp.o" "gcc" "src/CMakeFiles/pimlib_pim.dir/pim/messages.cpp.o.d"
+  "/root/repo/src/pim/pim_dm.cpp" "src/CMakeFiles/pimlib_pim.dir/pim/pim_dm.cpp.o" "gcc" "src/CMakeFiles/pimlib_pim.dir/pim/pim_dm.cpp.o.d"
+  "/root/repo/src/pim/pim_sm.cpp" "src/CMakeFiles/pimlib_pim.dir/pim/pim_sm.cpp.o" "gcc" "src/CMakeFiles/pimlib_pim.dir/pim/pim_sm.cpp.o.d"
+  "/root/repo/src/pim/rp_set.cpp" "src/CMakeFiles/pimlib_pim.dir/pim/rp_set.cpp.o" "gcc" "src/CMakeFiles/pimlib_pim.dir/pim/rp_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimlib_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_unicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_pim.dir/pim/messages.cpp.o"
+  "CMakeFiles/pimlib_pim.dir/pim/messages.cpp.o.d"
+  "CMakeFiles/pimlib_pim.dir/pim/pim_dm.cpp.o"
+  "CMakeFiles/pimlib_pim.dir/pim/pim_dm.cpp.o.d"
+  "CMakeFiles/pimlib_pim.dir/pim/pim_sm.cpp.o"
+  "CMakeFiles/pimlib_pim.dir/pim/pim_sm.cpp.o.d"
+  "CMakeFiles/pimlib_pim.dir/pim/rp_set.cpp.o"
+  "CMakeFiles/pimlib_pim.dir/pim/rp_set.cpp.o.d"
+  "libpimlib_pim.a"
+  "libpimlib_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimlib_pim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_scenario.dir/scenario/stacks.cpp.o"
+  "CMakeFiles/pimlib_scenario.dir/scenario/stacks.cpp.o.d"
+  "libpimlib_scenario.a"
+  "libpimlib_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/pimlib_sim.dir/sim/simulator.cpp.o.d"
+  "libpimlib_sim.a"
+  "libpimlib_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

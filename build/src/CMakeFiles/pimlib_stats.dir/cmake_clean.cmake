@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_stats.dir/stats/counters.cpp.o"
+  "CMakeFiles/pimlib_stats.dir/stats/counters.cpp.o.d"
+  "libpimlib_stats.a"
+  "libpimlib_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builder.cpp" "src/CMakeFiles/pimlib_topo.dir/topo/builder.cpp.o" "gcc" "src/CMakeFiles/pimlib_topo.dir/topo/builder.cpp.o.d"
+  "/root/repo/src/topo/host.cpp" "src/CMakeFiles/pimlib_topo.dir/topo/host.cpp.o" "gcc" "src/CMakeFiles/pimlib_topo.dir/topo/host.cpp.o.d"
+  "/root/repo/src/topo/network.cpp" "src/CMakeFiles/pimlib_topo.dir/topo/network.cpp.o" "gcc" "src/CMakeFiles/pimlib_topo.dir/topo/network.cpp.o.d"
+  "/root/repo/src/topo/node.cpp" "src/CMakeFiles/pimlib_topo.dir/topo/node.cpp.o" "gcc" "src/CMakeFiles/pimlib_topo.dir/topo/node.cpp.o.d"
+  "/root/repo/src/topo/router.cpp" "src/CMakeFiles/pimlib_topo.dir/topo/router.cpp.o" "gcc" "src/CMakeFiles/pimlib_topo.dir/topo/router.cpp.o.d"
+  "/root/repo/src/topo/segment.cpp" "src/CMakeFiles/pimlib_topo.dir/topo/segment.cpp.o" "gcc" "src/CMakeFiles/pimlib_topo.dir/topo/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimlib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_topo.dir/topo/builder.cpp.o"
+  "CMakeFiles/pimlib_topo.dir/topo/builder.cpp.o.d"
+  "CMakeFiles/pimlib_topo.dir/topo/host.cpp.o"
+  "CMakeFiles/pimlib_topo.dir/topo/host.cpp.o.d"
+  "CMakeFiles/pimlib_topo.dir/topo/network.cpp.o"
+  "CMakeFiles/pimlib_topo.dir/topo/network.cpp.o.d"
+  "CMakeFiles/pimlib_topo.dir/topo/node.cpp.o"
+  "CMakeFiles/pimlib_topo.dir/topo/node.cpp.o.d"
+  "CMakeFiles/pimlib_topo.dir/topo/router.cpp.o"
+  "CMakeFiles/pimlib_topo.dir/topo/router.cpp.o.d"
+  "CMakeFiles/pimlib_topo.dir/topo/segment.cpp.o"
+  "CMakeFiles/pimlib_topo.dir/topo/segment.cpp.o.d"
+  "libpimlib_topo.a"
+  "libpimlib_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

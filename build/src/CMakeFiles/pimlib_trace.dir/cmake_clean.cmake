@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_trace.dir/trace/tracer.cpp.o"
+  "CMakeFiles/pimlib_trace.dir/trace/tracer.cpp.o.d"
+  "libpimlib_trace.a"
+  "libpimlib_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unicast/distance_vector.cpp" "src/CMakeFiles/pimlib_unicast.dir/unicast/distance_vector.cpp.o" "gcc" "src/CMakeFiles/pimlib_unicast.dir/unicast/distance_vector.cpp.o.d"
+  "/root/repo/src/unicast/link_state.cpp" "src/CMakeFiles/pimlib_unicast.dir/unicast/link_state.cpp.o" "gcc" "src/CMakeFiles/pimlib_unicast.dir/unicast/link_state.cpp.o.d"
+  "/root/repo/src/unicast/oracle_routing.cpp" "src/CMakeFiles/pimlib_unicast.dir/unicast/oracle_routing.cpp.o" "gcc" "src/CMakeFiles/pimlib_unicast.dir/unicast/oracle_routing.cpp.o.d"
+  "/root/repo/src/unicast/rib.cpp" "src/CMakeFiles/pimlib_unicast.dir/unicast/rib.cpp.o" "gcc" "src/CMakeFiles/pimlib_unicast.dir/unicast/rib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimlib_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimlib_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimlib_unicast.dir/unicast/distance_vector.cpp.o"
+  "CMakeFiles/pimlib_unicast.dir/unicast/distance_vector.cpp.o.d"
+  "CMakeFiles/pimlib_unicast.dir/unicast/link_state.cpp.o"
+  "CMakeFiles/pimlib_unicast.dir/unicast/link_state.cpp.o.d"
+  "CMakeFiles/pimlib_unicast.dir/unicast/oracle_routing.cpp.o"
+  "CMakeFiles/pimlib_unicast.dir/unicast/oracle_routing.cpp.o.d"
+  "CMakeFiles/pimlib_unicast.dir/unicast/rib.cpp.o"
+  "CMakeFiles/pimlib_unicast.dir/unicast/rib.cpp.o.d"
+  "libpimlib_unicast.a"
+  "libpimlib_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimlib_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbt.dir/cbt_test.cpp.o"
+  "CMakeFiles/test_cbt.dir/cbt_test.cpp.o.d"
+  "test_cbt"
+  "test_cbt.pdb"
+  "test_cbt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvmrp.dir/dvmrp_test.cpp.o"
+  "CMakeFiles/test_dvmrp.dir/dvmrp_test.cpp.o.d"
+  "test_dvmrp"
+  "test_dvmrp.pdb"
+  "test_dvmrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvmrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

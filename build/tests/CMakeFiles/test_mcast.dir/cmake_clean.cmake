@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcast.dir/mcast_test.cpp.o"
+  "CMakeFiles/test_mcast.dir/mcast_test.cpp.o.d"
+  "test_mcast"
+  "test_mcast.pdb"
+  "test_mcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

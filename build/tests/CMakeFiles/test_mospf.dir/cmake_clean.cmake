@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mospf.dir/mospf_test.cpp.o"
+  "CMakeFiles/test_mospf.dir/mospf_test.cpp.o.d"
+  "test_mospf"
+  "test_mospf.pdb"
+  "test_mospf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mospf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

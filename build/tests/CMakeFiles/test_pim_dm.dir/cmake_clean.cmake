@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_dm.dir/pim_dm_test.cpp.o"
+  "CMakeFiles/test_pim_dm.dir/pim_dm_test.cpp.o.d"
+  "test_pim_dm"
+  "test_pim_dm.pdb"
+  "test_pim_dm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

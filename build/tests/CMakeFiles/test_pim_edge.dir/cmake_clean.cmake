@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_edge.dir/pim_edge_test.cpp.o"
+  "CMakeFiles/test_pim_edge.dir/pim_edge_test.cpp.o.d"
+  "test_pim_edge"
+  "test_pim_edge.pdb"
+  "test_pim_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_messages.dir/pim_messages_test.cpp.o"
+  "CMakeFiles/test_pim_messages.dir/pim_messages_test.cpp.o.d"
+  "test_pim_messages"
+  "test_pim_messages.pdb"
+  "test_pim_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_sm.dir/pim_sm_test.cpp.o"
+  "CMakeFiles/test_pim_sm.dir/pim_sm_test.cpp.o.d"
+  "test_pim_sm"
+  "test_pim_sm.pdb"
+  "test_pim_sm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_walkthrough.dir/pim_walkthrough_test.cpp.o"
+  "CMakeFiles/test_pim_walkthrough.dir/pim_walkthrough_test.cpp.o.d"
+  "test_pim_walkthrough"
+  "test_pim_walkthrough.pdb"
+  "test_pim_walkthrough[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unicast.dir/unicast_test.cpp.o"
+  "CMakeFiles/test_unicast.dir/unicast_test.cpp.o.d"
+  "test_unicast"
+  "test_unicast.pdb"
+  "test_unicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_unicast[1]_include.cmake")
+include("/root/repo/build/tests/test_igmp[1]_include.cmake")
+include("/root/repo/build/tests/test_mcast[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_sm[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_walkthrough[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_dm[1]_include.cmake")
+include("/root/repo/build/tests/test_dvmrp[1]_include.cmake")
+include("/root/repo/build/tests/test_cbt[1]_include.cmake")
+include("/root/repo/build/tests/test_mospf[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_interop[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
