@@ -23,16 +23,27 @@
 //     trace on                         # wiretap with decoded control messages
 //     at 100ms join receiver 224.1.1.1
 //     at 300ms send source 224.1.1.1 count=10 interval=50ms
-//     at 900ms fail-link A B
+//     at 900ms fail-link A B           # fault: cut the A-B segment
 //     at 1500ms heal-link A B
+//     at 900ms crash-router B          # fault: all ifaces down, soft state lost
+//     at 1500ms restart-router B
+//     at 900ms loss-link A B 0.3       # fault: 30% per-frame loss
+//     at 900ms loss-lan lan0 0.3
+//     at 900ms partition A B C D       # fault: cut links A-B and C-D together
+//     at 1500ms heal-partition
 //     at 2s    leave receiver 224.1.1.1
 //     at 2s    dump-state
 //     run 3s
+//
+// Every fault goes through fault::FaultInjector, so unicast routing
+// recomputes automatically and crashed routers lose (and rebuild) their
+// protocol state; the run ends with the injector's fault log.
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 
+#include "fault/fault_injector.hpp"
 #include "scenario/stacks.hpp"
 #include "topo/builder.hpp"
 #include "topo/segment.hpp"
@@ -93,6 +104,7 @@ struct Scenario {
     topo::Network net;
     std::unique_ptr<topo::TopologyBuilder> topo;
     std::unique_ptr<unicast::OracleRouting> routing;
+    std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<trace::PacketTracer> tracer;
     std::string protocol = "pim-sm";
     std::unique_ptr<scenario::PimSmStack> pim_sm;
@@ -173,6 +185,7 @@ void run_scenario(const std::string& text) {
     auto ensure_stack = [&](Scenario& sc) {
         if (sc.pim_sm || sc.pim_dm || sc.dvmrp || sc.cbt || sc.mospf) return;
         sc.routing = std::make_unique<unicast::OracleRouting>(sc.net);
+        sc.faults = std::make_unique<fault::FaultInjector>(sc.net);
         if (want_trace) sc.tracer = std::make_unique<trace::PacketTracer>(sc.net);
         if (sc.protocol == "pim-sm") {
             sc.pim_sm = std::make_unique<scenario::PimSmStack>(sc.net, config);
@@ -199,6 +212,7 @@ void run_scenario(const std::string& text) {
             std::fprintf(stderr, "pimsim: unknown protocol '%s'\n", sc.protocol.c_str());
             std::exit(2);
         }
+        sc.stack().wire_faults(*sc.faults);
     };
 
     while (std::getline(input, raw)) {
@@ -302,9 +316,64 @@ void run_scenario(const std::string& text) {
                 const bool up = verb == "heal-link";
                 (void)s.topo->link(a, b);
                 events.push_back({at, [a, b, up](Scenario& sc) {
-                                      sc.topo->link(a, b).set_up(up);
-                                      sc.routing->recompute();
+                                      auto& link = sc.topo->link(a, b);
+                                      if (up) {
+                                          sc.faults->restore_link(link);
+                                      } else {
+                                          sc.faults->cut_link(link);
+                                      }
                                   }});
+            } else if (verb == "crash-router" || verb == "restart-router") {
+                std::string name;
+                ls >> name;
+                const bool crash = verb == "crash-router";
+                (void)s.topo->router(name);
+                events.push_back({at, [name, crash](Scenario& sc) {
+                                      auto& router = sc.topo->router(name);
+                                      if (crash) {
+                                          sc.faults->crash_router(router);
+                                      } else {
+                                          sc.faults->restart_router(router);
+                                      }
+                                  }});
+            } else if (verb == "loss-link" || verb == "loss-lan") {
+                std::string a;
+                ls >> a;
+                std::string b;
+                if (verb == "loss-link") ls >> b;
+                double rate = 0;
+                ls >> rate;
+                if (rate < 0 || rate >= 1) fail(line, "loss rate must be in [0,1)");
+                const bool is_link = verb == "loss-link";
+                if (is_link) {
+                    (void)s.topo->link(a, b);
+                } else {
+                    (void)s.topo->lan(a);
+                }
+                events.push_back({at, [a, b, rate, is_link](Scenario& sc) {
+                                      auto& seg = is_link ? sc.topo->link(a, b)
+                                                          : sc.topo->lan(a);
+                                      sc.faults->set_loss(seg, rate);
+                                  }});
+            } else if (verb == "partition") {
+                std::vector<std::string> names;
+                std::string name;
+                while (ls >> name) names.push_back(name);
+                if (names.empty() || names.size() % 2 != 0) {
+                    fail(line, "partition needs router pairs: A B [C D ...]");
+                }
+                for (std::size_t i = 0; i < names.size(); i += 2) {
+                    (void)s.topo->link(names[i], names[i + 1]);
+                }
+                events.push_back({at, [names](Scenario& sc) {
+                                      std::vector<topo::Segment*> cut;
+                                      for (std::size_t i = 0; i < names.size(); i += 2) {
+                                          cut.push_back(&sc.topo->link(names[i], names[i + 1]));
+                                      }
+                                      sc.faults->partition(cut);
+                                  }});
+            } else if (verb == "heal-partition") {
+                events.push_back({at, [](Scenario& sc) { sc.faults->heal_partition(); }});
             } else if (verb == "dump-state") {
                 events.push_back({at, [](Scenario& sc) { sc.dump_state(); }});
             } else {
@@ -341,6 +410,14 @@ void run_scenario(const std::string& text) {
     std::printf("--- totals: data_tx=%llu control=%llu ---\n",
                 static_cast<unsigned long long>(s.net.stats().total_data_packets()),
                 static_cast<unsigned long long>(s.net.stats().total_control_messages()));
+    if (s.faults && !s.faults->events().empty()) {
+        std::printf("--- injected faults ---\n");
+        for (const auto& event : s.faults->events()) {
+            std::printf("  %8.1fms  %s\n",
+                        static_cast<double>(event.at) / sim::kMillisecond,
+                        event.description.c_str());
+        }
+    }
 }
 
 } // namespace
@@ -359,6 +436,11 @@ int main(int argc, char** argv) {
     } else {
         std::printf("(no scenario file given; running the built-in demo)\n\n");
     }
-    run_scenario(text);
+    try {
+        run_scenario(text);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "pimsim: %s\n", e.what());
+        return 2;
+    }
     return 0;
 }

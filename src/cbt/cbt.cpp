@@ -413,7 +413,7 @@ void CbtRouter::on_tick() {
     for (net::GroupAddress group : candidates) maybe_quit(group);
 }
 
-void CbtRouter::flood_tree(net::GroupAddress group, TreeState& state,
+void CbtRouter::flood_tree(net::GroupAddress /*group*/, TreeState& state,
                            int arrival_ifindex, const net::Packet& packet) {
     if (packet.ttl <= 1) {
         router_->network().stats().count_data_dropped_ttl();

@@ -248,7 +248,6 @@ void DvmrpRouter::on_message(int ifindex, const net::Packet& packet) {
 }
 
 void DvmrpRouter::on_membership(int ifindex, net::GroupAddress group, bool present) {
-    const sim::Time now = router_->simulator().now();
     cache_.for_each_sg_of(group, [&](mcast::ForwardingEntry& sg) {
         if (present) {
             if (ifindex == sg.iif()) return;

@@ -1,0 +1,86 @@
+#include "fault/convergence_probe.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pimlib::fault {
+
+namespace {
+
+double seconds(sim::Time t) { return static_cast<double>(t) / sim::kSecond; }
+
+void append_seconds(std::ostringstream& out, double value) {
+    const auto flags = out.flags();
+    out.setf(std::ios::fixed);
+    const auto precision = out.precision(6);
+    out << value;
+    out.flags(flags);
+    out.precision(precision);
+}
+
+} // namespace
+
+ConvergenceProbe::ConvergenceProbe(topo::Network& network) : network_(&network) {
+    tap_token_ = network_->add_packet_tap(
+        [this](const topo::Segment&, const net::Frame& frame) {
+            if (frame.packet.proto != net::IpProto::kUdp) {
+                control_times_.push_back(network_->simulator().now());
+            }
+        });
+}
+
+ConvergenceProbe::~ConvergenceProbe() { network_->remove_packet_tap(tap_token_); }
+
+ConvergenceProbe::Report ConvergenceProbe::measure(
+    net::GroupAddress group, const std::vector<const topo::Host*>& receivers,
+    sim::Time fault_at) const {
+    Report report;
+    report.fault_at = fault_at;
+    report.converged = !receivers.empty();
+
+    for (const topo::Host* host : receivers) {
+        ReceiverRecovery rec;
+        rec.receiver = host->name();
+        for (const auto& record : host->received()) {
+            if (record.group != group || record.at <= fault_at) continue;
+            rec.recovered = true;
+            rec.first_delivery = record.at;
+            rec.recovery = record.at - fault_at;
+            break; // delivery log is chronological
+        }
+        if (!rec.recovered) report.converged = false;
+        report.converged_at = std::max(report.converged_at, rec.first_delivery);
+        report.receivers.push_back(std::move(rec));
+    }
+    if (report.converged) report.recovery = report.converged_at - fault_at;
+
+    const sim::Time window_end =
+        report.converged ? report.converged_at : network_->simulator().now();
+    report.control_messages = static_cast<std::uint64_t>(std::count_if(
+        control_times_.begin(), control_times_.end(),
+        [&](sim::Time t) { return t > fault_at && t <= window_end; }));
+    return report;
+}
+
+std::string ConvergenceProbe::Report::to_json() const {
+    std::ostringstream out;
+    out << "{\"fault_at_s\":";
+    append_seconds(out, seconds(fault_at));
+    out << ",\"converged\":" << (converged ? "true" : "false");
+    out << ",\"recovery_s\":";
+    append_seconds(out, converged ? seconds(recovery) : -1.0);
+    out << ",\"control_messages\":" << control_messages;
+    out << ",\"receivers\":[";
+    for (std::size_t i = 0; i < receivers.size(); ++i) {
+        const ReceiverRecovery& rec = receivers[i];
+        if (i > 0) out << ",";
+        out << "{\"name\":\"" << rec.receiver << "\",\"recovered\":"
+            << (rec.recovered ? "true" : "false") << ",\"recovery_s\":";
+        append_seconds(out, rec.recovered ? seconds(rec.recovery) : -1.0);
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace pimlib::fault

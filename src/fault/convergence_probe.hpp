@@ -1,0 +1,65 @@
+// Measures how fast the network heals after an injected fault. The probe
+// wiretaps every segment (coexisting with any trace::PacketTracer thanks to
+// the multi-tap registry) and, combined with each receiving Host's delivery
+// log, answers the two questions the paper's robustness argument raises
+// (§2.7, §3.4): how long until every receiver hears data again, and how
+// much control traffic did the recovery cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/host.hpp"
+#include "topo/network.hpp"
+
+namespace pimlib::fault {
+
+class ConvergenceProbe {
+public:
+    explicit ConvergenceProbe(topo::Network& network);
+    ~ConvergenceProbe();
+
+    ConvergenceProbe(const ConvergenceProbe&) = delete;
+    ConvergenceProbe& operator=(const ConvergenceProbe&) = delete;
+
+    struct ReceiverRecovery {
+        std::string receiver;
+        bool recovered = false;
+        sim::Time first_delivery = 0; // absolute; valid when recovered
+        sim::Time recovery = 0;       // first_delivery - fault_at
+    };
+
+    struct Report {
+        sim::Time fault_at = 0;
+        bool converged = false;     // every receiver heard data post-fault
+        sim::Time converged_at = 0; // slowest receiver's first delivery
+        sim::Time recovery = 0;     // converged_at - fault_at
+        std::vector<ReceiverRecovery> receivers;
+        /// Control frames transmitted anywhere in (fault_at, converged_at]
+        /// — the recovery's control-message cost. When not converged, counts
+        /// everything after the fault (the protocol is still trying).
+        std::uint64_t control_messages = 0;
+
+        [[nodiscard]] std::string to_json() const;
+    };
+
+    /// Scans each receiver's delivery log for its first `group` data packet
+    /// after `fault_at` — by the paper's soft-state argument the tree has
+    /// healed once every member receives again.
+    [[nodiscard]] Report measure(net::GroupAddress group,
+                                 const std::vector<const topo::Host*>& receivers,
+                                 sim::Time fault_at) const;
+
+    /// Control frames seen on the wire so far (all protocols, all segments).
+    [[nodiscard]] std::uint64_t control_frames_seen() const {
+        return static_cast<std::uint64_t>(control_times_.size());
+    }
+
+private:
+    topo::Network* network_;
+    int tap_token_ = 0;
+    std::vector<sim::Time> control_times_;
+};
+
+} // namespace pimlib::fault

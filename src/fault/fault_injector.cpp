@@ -1,0 +1,117 @@
+#include "fault/fault_injector.hpp"
+
+namespace pimlib::fault {
+
+void FaultInjector::record(const std::string& description) {
+    events_.push_back(FaultEvent{network_->simulator().now(), description});
+}
+
+void FaultInjector::schedule_at(sim::Time when, std::function<void()> fn) {
+    const sim::Time now = network_->simulator().now();
+    network_->simulator().schedule(when > now ? when - now : 0, std::move(fn));
+}
+
+void FaultInjector::run_resets(const topo::Router& router) {
+    auto it = resets_.find(&router);
+    if (it == resets_.end()) return;
+    for (const auto& reset : it->second) reset();
+}
+
+void FaultInjector::cut_link(topo::Segment& segment) {
+    record("cut segment " + std::to_string(segment.id()));
+    segment.set_up(false);
+}
+
+void FaultInjector::restore_link(topo::Segment& segment) {
+    record("restore segment " + std::to_string(segment.id()));
+    segment.set_up(true);
+}
+
+void FaultInjector::crash_router(topo::Router& router) {
+    if (crashed_.contains(&router)) return;
+    record("crash router " + router.name());
+    std::vector<int>& taken_down = crashed_[&router];
+    {
+        topo::Network::TopologyBatch batch{*network_};
+        for (const auto& iface : router.interfaces()) {
+            if (!iface.up) continue; // was down before the crash; stays down
+            taken_down.push_back(iface.ifindex);
+            router.set_interface_up(iface.ifindex, false);
+        }
+    }
+    // Soft state dies with the router, not when power returns.
+    run_resets(router);
+}
+
+void FaultInjector::restart_router(topo::Router& router) {
+    auto it = crashed_.find(&router);
+    if (it == crashed_.end()) return;
+    record("restart router " + router.name());
+    {
+        topo::Network::TopologyBatch batch{*network_};
+        for (int ifindex : it->second) router.set_interface_up(ifindex, true);
+    }
+    crashed_.erase(it);
+    // A fresh protocol stack boots: timers restart, hellos/queries go out.
+    run_resets(router);
+}
+
+void FaultInjector::partition(const std::vector<topo::Segment*>& cut_set) {
+    std::string desc = "partition cutting segments [";
+    for (std::size_t i = 0; i < cut_set.size(); ++i) {
+        if (i > 0) desc += ",";
+        desc += std::to_string(cut_set[i]->id());
+    }
+    record(desc + "]");
+    partition_cut_ = cut_set;
+    topo::Network::TopologyBatch batch{*network_};
+    for (topo::Segment* segment : cut_set) segment->set_up(false);
+}
+
+void FaultInjector::heal_partition() {
+    if (partition_cut_.empty()) return;
+    record("heal partition");
+    topo::Network::TopologyBatch batch{*network_};
+    for (topo::Segment* segment : partition_cut_) segment->set_up(true);
+    partition_cut_.clear();
+}
+
+void FaultInjector::set_loss(topo::Segment& segment, double rate) {
+    record("loss " + std::to_string(rate) + " on segment " +
+           std::to_string(segment.id()));
+    segment.set_loss_rate(rate);
+}
+
+void FaultInjector::cut_link_at(sim::Time when, topo::Segment& segment) {
+    schedule_at(when, [this, &segment] { cut_link(segment); });
+}
+
+void FaultInjector::restore_link_at(sim::Time when, topo::Segment& segment) {
+    schedule_at(when, [this, &segment] { restore_link(segment); });
+}
+
+void FaultInjector::crash_router_at(sim::Time when, topo::Router& router) {
+    schedule_at(when, [this, &router] { crash_router(router); });
+}
+
+void FaultInjector::restart_router_at(sim::Time when, topo::Router& router) {
+    schedule_at(when, [this, &router] { restart_router(router); });
+}
+
+void FaultInjector::partition_at(sim::Time when, std::vector<topo::Segment*> cut_set) {
+    schedule_at(when, [this, cut_set = std::move(cut_set)] { partition(cut_set); });
+}
+
+void FaultInjector::heal_partition_at(sim::Time when) {
+    schedule_at(when, [this] { heal_partition(); });
+}
+
+void FaultInjector::set_loss_at(sim::Time when, topo::Segment& segment, double rate) {
+    schedule_at(when, [this, &segment, rate] { set_loss(segment, rate); });
+}
+
+void FaultInjector::on_crash(const topo::Router& router, std::function<void()> reset) {
+    resets_[&router].push_back(std::move(reset));
+}
+
+} // namespace pimlib::fault

@@ -35,7 +35,8 @@ void add_spt_group_flows(const AllPairs& ap, const std::vector<int>& members,
     }
 }
 
-void add_center_tree_group_flows(const AllPairs& ap, const std::vector<int>& members,
+void add_center_tree_group_flows(const AllPairs& ap,
+                                 const std::vector<int>& /*members*/,
                                  const std::vector<int>& senders,
                                  const CenterTree& tree, LinkFlowCounter& counter) {
     // The set of nodes on the shared tree.

@@ -42,6 +42,15 @@ void RouterAgent::on_tick() {
     }
 }
 
+void RouterAgent::reboot() {
+    membership_.clear();
+    other_querier_until_.clear();
+    tick_.start(config_.query_interval); // restart phase from the reboot instant
+    // Query right away (as a fresh querier would) so host reports repopulate
+    // the membership database within one report round-trip.
+    router_->simulator().schedule(0, [this] { on_tick(); });
+}
+
 void RouterAgent::send_query(int ifindex) {
     net::Packet packet;
     packet.src = router_->interface(ifindex).address;

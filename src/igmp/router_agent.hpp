@@ -49,6 +49,12 @@ public:
     [[nodiscard]] topo::Router& router() { return *router_; }
     [[nodiscard]] const RouterConfig& config() const { return config_; }
 
+    /// Simulates a crash+restart: forgets the membership database and
+    /// querier-election state, then queries immediately so hosts re-report.
+    /// No member_present=false callbacks fire — the crashed state is simply
+    /// gone, as after a real reboot.
+    void reboot();
+
 private:
     void on_message(int ifindex, const net::Packet& packet);
     void on_tick();

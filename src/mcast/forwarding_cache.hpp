@@ -31,6 +31,8 @@ public:
 
     void remove_sg(net::Ipv4Address source, net::GroupAddress group);
     void remove_wc(net::GroupAddress group);
+    /// Drops every entry — what a router crash does to its MFC.
+    void clear() { sg_.clear(); wc_.clear(); }
 
     [[nodiscard]] std::size_t size() const { return sg_.size() + wc_.size(); }
     [[nodiscard]] std::size_t sg_count() const { return sg_.size(); }

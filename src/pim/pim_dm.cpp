@@ -184,7 +184,6 @@ void PimDmRouter::handle_graft(int ifindex, net::GroupAddress group,
                                net::Ipv4Address source) {
     mcast::ForwardingEntry* sg = cache_.find_sg(source, group);
     if (sg == nullptr) return;
-    const sim::Time now = router_->simulator().now();
     prunes_.erase({{source, group}, ifindex});
     sg->pin_oif(ifindex);
     if (pruned_upstream_.erase({source, group}) > 0 &&
@@ -194,7 +193,6 @@ void PimDmRouter::handle_graft(int ifindex, net::GroupAddress group,
 }
 
 void PimDmRouter::on_membership(int ifindex, net::GroupAddress group, bool present) {
-    const sim::Time now = router_->simulator().now();
     cache_.for_each_sg_of(group, [&](mcast::ForwardingEntry& sg) {
         if (present) {
             if (ifindex == sg.iif()) return;

@@ -66,6 +66,32 @@ PimSmRouter::~PimSmRouter() {
     }
 }
 
+void PimSmRouter::reboot() {
+    ++epoch_;
+    for (const auto& [key, event] : pending_prunes_) {
+        router_->simulator().cancel(event);
+    }
+    pending_prunes_.clear();
+    override_scheduled_.clear();
+    suppress_until_.clear();
+    neighbors_.clear();
+    spt_counters_.clear();
+    rp_source_active_.clear();
+    registering_.clear();
+    cache_.clear();
+    // Restart the periodic machinery from the reboot instant and introduce
+    // ourselves immediately; state then rebuilds from IGMP reports, incoming
+    // joins, and the refresh-tick retry path.
+    refresh_timer_.start(config_.join_prune_interval);
+    query_timer_.start(config_.query_interval);
+    rp_reach_timer_.start(config_.rp_reachability_interval);
+    const std::uint64_t epoch = epoch_;
+    router_->simulator().schedule(0, [this, epoch] {
+        if (epoch != epoch_) return;
+        send_queries();
+    });
+}
+
 std::uint32_t PimSmRouter::holdtime_ms() const {
     return static_cast<std::uint32_t>(config_.holdtime / sim::kMillisecond);
 }
@@ -776,8 +802,10 @@ void PimSmRouter::observe_peer_prune(int ifindex, const JoinPrune& msg) {
             std::uniform_int_distribution<sim::Time> delay(0, config_.override_delay);
             const AddressEntry to_join = join;
             const net::Ipv4Address target = *upstream;
+            const std::uint64_t epoch = epoch_;
             router_->simulator().schedule(delay(rng_), [this, key, ifindex, group,
-                                                        to_join, target] {
+                                                        to_join, target, epoch] {
+                if (epoch != epoch_) return; // rebooted meanwhile
                 override_scheduled_.erase(key);
                 send_join_prune(ifindex, target, group, {to_join}, {});
             });

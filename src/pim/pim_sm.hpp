@@ -118,6 +118,15 @@ public:
     /// True if this router is one of the RPs for `group`.
     [[nodiscard]] bool is_rp_for(net::GroupAddress group) const;
 
+    /// Simulates a crash+restart: every piece of soft state — forwarding
+    /// cache, PIM neighbors, LAN suppression/override/pending-prune state,
+    /// SPT counters, RP-side source liveness, register phase — is dropped,
+    /// exactly as a real reboot would lose it (§2.7: neighbors' state about
+    /// us then ages out at 3× refresh, while we rebuild ours from IGMP
+    /// reports and the periodic refresh machinery). Configuration survives:
+    /// the RP set, dense-interface flags and region memberships, SPT policy.
+    void reboot();
+
     // --- introspection (tests, examples, benchmarks) ---
     [[nodiscard]] std::vector<net::Ipv4Address> neighbors_on(int ifindex) const;
     /// The elected designated router address on `ifindex` (highest address
@@ -239,6 +248,9 @@ private:
     // packet is encapsulated to the RP(s) until a join arrives (fig. 3).
     using SgKey = std::pair<net::Ipv4Address, net::GroupAddress>;
     std::set<SgKey> registering_;
+    /// Incarnation counter: bumped by reboot() so scheduled lambdas that
+    /// cannot be cancelled (join overrides) no-op if they fire afterwards.
+    std::uint64_t epoch_ = 0;
     std::uint64_t join_prune_sent_ = 0;
     std::set<int> dense_ifaces_;
     /// Region memberships announced via set_dense_membership, so they can be

@@ -37,6 +37,13 @@ StackBase::StackBase(topo::Network& network, const StackConfig& config)
     }
 }
 
+void StackBase::wire_faults(fault::FaultInjector& injector) {
+    for (auto& [router, agent] : igmp_) {
+        igmp::RouterAgent* raw = agent.get();
+        injector.on_crash(*router, [raw] { raw->reboot(); });
+    }
+}
+
 PimSmStack::PimSmStack(topo::Network& network, StackConfig config)
     : StackBase(network, config) {
     for (const auto& router : network.routers()) {
@@ -51,6 +58,14 @@ void PimSmStack::set_rp(net::GroupAddress group, std::vector<net::Ipv4Address> r
 
 void PimSmStack::set_spt_policy(pim::SptPolicy policy) {
     for (auto& [router, pim] : pim_) pim->set_spt_policy(policy);
+}
+
+void PimSmStack::wire_faults(fault::FaultInjector& injector) {
+    StackBase::wire_faults(injector);
+    for (auto& [router, pim] : pim_) {
+        pim::PimSmRouter* raw = pim.get();
+        injector.on_crash(*router, [raw] { raw->reboot(); });
+    }
 }
 
 PimDmStack::PimDmStack(topo::Network& network, StackConfig config)

@@ -14,6 +14,7 @@
 
 #include "cbt/cbt.hpp"
 #include "dvmrp/dvmrp.hpp"
+#include "fault/fault_injector.hpp"
 #include "igmp/host_agent.hpp"
 #include "igmp/router_agent.hpp"
 #include "mospf/mospf.hpp"
@@ -55,6 +56,12 @@ public:
     }
     [[nodiscard]] topo::Network& network() { return *network_; }
 
+    /// Registers this stack's protocol reboots as the injector's crash
+    /// resets, so crash_router()/restart_router() drop and rebuild protocol
+    /// state. Derived stacks extend this with their routing protocol's
+    /// reboot (call the base first).
+    virtual void wire_faults(fault::FaultInjector& injector);
+
 protected:
     topo::Network* network_;
     StackConfig config_;
@@ -73,6 +80,7 @@ public:
     /// Configures the group's RP list on every router (static config, §3.1).
     void set_rp(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
     void set_spt_policy(pim::SptPolicy policy);
+    void wire_faults(fault::FaultInjector& injector) override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> pim_;

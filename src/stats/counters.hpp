@@ -36,6 +36,8 @@ public:
     void count_data_dropped_iif() { ++data_dropped_iif_; }
     void count_data_dropped_ttl() { ++data_dropped_ttl_; }
     void count_data_dropped_no_route() { ++data_dropped_no_route_; }
+    /// A frame (data or control) destroyed by injected segment loss.
+    void count_dropped_loss() { ++dropped_loss_; }
 
     /// Records that a (source, group) flow crossed a segment, for
     /// traffic-concentration measurements (Fig. 2(b) style).
@@ -54,6 +56,7 @@ public:
     [[nodiscard]] std::uint64_t data_dropped_iif() const { return data_dropped_iif_; }
     [[nodiscard]] std::uint64_t data_dropped_ttl() const { return data_dropped_ttl_; }
     [[nodiscard]] std::uint64_t data_dropped_no_route() const { return data_dropped_no_route_; }
+    [[nodiscard]] std::uint64_t dropped_loss() const { return dropped_loss_; }
     [[nodiscard]] std::size_t flows_on(int segment_id) const;
     [[nodiscard]] std::size_t max_flows_on_any_segment() const;
     [[nodiscard]] std::size_t segments_carrying_data() const { return data_packets_by_segment_.size(); }
@@ -71,6 +74,7 @@ private:
     std::uint64_t data_dropped_iif_ = 0;
     std::uint64_t data_dropped_ttl_ = 0;
     std::uint64_t data_dropped_no_route_ = 0;
+    std::uint64_t dropped_loss_ = 0;
 };
 
 } // namespace pimlib::stats

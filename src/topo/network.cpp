@@ -58,6 +58,34 @@ Host& Network::add_host(const std::string& name, Segment& lan) {
     return host;
 }
 
+int Network::add_packet_tap(PacketTap tap) {
+    const int token = next_tap_token_++;
+    taps_.emplace(token, std::move(tap));
+    return token;
+}
+
+void Network::remove_packet_tap(int token) { taps_.erase(token); }
+
+void Network::dispatch_packet_taps(const Segment& segment, const net::Frame& frame) const {
+    for (const auto& [token, tap] : taps_) tap(segment, frame);
+}
+
+int Network::add_topology_observer(TopologyObserver observer) {
+    const int token = next_topo_token_++;
+    topo_observers_.emplace(token, std::move(observer));
+    return token;
+}
+
+void Network::remove_topology_observer(int token) { topo_observers_.erase(token); }
+
+void Network::notify_topology_changed() {
+    if (topo_suspend_ > 0) {
+        topo_dirty_ = true;
+        return;
+    }
+    for (const auto& [token, observer] : topo_observers_) observer();
+}
+
 Segment* Network::find_link(const Router& a, const Router& b) {
     for (const auto& seg : segments_) {
         bool has_a = false;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,11 +59,47 @@ public:
     [[nodiscard]] stats::NetworkStats& stats() { return stats_; }
     [[nodiscard]] const stats::NetworkStats& stats() const { return stats_; }
 
-    /// Optional wiretap: called for every frame a segment transmits (before
-    /// delivery). Used by trace::PacketTracer; one tap at a time.
+    /// Wiretaps: called for every frame a segment transmits (before delivery,
+    /// including frames lost to injected segment loss). Several taps can
+    /// coexist — e.g. a trace::PacketTracer and a fault::ConvergenceProbe —
+    /// and each sees every frame in registration order.
     using PacketTap = std::function<void(const Segment&, const net::Frame&)>;
-    void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
-    [[nodiscard]] const PacketTap& packet_tap() const { return tap_; }
+    int add_packet_tap(PacketTap tap);
+    void remove_packet_tap(int token);
+    [[nodiscard]] bool has_packet_taps() const { return !taps_.empty(); }
+    /// Invoked by Segment::transmit; fans the frame out to every tap.
+    void dispatch_packet_taps(const Segment& segment, const net::Frame& frame) const;
+
+    /// Topology-change observers: notified whenever a segment or interface
+    /// flips up/down state (not during construction). unicast::OracleRouting
+    /// subscribes so a link fault re-converges every RIB the way a real
+    /// (converged) unicast routing domain would (§2.7 robustness).
+    using TopologyObserver = std::function<void()>;
+    int add_topology_observer(TopologyObserver observer);
+    void remove_topology_observer(int token);
+    void notify_topology_changed();
+
+    /// RAII coalescing for compound faults: while alive, topology-change
+    /// notifications are deferred; one fires on destruction if anything
+    /// changed. fault::FaultInjector wraps multi-interface faults (router
+    /// crash, partition) in one batch so RIBs recompute once.
+    class TopologyBatch {
+    public:
+        explicit TopologyBatch(Network& network) : network_(&network) {
+            ++network_->topo_suspend_;
+        }
+        ~TopologyBatch() {
+            if (--network_->topo_suspend_ == 0 && network_->topo_dirty_) {
+                network_->topo_dirty_ = false;
+                network_->notify_topology_changed();
+            }
+        }
+        TopologyBatch(const TopologyBatch&) = delete;
+        TopologyBatch& operator=(const TopologyBatch&) = delete;
+
+    private:
+        Network* network_;
+    };
 
     /// Runs the simulation for `duration` of simulated time.
     void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
@@ -70,9 +107,16 @@ public:
 private:
     net::Prefix next_segment_prefix();
 
+    friend class TopologyBatch;
+
     sim::Simulator sim_;
     stats::NetworkStats stats_;
-    PacketTap tap_;
+    std::map<int, PacketTap> taps_;
+    int next_tap_token_ = 1;
+    std::map<int, TopologyObserver> topo_observers_;
+    int next_topo_token_ = 1;
+    int topo_suspend_ = 0;
+    bool topo_dirty_ = false;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Segment>> segments_;

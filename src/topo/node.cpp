@@ -35,7 +35,12 @@ std::optional<int> Node::ifindex_on(const Segment& segment) const {
     return std::nullopt;
 }
 
-void Node::set_interface_up(int ifindex, bool up) { interface(ifindex).up = up; }
+void Node::set_interface_up(int ifindex, bool up) {
+    Interface& iface = interface(ifindex);
+    if (iface.up == up) return;
+    iface.up = up;
+    network_->notify_topology_changed();
+}
 
 sim::Simulator& Node::simulator() { return network_->simulator(); }
 

@@ -6,7 +6,8 @@
 namespace pimlib::topo {
 
 Segment::Segment(Network& network, int id, net::Prefix prefix, sim::Time delay, int metric)
-    : network_(&network), id_(id), prefix_(prefix), delay_(delay), metric_(metric) {}
+    : network_(&network), id_(id), prefix_(prefix), delay_(delay), metric_(metric),
+      loss_rng_(static_cast<std::uint32_t>(id) * 2654435761u + 1) {}
 
 void Segment::add_attachment(Node& node, int ifindex) {
     attachments_.push_back(Attachment{&node, ifindex});
@@ -20,12 +21,20 @@ std::vector<Node*> Segment::peers_of(const Node& node) const {
     return out;
 }
 
-void Segment::set_up(bool up) { up_ = up; }
+void Segment::set_up(bool up) {
+    if (up_ == up) return;
+    up_ = up;
+    network_->notify_topology_changed();
+}
+
+void Segment::set_loss_rate(double rate) {
+    loss_rate_ = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+}
 
 void Segment::transmit(const Node& sender, const net::Frame& frame) {
     if (!up_) return;
 
-    if (network_->packet_tap()) network_->packet_tap()(*this, frame);
+    if (network_->has_packet_taps()) network_->dispatch_packet_taps(*this, frame);
 
     // Account the transmission once per segment crossing (a LAN multicast
     // counts once no matter how many stations hear it, like a real wire).
@@ -37,6 +46,17 @@ void Segment::transmit(const Node& sender, const net::Frame& frame) {
         }
     } else {
         network_->stats().count_control_on_segment(id_);
+    }
+
+    // Injected loss: the transmission happened (and was accounted and
+    // tapped), but no station hears it.
+    if (loss_rate_ > 0.0) {
+        std::uniform_real_distribution<double> coin(0.0, 1.0);
+        if (coin(loss_rng_) < loss_rate_) {
+            ++frames_lost_;
+            network_->stats().count_dropped_loss();
+            return;
+        }
     }
 
     for (const Attachment& att : attachments_) {

@@ -4,6 +4,8 @@
 // link destinations deliver to exactly the owning attachment.
 #pragma once
 
+#include <cstdint>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -28,8 +30,20 @@ public:
     /// attachment owning link_dst. Dropped if the segment is down.
     void transmit(const Node& sender, const net::Frame& frame);
 
+    /// Takes the segment down (frames silently vanish) or back up. A state
+    /// change notifies the network's topology observers so unicast routing
+    /// recomputes, exactly as a converged routing domain would react.
     void set_up(bool up);
     [[nodiscard]] bool is_up() const { return up_; }
+
+    /// Per-frame probabilistic loss in [0,1): every transmitted frame is
+    /// dropped with probability `rate` before any delivery (the whole wire
+    /// loses it, not one station). Deterministic per-segment RNG so fault
+    /// scenarios replay identically.
+    void set_loss_rate(double rate);
+    [[nodiscard]] double loss_rate() const { return loss_rate_; }
+    /// Frames dropped by injected loss so far.
+    [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
 
     [[nodiscard]] int id() const { return id_; }
     [[nodiscard]] net::Prefix prefix() const { return prefix_; }
@@ -56,6 +70,9 @@ private:
     sim::Time delay_;
     int metric_;
     bool up_ = true;
+    double loss_rate_ = 0.0;
+    std::uint64_t frames_lost_ = 0;
+    std::mt19937 loss_rng_;
     std::vector<Attachment> attachments_;
 };
 

@@ -170,13 +170,13 @@ std::string describe_packet(const net::Packet& packet) {
 }
 
 PacketTracer::PacketTracer(topo::Network& network) : network_(&network) {
-    network_->set_packet_tap(
+    tap_token_ = network_->add_packet_tap(
         [this](const topo::Segment& segment, const net::Frame& frame) {
             on_frame(segment, frame);
         });
 }
 
-PacketTracer::~PacketTracer() { network_->set_packet_tap(nullptr); }
+PacketTracer::~PacketTracer() { network_->remove_packet_tap(tap_token_); }
 
 bool PacketTracer::concerns_group(const net::Packet& packet) const {
     if (!group_.has_value()) return true;

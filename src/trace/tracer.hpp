@@ -27,7 +27,8 @@ struct Record {
 
 class PacketTracer {
 public:
-    /// Installs this tracer as the network's wiretap (replacing any other).
+    /// Installs this tracer as one of the network's wiretaps; any number of
+    /// tracers and probes can capture the same network concurrently.
     explicit PacketTracer(topo::Network& network);
     ~PacketTracer();
 
@@ -57,6 +58,7 @@ private:
     [[nodiscard]] bool concerns_group(const net::Packet& packet) const;
 
     topo::Network* network_;
+    int tap_token_ = 0;
     std::optional<net::GroupAddress> group_;
     std::optional<net::IpProto> proto_;
     bool enabled_ = true;

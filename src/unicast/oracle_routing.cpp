@@ -45,7 +45,10 @@ OracleRouting::OracleRouting(topo::Network& network) : network_(&network) {
         ribs_.emplace(router.get(), std::move(rib));
     }
     recompute();
+    topo_token_ = network_->add_topology_observer([this] { recompute(); });
 }
+
+OracleRouting::~OracleRouting() { network_->remove_topology_observer(topo_token_); }
 
 Rib& OracleRouting::rib_for(const topo::Router& router) { return *ribs_.at(&router); }
 

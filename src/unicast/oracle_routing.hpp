@@ -2,7 +2,9 @@
 // global topology with Dijkstra, the way a converged routing domain would
 // look. Used when a scenario wants deterministic, instantly-converged
 // unicast routing so the multicast protocol under test is the only moving
-// part. Call recompute() after topology changes (link/interface up/down).
+// part. Subscribes to the network's topology observers, so link/interface
+// up/down events recompute all RIBs automatically; calling recompute()
+// by hand remains harmless (idempotent).
 #pragma once
 
 #include <map>
@@ -18,6 +20,10 @@ public:
     /// Builds RIBs for all routers currently in `network` and installs each
     /// as the router's unicast lookup.
     explicit OracleRouting(topo::Network& network);
+    ~OracleRouting();
+
+    OracleRouting(const OracleRouting&) = delete;
+    OracleRouting& operator=(const OracleRouting&) = delete;
 
     /// Recomputes all RIBs from the current topology state. Routers keep
     /// their Rib objects (observers survive); only contents change.
@@ -34,6 +40,7 @@ private:
     void compute_for(topo::Router& router);
 
     topo::Network* network_;
+    int topo_token_ = 0;
     std::map<const topo::Router*, std::unique_ptr<Rib>> ribs_;
 };
 

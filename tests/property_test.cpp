@@ -111,7 +111,9 @@ TEST_P(PimSmPropertyTest, EntryInvariantsHoldEverywhere) {
                     << router->name() << " " << e.describe();
             }
             // Wildcard entries always carry the RP bit (§3).
-            if (e.wildcard()) EXPECT_TRUE(e.rp_bit());
+            if (e.wildcard()) {
+                EXPECT_TRUE(e.rp_bit());
+            }
         };
         cache.for_each_wc(check);
         cache.for_each_sg(check);

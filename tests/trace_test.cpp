@@ -126,5 +126,117 @@ TEST(TraceDescribe, DecodesAllFamilies) {
     EXPECT_EQ(describe_packet(p), "PIM Join/Prune (malformed)");
 }
 
+TEST(TraceDescribe, DecodesEveryPimMessage) {
+    using trace::describe_packet;
+    net::Packet p;
+    p.proto = net::IpProto::kIgmp;
+
+    p.payload = pim::Query{30000}.encode();
+    EXPECT_EQ(describe_packet(p), "PIM Query");
+
+    pim::Register reg;
+    reg.group = kGroup.address();
+    reg.inner_src = net::Ipv4Address(10, 0, 5, 2);
+    reg.inner_seq = 3;
+    p.payload = reg.encode();
+    EXPECT_EQ(describe_packet(p), "PIM Register grp=224.1.1.1 src=10.0.5.2 seq=3");
+
+    // Join/Prune with every flag combination: a WC|RP shared-tree join, an
+    // RP-bit prune (the §3.3 negative cache), and a plain (S,G) prune.
+    pim::JoinPrune jp;
+    jp.upstream_neighbor = net::Ipv4Address(10, 0, 1, 2);
+    jp.group = kGroup.address();
+    jp.joins = {pim::AddressEntry{net::Ipv4Address(192, 168, 0, 3),
+                                  pim::EntryFlags{true, true}}};
+    jp.prunes = {pim::AddressEntry{net::Ipv4Address(10, 0, 5, 2),
+                                   pim::EntryFlags{false, true}},
+                 pim::AddressEntry{net::Ipv4Address(10, 0, 5, 2),
+                                   pim::EntryFlags{false, false}}};
+    p.payload = jp.encode();
+    EXPECT_EQ(describe_packet(p),
+              "PIM Join/Prune grp=224.1.1.1 to=10.0.1.2 "
+              "join=[192.168.0.3(WC|RP)] prune=[10.0.5.2(RP) 10.0.5.2(-)]");
+
+    // WC without RP renders alone; empty prune list renders as [].
+    jp.joins = {pim::AddressEntry{net::Ipv4Address(192, 168, 0, 3),
+                                  pim::EntryFlags{true, false}}};
+    jp.prunes.clear();
+    p.payload = jp.encode();
+    EXPECT_EQ(describe_packet(p),
+              "PIM Join/Prune grp=224.1.1.1 to=10.0.1.2 "
+              "join=[192.168.0.3(WC)] prune=[]");
+
+    p.payload = pim::RpReachability{kGroup.address(),
+                                    net::Ipv4Address(192, 168, 0, 3), 90000}
+                    .encode();
+    EXPECT_EQ(describe_packet(p), "PIM RP-Reachability grp=224.1.1.1 rp=192.168.0.3");
+
+    // Truncated register decodes to a marker, never crashes.
+    p.payload = {0x14, 0x01};
+    EXPECT_EQ(describe_packet(p), "PIM Register (malformed)");
+}
+
+TEST(TraceDescribe, DecodesIgmpQueriesReportsAndDvmrpProbe) {
+    using trace::describe_packet;
+    net::Packet p;
+    p.proto = net::IpProto::kIgmp;
+
+    p.payload = igmp::Query{kGroup.address()}.encode();
+    EXPECT_EQ(describe_packet(p), "IGMP Query grp=224.1.1.1");
+
+    p.payload = igmp::Report{kGroup.address()}.encode();
+    EXPECT_EQ(describe_packet(p), "IGMP Report grp=224.1.1.1");
+
+    p.payload = dvmrp::Probe{10000}.encode();
+    EXPECT_EQ(describe_packet(p), "DVMRP Probe");
+
+    p.payload = {};
+    EXPECT_EQ(describe_packet(p), "IGMP (empty)");
+}
+
+TEST(TraceDescribe, DecodesEveryCbtMessage) {
+    using trace::describe_packet;
+    net::Packet p;
+    p.proto = net::IpProto::kCbt;
+    const net::Ipv4Address core(9, 9, 9, 9);
+
+    p.payload = cbt::JoinAck{kGroup.address(), core}.encode();
+    EXPECT_EQ(describe_packet(p), "CBT Join-Ack");
+
+    p.payload = cbt::GroupOnly{cbt::Code::kQuit, kGroup.address()}.encode();
+    EXPECT_EQ(describe_packet(p), "CBT Quit");
+
+    p.payload = cbt::GroupOnly{cbt::Code::kEchoRequest, kGroup.address()}.encode();
+    EXPECT_EQ(describe_packet(p), "CBT Echo-Request");
+
+    p.payload = cbt::GroupOnly{cbt::Code::kEchoReply, kGroup.address()}.encode();
+    EXPECT_EQ(describe_packet(p), "CBT Echo-Reply");
+
+    p.payload = cbt::GroupOnly{cbt::Code::kFlush, kGroup.address()}.encode();
+    EXPECT_EQ(describe_packet(p), "CBT Flush");
+
+    p.payload = {};
+    EXPECT_EQ(describe_packet(p), "CBT (malformed)");
+}
+
+TEST(TraceDescribe, DecodesUnicastDataAndLinkState) {
+    using trace::describe_packet;
+    net::Packet p;
+
+    // Register/CBT-encapsulated data rides unicast UDP (fig. 3).
+    p.proto = net::IpProto::kUdp;
+    p.dst = net::Ipv4Address(192, 168, 0, 3);
+    p.seq = 12;
+    EXPECT_EQ(describe_packet(p), "DATA (unicast-encapsulated) seq=12");
+
+    p.proto = net::IpProto::kOspf;
+    p.payload = {1};
+    EXPECT_EQ(describe_packet(p), "LS Hello");
+    p.payload = {2};
+    EXPECT_EQ(describe_packet(p), "LS LSA");
+    p.payload = {9};
+    EXPECT_EQ(describe_packet(p), "OSPF (unknown)");
+}
+
 } // namespace
 } // namespace pimlib::test
