@@ -22,6 +22,16 @@ inline int flag_value(int argc, char** argv, const char* name, int fallback) {
     return fallback;
 }
 
+/// Parses "--metrics prom" style string flags; returns `fallback` when
+/// absent.
+inline std::string flag_string(int argc, char** argv, const char* name,
+                               const char* fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+    }
+    return fallback;
+}
+
 /// Dense per-edge flow counter over a fixed graph: resolves (u,v) pairs to
 /// compact edge ids once, then counts in a flat array. Fast enough for the
 /// paper-scale sweeps (Fig. 2(b): 500 graphs × 300 groups).

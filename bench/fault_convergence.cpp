@@ -134,7 +134,8 @@ struct FaultSummary {
     bool within_bound = true;
 };
 
-std::string json_for(const FaultSummary& fs, sim::Time bound) {
+std::string json_for(const FaultSummary& fs, sim::Time bound,
+                     telemetry::Registry& registry) {
     std::string out = "    {\"fault\":\"" + fs.name + "\",\"bounded\":" +
                       (fs.bounded ? "true" : "false") + ",\n     \"trials\":[\n";
     std::vector<double> recoveries;
@@ -147,12 +148,19 @@ std::string json_for(const FaultSummary& fs, sim::Time bound) {
         }
     }
     const stats::Summary s = stats::summarize(recoveries);
-    char buf[256];
+    // Percentiles come from the shared telemetry histogram the reports were
+    // folded into (bucket-interpolated, same series a scraper would see).
+    const telemetry::Histogram& hist = registry.histogram(
+        "pimlib_fault_recovery_seconds",
+        telemetry::Buckets::exponential(0.001, 1.6, 24), {{"fault", fs.name}});
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "     ],\n     \"recovery_s\":{\"mean\":%.6f,\"min\":%.6f,"
-                  "\"max\":%.6f,\"stddev\":%.6f,\"converged_trials\":%zu},\n"
+                  "\"max\":%.6f,\"stddev\":%.6f,\"p50\":%.6f,\"p90\":%.6f,"
+                  "\"p99\":%.6f,\"converged_trials\":%zu},\n"
                   "     \"bound_s\":%.6f,\"within_bound\":%s}",
-                  s.mean, s.min, s.max, s.stddev, s.count,
+                  s.mean, s.min, s.max, s.stddev, hist.quantile(0.50),
+                  hist.quantile(0.90), hist.quantile(0.99), s.count,
                   static_cast<double>(bound) / sim::kSecond,
                   fs.within_bound ? "true" : "false");
     return out + buf;
@@ -164,6 +172,11 @@ int main(int argc, char** argv) {
     // Clamp so `--trials 0` can't turn the bound check into a vacuous pass.
     const int trials =
         std::max(1, bench::flag_value(argc, argv, "--trials", 5));
+
+    // One registry across all worlds: each trial's report is folded into
+    // pimlib_fault_recovery_seconds{fault} so the JSON percentiles below are
+    // read back out of the exact series a metrics scraper would see.
+    telemetry::Registry registry;
 
     std::vector<FaultSummary> summaries;
 
@@ -214,6 +227,9 @@ int main(int argc, char** argv) {
 
     bool ok = true;
     for (FaultSummary& fs : summaries) {
+        for (const auto& report : fs.reports) {
+            fault::ConvergenceProbe::record(report, registry, fs.name);
+        }
         if (!fs.bounded) continue;
         for (const auto& report : fs.reports) {
             if (!report.converged || report.recovery > bound) {
@@ -228,7 +244,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(refresh) / sim::kSecond,
                 static_cast<double>(bound) / sim::kSecond, trials);
     for (std::size_t i = 0; i < summaries.size(); ++i) {
-        std::printf("%s%s\n", json_for(summaries[i], bound).c_str(),
+        std::printf("%s%s\n", json_for(summaries[i], bound, registry).c_str(),
                     i + 1 < summaries.size() ? "," : "");
     }
     std::printf("  ],\n  \"all_within_bound\":%s\n}\n", ok ? "true" : "false");

@@ -7,18 +7,31 @@
 //   - sparse groups: 2 member LANs per group (the paper's target regime);
 //   - dense groups: 7 member LANs per group (where flooding is justified).
 //
-// Usage: scaling_overhead [--packets N]
+// Usage: scaling_overhead [--packets N] [--telemetry on|off]
+//                         [--metrics prom|json] [--overhead-check PCT]
+//
+//   --telemetry on       enable event/span tracing during the sweep
+//   --metrics prom|json  dump the final run's metric registry after the table
+//   --overhead-check PCT run the sweep twice (tracing off, then on) and exit
+//                        nonzero if tracing costs more than PCT% wall-clock —
+//                        the CI gate keeping instrumentation off the hot path
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.hpp"
 #include "scenario/stacks.hpp"
+#include "telemetry/exporters.hpp"
 #include "topo/segment.hpp"
 #include "unicast/oracle_routing.hpp"
 
 using namespace pimlib;
 
 namespace {
+
+bool g_tracing = false;       // --telemetry on
+std::string g_metrics_format; // --metrics prom|json
+std::string g_last_metrics;   // registry dump of the most recent run
 
 scenario::StackConfig fast_config() {
     scenario::StackConfig cfg;
@@ -71,6 +84,7 @@ template <typename StackT, typename SetupFn, typename StateFn>
 Row run(int groups, int members_per_group, int packets, SetupFn setup,
         StateFn state_of) {
     World w;
+    w.net.telemetry().set_tracing(g_tracing);
     StackT stack(w.net, fast_config());
     std::mt19937 rng(777);
     // Per group: pick member hosts; host 0 of the group is also the sender.
@@ -107,10 +121,18 @@ Row run(int groups, int members_per_group, int packets, SetupFn setup,
     row.data_tx = w.net.stats().total_data_packets();
     row.delivered = w.net.stats().data_delivered();
     row.control = w.net.stats().total_control_messages();
+    if (!g_metrics_format.empty()) {
+        const telemetry::Registry& reg = w.net.telemetry().registry();
+        g_last_metrics = g_metrics_format == "json" ? telemetry::to_json(reg)
+                                                    : telemetry::to_prometheus(reg);
+    }
     return row;
 }
 
+bool g_quiet = false; // suppress table rows during --overhead-check timing
+
 void print_row(const char* protocol, int groups, int members, const Row& row) {
+    if (g_quiet) return;
     const double per = row.delivered == 0 ? 0.0
                                           : static_cast<double>(row.data_tx) /
                                                 static_cast<double>(row.delivered);
@@ -120,16 +142,7 @@ void print_row(const char* protocol, int groups, int members, const Row& row) {
                 static_cast<unsigned long long>(row.control), row.state);
 }
 
-} // namespace
-
-int main(int argc, char** argv) {
-    const int packets = bench::flag_value(argc, argv, "--packets", 20);
-    std::printf("# Scaling sweep (16 routers, 8 edge LANs, %d packets/sender):\n",
-                packets);
-    std::printf("# sparse groups have 2 member LANs, dense groups 7 (of 8).\n");
-    std::printf("%-8s %-7s %-8s %-9s %-10s %-9s %-9s %-6s\n", "proto", "groups",
-                "members", "data_tx", "delivered", "tx/deliv", "control", "state");
-
+void sweep(int packets) {
     for (int groups : {1, 4, 16}) {
         for (int members : {2, 7}) {
             print_row("PIM-SM", groups, members,
@@ -171,11 +184,62 @@ int main(int argc, char** argv) {
                           }));
         }
     }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int packets = bench::flag_value(argc, argv, "--packets", 20);
+    g_tracing = bench::flag_string(argc, argv, "--telemetry", "off") == "on";
+    g_metrics_format = bench::flag_string(argc, argv, "--metrics", "");
+    const int overhead_pct = bench::flag_value(argc, argv, "--overhead-check", -1);
+
+    if (overhead_pct >= 0) {
+        // Wall-clock the identical deterministic sweep with tracing off and
+        // on; everything simulated is the same, so the delta is purely the
+        // cost of the instrumentation.
+        using Clock = std::chrono::steady_clock;
+        g_quiet = true;
+        g_tracing = false;
+        const auto off_start = Clock::now();
+        sweep(packets);
+        const std::chrono::duration<double> off_s = Clock::now() - off_start;
+        g_tracing = true;
+        const auto on_start = Clock::now();
+        sweep(packets);
+        const std::chrono::duration<double> on_s = Clock::now() - on_start;
+        const double pct =
+            off_s.count() <= 0 ? 0.0
+                               : (on_s.count() - off_s.count()) / off_s.count() * 100.0;
+        std::printf("{\"telemetry_off_s\":%.3f,\"telemetry_on_s\":%.3f,"
+                    "\"overhead_pct\":%.1f,\"budget_pct\":%d}\n",
+                    off_s.count(), on_s.count(), pct, overhead_pct);
+        if (pct > overhead_pct) {
+            std::fprintf(stderr,
+                         "scaling_overhead: telemetry overhead %.1f%% exceeds "
+                         "the %d%% budget\n",
+                         pct, overhead_pct);
+            return 1;
+        }
+        return 0;
+    }
+
+    std::printf("# Scaling sweep (16 routers, 8 edge LANs, %d packets/sender):\n",
+                packets);
+    std::printf("# sparse groups have 2 member LANs, dense groups 7 (of 8).\n");
+    std::printf("%-8s %-7s %-8s %-9s %-10s %-9s %-9s %-6s\n", "proto", "groups",
+                "members", "data_tx", "delivered", "tx/deliv", "control", "state");
+    sweep(packets);
     std::printf(
         "# Expected shape (§1.2): for sparse groups, PIM-SM and CBT keep state\n"
         "# and data transmissions proportional to the tree, while DVMRP's\n"
         "# broadcast-and-prune instantiates state at every router and touches\n"
         "# every link periodically; for dense groups the gap narrows — dense-\n"
         "# mode flooding is \"warranted\" when most links lead to receivers.\n");
+    if (!g_last_metrics.empty()) {
+        std::printf("# --- telemetry registry of the final run (%s) ---\n%s",
+                    g_metrics_format.c_str(), g_last_metrics.c_str());
+        if (g_metrics_format == "json") std::printf("\n");
+    }
     return 0;
 }

@@ -33,6 +33,12 @@
 //     at 1500ms heal-partition
 //     at 2s    leave receiver 224.1.1.1
 //     at 2s    dump-state
+//     at 2s    dump-metrics prom        # telemetry: prom | json registry dump
+//     at 2s    dump-events              # telemetry: structured event log
+//     at 2s    snapshot                 # telemetry: MRIB snapshot (diffed
+//                                       #   against the previous snapshot)
+//     telemetry off                     # disable event/span tracing (default on)
+//     snapshot-every 500ms              # periodic MRIB snapshots
 //     run 3s
 //
 // Every fault goes through fault::FaultInjector, so unicast routing
@@ -45,6 +51,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "scenario/stacks.hpp"
+#include "telemetry/exporters.hpp"
 #include "topo/builder.hpp"
 #include "topo/segment.hpp"
 #include "trace/tracer.hpp"
@@ -122,6 +129,42 @@ struct Scenario {
         return *mospf;
     }
 
+    void dump_metrics(const std::string& format) {
+        std::printf("--- metrics at t=%.1fms (%s) ---\n",
+                    static_cast<double>(net.simulator().now()) / sim::kMillisecond,
+                    format.c_str());
+        const telemetry::Registry& reg = net.telemetry().registry();
+        std::printf("%s", format == "json" ? telemetry::to_json(reg).c_str()
+                                           : telemetry::to_prometheus(reg).c_str());
+        if (format == "json") std::printf("\n");
+    }
+
+    void dump_events() {
+        std::printf("--- event log at t=%.1fms ---\n",
+                    static_cast<double>(net.simulator().now()) / sim::kMillisecond);
+        std::printf("%s", net.telemetry().events().dump().c_str());
+    }
+
+    void take_snapshot(bool print) {
+        telemetry::Hub& hub = net.telemetry();
+        telemetry::MribSnapshot snap = stack().capture_mrib();
+        const telemetry::MribSnapshot* prev =
+            hub.snapshots().empty() ? nullptr : &hub.snapshots().back();
+        if (print) {
+            std::printf("--- mrib snapshot at t=%.1fms (%zu entries) ---\n",
+                        static_cast<double>(snap.at) / sim::kMillisecond,
+                        snap.entry_count());
+            if (prev == nullptr) {
+                std::printf("%s", snap.to_text().c_str());
+            } else {
+                const telemetry::MribDiff d = telemetry::diff(*prev, snap);
+                std::printf("%s", d.empty() ? "  (no structural change)\n"
+                                            : d.to_text().c_str());
+            }
+        }
+        hub.store_snapshot(std::move(snap));
+    }
+
     void dump_state() {
         std::printf("--- state at t=%.1fms ---\n",
                     static_cast<double>(net.simulator().now()) / sim::kMillisecond);
@@ -176,6 +219,8 @@ void run_scenario(const std::string& text) {
     std::vector<PendingRp> rps;
     pim::SptPolicy policy = pim::SptPolicy::immediate();
     bool want_trace = false;
+    bool want_telemetry = true;
+    sim::Time snapshot_every = 0;
     struct Event {
         sim::Time at;
         std::function<void(Scenario&)> action;
@@ -266,6 +311,15 @@ void run_scenario(const std::string& text) {
             std::string flag;
             ls >> flag;
             want_trace = flag == "on";
+        } else if (word == "telemetry") {
+            std::string flag;
+            ls >> flag;
+            want_telemetry = flag != "off";
+        } else if (word == "snapshot-every") {
+            std::string every;
+            ls >> every;
+            snapshot_every = parse_time(line, every);
+            if (snapshot_every <= 0) fail(line, "snapshot-every needs a positive time");
         } else if (word == "at") {
             if (!topology_done) fail(line, "'at' before topology block");
             std::string when;
@@ -376,6 +430,19 @@ void run_scenario(const std::string& text) {
                 events.push_back({at, [](Scenario& sc) { sc.faults->heal_partition(); }});
             } else if (verb == "dump-state") {
                 events.push_back({at, [](Scenario& sc) { sc.dump_state(); }});
+            } else if (verb == "dump-metrics") {
+                std::string format = "prom";
+                ls >> format;
+                if (format != "prom" && format != "json") {
+                    fail(line, "dump-metrics takes prom|json");
+                }
+                events.push_back(
+                    {at, [format](Scenario& sc) { sc.dump_metrics(format); }});
+            } else if (verb == "dump-events") {
+                events.push_back({at, [](Scenario& sc) { sc.dump_events(); }});
+            } else if (verb == "snapshot") {
+                events.push_back(
+                    {at, [](Scenario& sc) { sc.take_snapshot(/*print=*/true); }});
             } else {
                 fail(line, "unknown event '" + verb + "'");
             }
@@ -390,9 +457,16 @@ void run_scenario(const std::string& text) {
     if (!topology_done) fail(line, "missing topology block");
     if (s.run_until == 0) fail(line, "missing 'run' directive");
 
+    s.net.telemetry().set_tracing(want_telemetry);
     ensure_stack(s);
     for (const Event& e : events) {
         s.net.simulator().schedule_at(e.at, [&s, &e] { e.action(s); });
+    }
+    if (snapshot_every > 0) {
+        for (sim::Time at = snapshot_every; at <= s.run_until; at += snapshot_every) {
+            s.net.simulator().schedule_at(
+                at, [&s] { s.take_snapshot(/*print=*/false); });
+        }
     }
     s.net.run_for(s.run_until);
 
@@ -410,6 +484,22 @@ void run_scenario(const std::string& text) {
     std::printf("--- totals: data_tx=%llu control=%llu ---\n",
                 static_cast<unsigned long long>(s.net.stats().total_data_packets()),
                 static_cast<unsigned long long>(s.net.stats().total_control_messages()));
+    if (!s.net.telemetry().spans().completed().empty()) {
+        std::printf("--- span latencies ---\n");
+        for (const auto& span : s.net.telemetry().spans().completed()) {
+            std::printf("  %-14s %-28s %.1fms\n", span.kind.c_str(), span.key.c_str(),
+                        static_cast<double>(span.latency()) / sim::kMillisecond);
+        }
+    }
+    if (s.net.telemetry().snapshots().size() > 1) {
+        const auto& snaps = s.net.telemetry().snapshots();
+        std::size_t changed = 0;
+        for (std::size_t i = 1; i < snaps.size(); ++i) {
+            if (!telemetry::diff(snaps[i - 1], snaps[i]).empty()) ++changed;
+        }
+        std::printf("--- mrib snapshots: %zu taken, %zu with structural change ---\n",
+                    snaps.size(), changed);
+    }
     if (s.faults && !s.faults->events().empty()) {
         std::printf("--- injected faults ---\n");
         for (const auto& event : s.faults->events()) {

@@ -53,6 +53,7 @@ struct World {
         auto& slan = net.add_lan({d});
         source = &net.add_host("source", slan);
         routing = std::make_unique<unicast::OracleRouting>(net);
+        net.telemetry().set_tracing(true); // record events + causal spans
         scenario::StackConfig config;
         config.igmp.query_interval = 10 * sim::kSecond;
         config.igmp.membership_timeout = 25 * sim::kSecond;
@@ -118,6 +119,26 @@ int main() {
         if (sg_c != nullptr) {
             std::printf("RP's (S,G) after A's RP-bit prune: %s\n",
                         sg_c->describe().c_str());
+        }
+
+        // The event log reconstructs the SPT-bit handshake in causal order:
+        // A initiates the switch and joins the source, the SPT bit flips
+        // when data arrives on the new iif, then the RP-bit prune takes the
+        // source off the shared tree.
+        std::printf("\nSPT handshake event ordering:\n%s",
+                    w.net.telemetry()
+                        .events()
+                        .dump([](const telemetry::Event& e) {
+                            return e.type == telemetry::EventType::kSptSwitchStarted ||
+                                   e.type == telemetry::EventType::kSptBitSet ||
+                                   e.type == telemetry::EventType::kRpBitPrune;
+                        })
+                        .c_str());
+        std::printf("\nspan-derived latencies:\n");
+        for (const auto& span : w.net.telemetry().spans().completed()) {
+            std::printf("  %-14s %-28s %6.1f ms\n", span.kind.c_str(),
+                        span.key.c_str(),
+                        static_cast<double>(span.latency()) / sim::kMillisecond);
         }
     }
     return 0;

@@ -203,6 +203,9 @@ void CbtRouter::send_join_request(net::GroupAddress group, TreeState& state) {
     packet.ttl = 1;
     packet.payload = JoinRequest{group.address(), state.core}.encode();
     router_->network().stats().count_control_message("cbt");
+    router_->network().telemetry().emit(telemetry::EventType::kJoinSent,
+                                        router_->name(), "cbt", group.to_string(),
+                                        "core=" + state.core.to_string());
     router_->send(route->ifindex, net::Frame{route->next_hop, std::move(packet)});
 }
 

@@ -108,6 +108,11 @@ public:
     };
     [[nodiscard]] const TreeState* tree_state(net::GroupAddress group) const;
     [[nodiscard]] bool on_tree(net::GroupAddress group) const;
+    /// All per-group tree state (MRIB snapshots iterate this — CBT keeps
+    /// parent/children state instead of a ForwardingCache).
+    [[nodiscard]] const std::map<net::GroupAddress, TreeState>& trees() const {
+        return trees_;
+    }
 
     // --- topo::MulticastDataHandler ---
     void on_multicast_data(int ifindex, const net::Packet& packet) override;

@@ -300,6 +300,9 @@ void DvmrpRouter::send_prune_upstream(const mcast::ForwardingEntry& entry) {
     packet.ttl = 1;
     packet.payload = msg.encode();
     router_->network().stats().count_control_message("dvmrp");
+    router_->network().telemetry().emit(
+        telemetry::EventType::kPruneSent, router_->name(), "dvmrp",
+        entry.group().to_string(), "src=" + entry.source_or_rp().to_string());
     router_->send(entry.iif(), net::Frame{std::nullopt, std::move(packet)});
 }
 
@@ -312,6 +315,9 @@ void DvmrpRouter::send_graft_upstream(const mcast::ForwardingEntry& entry) {
     packet.ttl = 1;
     packet.payload = msg.encode();
     router_->network().stats().count_control_message("dvmrp");
+    router_->network().telemetry().emit(
+        telemetry::EventType::kGraftSent, router_->name(), "dvmrp",
+        entry.group().to_string(), "src=" + entry.source_or_rp().to_string());
     router_->send(entry.iif(), net::Frame{std::nullopt, std::move(packet)});
 }
 

@@ -62,6 +62,31 @@ ConvergenceProbe::Report ConvergenceProbe::measure(
     return report;
 }
 
+void ConvergenceProbe::record(const Report& report, telemetry::Registry& registry,
+                              const std::string& fault_label) {
+    registry
+        .counter("pimlib_fault_trials_total",
+                 {{"fault", fault_label},
+                  {"converged", report.converged ? "true" : "false"}},
+                 "Fault-injection trials by outcome")
+        .inc();
+    if (!report.converged) return;
+    // 1 ms .. ~135 s in 24 exponential buckets: spans triggered-join repair
+    // (milliseconds at bench time-scale) out past the 3x-refresh bound.
+    registry
+        .histogram("pimlib_fault_recovery_seconds",
+                   telemetry::Buckets::exponential(0.001, 1.6, 24),
+                   {{"fault", fault_label}},
+                   "Time from fault injection to every receiver hearing data")
+        .observe(seconds(report.recovery));
+    registry
+        .histogram("pimlib_fault_control_messages",
+                   telemetry::Buckets::exponential(1.0, 2.0, 16),
+                   {{"fault", fault_label}},
+                   "Control frames transmitted during one recovery")
+        .observe(static_cast<double>(report.control_messages));
+}
+
 std::string ConvergenceProbe::Report::to_json() const {
     std::ostringstream out;
     out << "{\"fault_at_s\":";

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
 #include "topo/host.hpp"
 #include "topo/network.hpp"
 
@@ -50,6 +51,16 @@ public:
     [[nodiscard]] Report measure(net::GroupAddress group,
                                  const std::vector<const topo::Host*>& receivers,
                                  sim::Time fault_at) const;
+
+    /// Folds a report into `registry` so recovery distributions come out of
+    /// the same histograms everything else uses:
+    ///   pimlib_fault_recovery_seconds{fault}   (converged trials only)
+    ///   pimlib_fault_control_messages{fault}   (per-recovery control cost)
+    ///   pimlib_fault_trials_total{fault,converged}
+    /// The registry may span many trials (bench aggregates across worlds),
+    /// which is why this is static rather than tied to one network's hub.
+    static void record(const Report& report, telemetry::Registry& registry,
+                       const std::string& fault_label);
 
     /// Control frames seen on the wire so far (all protocols, all segments).
     [[nodiscard]] std::uint64_t control_frames_seen() const {

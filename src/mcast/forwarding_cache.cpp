@@ -74,6 +74,45 @@ std::vector<ForwardingCache::SgKey> ForwardingCache::reap_expired_entries(sim::T
     return removed;
 }
 
+namespace {
+
+telemetry::EntrySnapshot snapshot_entry(const ForwardingEntry& entry, sim::Time now) {
+    telemetry::EntrySnapshot out;
+    out.source_or_rp = entry.source_or_rp().to_string();
+    out.group = entry.group().to_string();
+    out.wildcard = entry.wildcard();
+    out.rp_bit = entry.rp_bit();
+    out.spt_bit = entry.spt_bit();
+    out.iif = entry.iif();
+    for (const auto& [ifindex, state] : entry.oifs()) {
+        telemetry::OifSnapshot oif;
+        oif.ifindex = ifindex;
+        oif.pinned = state.pinned;
+        oif.remaining = state.pinned ? 0 : std::max<sim::Time>(0, state.expires - now);
+        out.oifs.push_back(oif);
+    }
+    out.pruned_oifs.assign(entry.pruned_oifs().begin(), entry.pruned_oifs().end());
+    out.delete_in =
+        entry.delete_at() == 0 ? 0 : std::max<sim::Time>(0, entry.delete_at() - now);
+    return out;
+}
+
+} // namespace
+
+telemetry::RouterMrib ForwardingCache::snapshot(const std::string& router_name,
+                                                sim::Time now) const {
+    telemetry::RouterMrib out;
+    out.router = router_name;
+    out.entries.reserve(wc_.size() + sg_.size());
+    for (const auto& [group, entry] : wc_) {
+        out.entries.push_back(snapshot_entry(entry, now));
+    }
+    for (const auto& [key, entry] : sg_) {
+        out.entries.push_back(snapshot_entry(entry, now));
+    }
+    return out;
+}
+
 DataPlane::DataPlane(topo::Router& router, ForwardingCache& cache)
     : router_(&router), cache_(&cache) {
     router_->set_multicast_handler(this);

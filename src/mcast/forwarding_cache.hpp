@@ -8,9 +8,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "mcast/forwarding_entry.hpp"
 #include "net/packet.hpp"
+#include "telemetry/snapshot.hpp"
 #include "topo/router.hpp"
 
 namespace pimlib::mcast {
@@ -48,6 +50,12 @@ public:
     /// Collects (S,G) keys scheduled for deletion at or before `now`, plus
     /// removes them. Returns the removed keys.
     std::vector<SgKey> reap_expired_entries(sim::Time now);
+
+    /// Captures the whole cache as telemetry plain-data — (*,G) entries
+    /// first, then (S,G) — with per-oif timer remaining rendered relative
+    /// to `now`. Every protocol's MRIB snapshot goes through here.
+    [[nodiscard]] telemetry::RouterMrib snapshot(const std::string& router_name,
+                                                 sim::Time now) const;
 
 private:
     std::map<SgKey, ForwardingEntry> sg_;

@@ -99,6 +99,13 @@ void MospfRouter::originate_lsa() {
 }
 
 void MospfRouter::flood(const MembershipLsa& lsa, int except_ifindex) {
+    if (except_ifindex < 0) {
+        // Origination (not re-flooding a neighbor's copy).
+        router_->network().telemetry().emit(
+            telemetry::EventType::kLsaOriginated, router_->name(), "mospf", "",
+            "seq=" + std::to_string(lsa.seq) +
+                " groups=" + std::to_string(lsa.groups.size()));
+    }
     for (const auto& iface : router_->interfaces()) {
         if (!iface.up || iface.segment == nullptr) continue;
         if (iface.ifindex == except_ifindex) continue;

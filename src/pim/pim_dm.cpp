@@ -252,6 +252,9 @@ void PimDmRouter::send_prune_upstream(const mcast::ForwardingEntry& entry) {
     packet.ttl = 1;
     packet.payload = msg.encode();
     router_->network().stats().count_control_message("pim-dm");
+    router_->network().telemetry().emit(
+        telemetry::EventType::kPruneSent, router_->name(), "pim-dm",
+        entry.group().to_string(), "src=" + entry.source_or_rp().to_string());
     router_->send(entry.iif(), net::Frame{std::nullopt, std::move(packet)});
 }
 
@@ -269,6 +272,9 @@ void PimDmRouter::send_graft_upstream(const mcast::ForwardingEntry& entry) {
     packet.ttl = 1;
     packet.payload = msg.encode();
     router_->network().stats().count_control_message("pim-dm");
+    router_->network().telemetry().emit(
+        telemetry::EventType::kGraftSent, router_->name(), "pim-dm",
+        entry.group().to_string(), "src=" + entry.source_or_rp().to_string());
     router_->send(entry.iif(), net::Frame{std::nullopt, std::move(packet)});
 }
 

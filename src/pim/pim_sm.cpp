@@ -12,6 +12,15 @@ namespace {
 constexpr sim::Time ms_to_time(std::uint32_t ms) {
     return static_cast<sim::Time>(ms) * sim::kMillisecond;
 }
+
+telemetry::Hub& hub_of(topo::Router& router) { return router.network().telemetry(); }
+
+/// Span key for the shared-tree → SPT switch: opened and closed on the same
+/// router, so the router name disambiguates concurrent switches.
+std::string spt_span_key(const topo::Router& router, net::Ipv4Address source,
+                         net::GroupAddress group) {
+    return router.name() + "|" + source.to_string() + "|" + group.to_string();
+}
 } // namespace
 
 PimConfig PimConfig::scaled(double factor) const {
@@ -156,6 +165,10 @@ void PimSmRouter::on_query_tick() {
     }
     for (const auto& iface : router_->interfaces()) {
         if (!was_dr[iface.ifindex] && is_dr_on(iface.ifindex)) {
+            hub_of(*router_).emit(telemetry::EventType::kDrElected, router_->name(),
+                                  "pim", "",
+                                  "became DR on if=" + std::to_string(iface.ifindex) +
+                                      " (neighbor expired)");
             for (net::GroupAddress group : igmp_->groups_on(iface.ifindex)) {
                 on_membership(iface.ifindex, group, true);
             }
@@ -186,6 +199,10 @@ void PimSmRouter::handle_query(int ifindex, const net::Packet& packet, const Que
     neighbors_[ifindex][packet.src] =
         router_->simulator().now() + ms_to_time(query.holdtime_ms);
     if (was_dr && !is_dr_on(ifindex)) {
+        hub_of(*router_).emit(telemetry::EventType::kDrElected, router_->name(),
+                              "pim", "",
+                              "ceded DR on if=" + std::to_string(ifindex) + " to " +
+                                  dr_address_on(ifindex).to_string());
         // A higher-addressed neighbor appeared: it is now the DR. Unpin our
         // local-member oifs on this interface; the new DR re-creates them,
         // and our redundant state ages out (avoids LAN duplicates — the '94
@@ -258,6 +275,8 @@ mcast::ForwardingEntry* PimSmRouter::establish_wc(net::GroupAddress group,
     if (rp == router_->router_id()) {
         // We are the RP: the incoming interface is null (§3.2).
         mcast::ForwardingEntry& wc = cache_.ensure_wc(rp, group);
+        hub_of(*router_).emit(telemetry::EventType::kEntryCreated, router_->name(),
+                              "pim", group.to_string(), "(*,G) at RP");
         wc.set_iif(-1);
         wc.set_rp_timer_deadline(0);
         // Attach sources already registering with us so the new shared tree
@@ -273,6 +292,8 @@ mcast::ForwardingEntry* PimSmRouter::establish_wc(net::GroupAddress group,
     auto route = router_->route_to(rp);
     if (!route) return nullptr;
     mcast::ForwardingEntry& wc = cache_.ensure_wc(rp, group);
+    hub_of(*router_).emit(telemetry::EventType::kEntryCreated, router_->name(),
+                          "pim", group.to_string(), "(*,G) rp=" + rp.to_string());
     wc.set_iif(route->ifindex);
     wc.set_upstream_neighbor(route->next_hop.is_unspecified()
                                  ? std::optional<net::Ipv4Address>{}
@@ -289,6 +310,10 @@ mcast::ForwardingEntry& PimSmRouter::establish_sg(net::Ipv4Address source,
     if (existing != nullptr && !existing->rp_bit()) return *existing;
 
     mcast::ForwardingEntry& sg = cache_.ensure_sg(source, group);
+    hub_of(*router_).emit(telemetry::EventType::kEntryCreated, router_->name(),
+                          "pim", group.to_string(),
+                          "(S,G) src=" + source.to_string() +
+                              (existing != nullptr ? " from negative cache" : ""));
     // Either brand new, or converting a negative-cache entry into a real
     // shortest-path entry.
     sg.set_rp_bit(false);
@@ -408,6 +433,10 @@ void PimSmRouter::send_register(const net::Packet& data, net::Ipv4Address rp) {
     packet.ttl = 64;
     packet.payload = reg.encode();
     router_->network().stats().count_control_message("pim-register");
+    hub_of(*router_).emit(telemetry::EventType::kRegisterSent, router_->name(),
+                          "pim", net::GroupAddress{reg.group}.to_string(),
+                          "src=" + reg.inner_src.to_string() +
+                              " rp=" + rp.to_string());
     router_->originate_unicast(std::move(packet));
 }
 
@@ -417,6 +446,9 @@ void PimSmRouter::handle_register(const net::Packet& packet, const Register& reg
     const net::GroupAddress group{reg.group};
     if (!is_rp_for(group)) return;
     const sim::Time now = router_->simulator().now();
+    hub_of(*router_).emit(telemetry::EventType::kRegisterReceived, router_->name(),
+                          "pim", group.to_string(),
+                          "src=" + reg.inner_src.to_string());
     rp_source_active_[{reg.inner_src, group}] = now;
 
     // Decapsulate and forward down the shared tree (if it exists).
@@ -507,11 +539,28 @@ void PimSmRouter::on_wildcard_forward(int ifindex, const net::Packet& packet) {
 }
 
 void PimSmRouter::initiate_spt_switch(net::Ipv4Address source, net::GroupAddress group) {
+    telemetry::Hub& hub = hub_of(*router_);
+    const std::uint64_t span =
+        hub.span_begin(telemetry::span::kSptSwitch, spt_span_key(*router_, source, group));
+    hub.emit(telemetry::EventType::kSptSwitchStarted, router_->name(), "pim",
+             group.to_string(), "src=" + source.to_string(), span);
     mcast::ForwardingEntry& sg = establish_sg(source, group);
     send_triggered_join(sg);
 }
 
 void PimSmRouter::on_spt_bit_set(mcast::ForwardingEntry& entry) {
+    telemetry::Hub& hub = hub_of(*router_);
+    const std::string key =
+        spt_span_key(*router_, entry.source_or_rp(), entry.group());
+    // Close the spt-switch span if this router opened one (a first-hop
+    // router sets the bit without ever initiating a switch — no span then).
+    const bool switching = hub.spans().is_open(telemetry::span::kSptSwitch, key);
+    const std::uint64_t span =
+        switching ? hub.span_begin(telemetry::span::kSptSwitch, key) : 0;
+    hub.emit(telemetry::EventType::kSptBitSet, router_->name(), "pim",
+             entry.group().to_string(), "src=" + entry.source_or_rp().to_string(),
+             span);
+    if (switching) hub.span_end(telemetry::span::kSptSwitch, key);
     // "…sends a PIM prune toward RP if its shared tree incoming interface
     // differs from its shortest path tree incoming interface" (§3.3).
     if (entry.rp_bit()) return;
@@ -570,6 +619,15 @@ void PimSmRouter::handle_join_prune(int ifindex, const net::Packet& packet,
                          msg.upstream_neighbor == router_->router_id());
     if (targeted) {
         const sim::Time hold = ms_to_time(msg.holdtime_ms);
+        telemetry::Hub& hub = hub_of(*router_);
+        if (!msg.joins.empty()) {
+            hub.emit(telemetry::EventType::kJoinReceived, router_->name(), "pim",
+                     group.to_string(), "from=" + packet.src.to_string());
+        }
+        if (!msg.prunes.empty()) {
+            hub.emit(telemetry::EventType::kPruneReceived, router_->name(), "pim",
+                     group.to_string(), "from=" + packet.src.to_string());
+        }
         for (const AddressEntry& entry : msg.joins) {
             process_targeted_join(ifindex, group, entry, hold);
         }
@@ -719,6 +777,10 @@ void PimSmRouter::apply_prune(int ifindex, net::GroupAddress group,
             sg = &neg;
         }
         if (sg->rp_bit()) {
+            hub_of(*router_).emit(telemetry::EventType::kRpBitPrune, router_->name(),
+                                  "pim", group.to_string(),
+                                  "src=" + entry.address.to_string() +
+                                      " if=" + std::to_string(ifindex));
             sg->mark_pruned(ifindex);
             sg->set_delete_at(now + 3 * config_.join_prune_interval);
             if (sg->oif_list_empty(now)) {
@@ -906,6 +968,17 @@ void PimSmRouter::failover_to_alternate_rp(net::GroupAddress group,
         }
         return;
     }
+    {
+        telemetry::Hub& hub = hub_of(*router_);
+        // The failover span closes when the next data packet for the group
+        // reaches a member host (tree re-healed end to end).
+        const std::uint64_t span =
+            hub.span_begin(telemetry::span::kRpFailover, group.to_string());
+        hub.emit(telemetry::EventType::kRpFailover, router_->name(), "pim",
+                 group.to_string(),
+                 "dead_rp=" + dead_rp.to_string() + " next=" + next.to_string(),
+                 span);
+    }
     // "A new (*,G) entry is established with the incoming interface set to
     // the interface used to reach the new RP. The outgoing interface list
     // includes only those interfaces on which IGMP Reports for the group
@@ -962,7 +1035,11 @@ void PimSmRouter::expire_soft_state() {
         }
         if (wc.delete_at() != 0 && now >= wc.delete_at()) dead_wc.push_back(wc.group());
     });
-    for (net::GroupAddress group : dead_wc) cache_.remove_wc(group);
+    for (net::GroupAddress group : dead_wc) {
+        hub_of(*router_).emit(telemetry::EventType::kEntryExpired, router_->name(),
+                              "pim", group.to_string(), "(*,G)");
+        cache_.remove_wc(group);
+    }
 
     std::vector<mcast::ForwardingCache::SgKey> dead_sg;
     cache_.for_each_sg([&](mcast::ForwardingEntry& sg) {
@@ -1006,6 +1083,9 @@ void PimSmRouter::expire_soft_state() {
         }
     });
     for (const auto& key : dead_sg) {
+        hub_of(*router_).emit(telemetry::EventType::kEntryExpired, router_->name(),
+                              "pim", key.second.to_string(),
+                              "(S,G) src=" + key.first.to_string());
         cache_.remove_sg(key.first, key.second);
         registering_.erase(SgKey{key.first, key.second});
     }
@@ -1113,6 +1193,21 @@ void PimSmRouter::send_join_prune(int ifindex, std::optional<net::Ipv4Address> u
     packet.payload = msg.encode();
     ++join_prune_sent_;
     router_->network().stats().count_control_message("pim");
+    {
+        telemetry::Hub& hub = hub_of(*router_);
+        if (!msg.joins.empty()) {
+            hub.emit(telemetry::EventType::kJoinSent, router_->name(), "pim",
+                     group.to_string(),
+                     "if=" + std::to_string(ifindex) +
+                         " entries=" + std::to_string(msg.joins.size()));
+        }
+        if (!msg.prunes.empty()) {
+            hub.emit(telemetry::EventType::kPruneSent, router_->name(), "pim",
+                     group.to_string(),
+                     "if=" + std::to_string(ifindex) +
+                         " entries=" + std::to_string(msg.prunes.size()));
+        }
+    }
     router_->send(ifindex, net::Frame{std::nullopt, std::move(packet)});
 }
 

@@ -1,5 +1,7 @@
 #include "scenario/stacks.hpp"
 
+#include <algorithm>
+
 namespace pimlib::scenario {
 
 namespace {
@@ -44,6 +46,12 @@ void StackBase::wire_faults(fault::FaultInjector& injector) {
     }
 }
 
+telemetry::MribSnapshot StackBase::capture_mrib() {
+    telemetry::MribSnapshot out;
+    out.at = network_->simulator().now();
+    return out;
+}
+
 PimSmStack::PimSmStack(topo::Network& network, StackConfig config)
     : StackBase(network, config) {
     for (const auto& router : network.routers()) {
@@ -68,6 +76,15 @@ void PimSmStack::wire_faults(fault::FaultInjector& injector) {
     }
 }
 
+telemetry::MribSnapshot PimSmStack::capture_mrib() {
+    telemetry::MribSnapshot out = StackBase::capture_mrib();
+    for (const auto& router : network_->routers()) {
+        out.routers.push_back(
+            pim_.at(router.get())->cache().snapshot(router->name(), out.at));
+    }
+    return out;
+}
+
 PimDmStack::PimDmStack(topo::Network& network, StackConfig config)
     : StackBase(network, config) {
     for (const auto& router : network.routers()) {
@@ -76,12 +93,30 @@ PimDmStack::PimDmStack(topo::Network& network, StackConfig config)
     }
 }
 
+telemetry::MribSnapshot PimDmStack::capture_mrib() {
+    telemetry::MribSnapshot out = StackBase::capture_mrib();
+    for (const auto& router : network_->routers()) {
+        out.routers.push_back(
+            pim_.at(router.get())->cache().snapshot(router->name(), out.at));
+    }
+    return out;
+}
+
 DvmrpStack::DvmrpStack(topo::Network& network, StackConfig config)
     : StackBase(network, config) {
     for (const auto& router : network.routers()) {
         dvmrp_.emplace(router.get(), std::make_unique<dvmrp::DvmrpRouter>(
                                          *router, igmp_at(*router), config_.dvmrp));
     }
+}
+
+telemetry::MribSnapshot DvmrpStack::capture_mrib() {
+    telemetry::MribSnapshot out = StackBase::capture_mrib();
+    for (const auto& router : network_->routers()) {
+        out.routers.push_back(
+            dvmrp_.at(router.get())->cache().snapshot(router->name(), out.at));
+    }
+    return out;
 }
 
 CbtStack::CbtStack(topo::Network& network, StackConfig config)
@@ -94,6 +129,52 @@ CbtStack::CbtStack(topo::Network& network, StackConfig config)
 
 void CbtStack::set_core(net::GroupAddress group, net::Ipv4Address core) {
     for (auto& [router, cbt] : cbt_) cbt->set_core(group, core);
+}
+
+telemetry::MribSnapshot CbtStack::capture_mrib() {
+    // CBT keeps per-group parent/children tree state rather than a
+    // ForwardingCache; synthesize the same snapshot shape: one shared-tree
+    // entry per group, core in the source slot, children + member LANs as
+    // oifs (pinned = local members, soft = child routers).
+    telemetry::MribSnapshot out = StackBase::capture_mrib();
+    for (const auto& router : network_->routers()) {
+        const cbt::CbtRouter& agent = *cbt_.at(router.get());
+        telemetry::RouterMrib mrib;
+        mrib.router = router->name();
+        for (const auto& [group, state] : agent.trees()) {
+            telemetry::EntrySnapshot e;
+            e.source_or_rp = state.core.to_string();
+            e.group = group.to_string();
+            e.wildcard = true;
+            e.iif = state.parent_ifindex;
+            std::set<int> child_ifaces;
+            for (const auto& [ifindex, children] : state.children) {
+                if (!children.empty()) child_ifaces.insert(ifindex);
+            }
+            sim::Time soonest_child = 0;
+            for (const auto& [addr, expiry] : state.child_expiry) {
+                if (soonest_child == 0 || expiry < soonest_child) soonest_child = expiry;
+            }
+            for (int ifindex : child_ifaces) {
+                telemetry::OifSnapshot oif;
+                oif.ifindex = ifindex;
+                oif.remaining = soonest_child == 0
+                                    ? 0
+                                    : std::max<sim::Time>(0, soonest_child - out.at);
+                e.oifs.push_back(oif);
+            }
+            for (int ifindex : state.member_ifaces) {
+                if (child_ifaces.contains(ifindex)) continue;
+                telemetry::OifSnapshot oif;
+                oif.ifindex = ifindex;
+                oif.pinned = true;
+                e.oifs.push_back(oif);
+            }
+            mrib.entries.push_back(std::move(e));
+        }
+        out.routers.push_back(std::move(mrib));
+    }
+    return out;
 }
 
 void DenseDomainBridge::watch(igmp::RouterAgent& agent) {
@@ -124,6 +205,15 @@ MospfStack::MospfStack(topo::Network& network, StackConfig config)
         mospf_.emplace(router.get(), std::make_unique<mospf::MospfRouter>(
                                          *router, igmp_at(*router), config_.mospf));
     }
+}
+
+telemetry::MribSnapshot MospfStack::capture_mrib() {
+    telemetry::MribSnapshot out = StackBase::capture_mrib();
+    for (const auto& router : network_->routers()) {
+        out.routers.push_back(
+            mospf_.at(router.get())->cache().snapshot(router->name(), out.at));
+    }
+    return out;
 }
 
 } // namespace pimlib::scenario

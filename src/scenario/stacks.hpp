@@ -62,6 +62,13 @@ public:
     /// reboot (call the base first).
     virtual void wire_faults(fault::FaultInjector& injector);
 
+    /// Captures every router's multicast forwarding state (the MRIB) as one
+    /// diffable telemetry snapshot, stamped with the current sim-time. The
+    /// base captures nothing (no routing protocol); each stack overrides it
+    /// via its protocol agents, so all five protocols export through the
+    /// same shape. Pair with network().telemetry().store_snapshot().
+    [[nodiscard]] virtual telemetry::MribSnapshot capture_mrib();
+
 protected:
     topo::Network* network_;
     StackConfig config_;
@@ -81,6 +88,7 @@ public:
     void set_rp(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
     void set_spt_policy(pim::SptPolicy policy);
     void wire_faults(fault::FaultInjector& injector) override;
+    [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> pim_;
@@ -93,6 +101,7 @@ public:
     [[nodiscard]] pim::PimDmRouter& pim_at(const topo::Router& router) {
         return *pim_.at(&router);
     }
+    [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<pim::PimDmRouter>> pim_;
@@ -105,6 +114,7 @@ public:
     [[nodiscard]] dvmrp::DvmrpRouter& dvmrp_at(const topo::Router& router) {
         return *dvmrp_.at(&router);
     }
+    [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<dvmrp::DvmrpRouter>> dvmrp_;
@@ -119,6 +129,7 @@ public:
     }
     /// Configures the group's core on every router.
     void set_core(net::GroupAddress group, net::Ipv4Address core);
+    [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<cbt::CbtRouter>> cbt_;
@@ -163,6 +174,7 @@ public:
     [[nodiscard]] mospf::MospfRouter& mospf_at(const topo::Router& router) {
         return *mospf_.at(&router);
     }
+    [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<mospf::MospfRouter>> mospf_;

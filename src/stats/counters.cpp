@@ -26,14 +26,80 @@ Summary summarize(const std::vector<double>& samples) {
     return s;
 }
 
+NetworkStats::NetworkStats(telemetry::Registry& registry)
+    : registry_(&registry),
+      data_delivered_(&registry.counter("pimlib_data_delivered_total", {},
+                                        "Data packets delivered to member hosts")),
+      dropped_iif_(&registry.counter("pimlib_data_dropped_total",
+                                     {{"reason", "iif"}},
+                                     "Data packets dropped, by reason")),
+      dropped_ttl_(&registry.counter("pimlib_data_dropped_total",
+                                     {{"reason", "ttl"}})),
+      dropped_no_route_(&registry.counter("pimlib_data_dropped_total",
+                                          {{"reason", "no_route"}})),
+      dropped_loss_(&registry.counter("pimlib_data_dropped_total",
+                                      {{"reason", "loss"}})) {}
+
+telemetry::Counter& NetworkStats::segment_data(int segment_id) {
+    auto it = data_by_segment_.find(segment_id);
+    if (it == data_by_segment_.end()) {
+        it = data_by_segment_
+                 .emplace(segment_id,
+                          &registry_->counter(
+                              "pimlib_data_segment_packets_total",
+                              {{"segment", std::to_string(segment_id)}},
+                              "Data packets carried, per segment"))
+                 .first;
+    }
+    return *it->second;
+}
+
+telemetry::Counter& NetworkStats::segment_control(int segment_id) {
+    auto it = control_by_segment_.find(segment_id);
+    if (it == control_by_segment_.end()) {
+        it = control_by_segment_
+                 .emplace(segment_id,
+                          &registry_->counter(
+                              "pimlib_control_segment_messages_total",
+                              {{"segment", std::to_string(segment_id)}},
+                              "Control messages carried, per segment"))
+                 .first;
+    }
+    return *it->second;
+}
+
+void NetworkStats::count_control_message(const std::string& protocol) {
+    auto it = control_by_protocol_.find(protocol);
+    if (it == control_by_protocol_.end()) {
+        it = control_by_protocol_
+                 .emplace(protocol, &registry_->counter(
+                                        "pimlib_control_messages_total",
+                                        {{"protocol", protocol}},
+                                        "Control messages processed, per protocol"))
+                 .first;
+    }
+    it->second->inc();
+}
+
+void NetworkStats::note_flow(int segment_id, net::Ipv4Address source,
+                             net::GroupAddress group) {
+    auto& flows = flows_by_segment_[segment_id];
+    flows.insert({source.to_uint(), group.address().to_uint()});
+    registry_
+        ->gauge("pimlib_data_segment_flows",
+                {{"segment", std::to_string(segment_id)}},
+                "Distinct (source, group) flows seen on a segment this phase")
+        .set(static_cast<double>(flows.size()));
+}
+
 std::uint64_t NetworkStats::data_packets_on(int segment_id) const {
-    auto it = data_packets_by_segment_.find(segment_id);
-    return it == data_packets_by_segment_.end() ? 0 : it->second;
+    auto it = data_by_segment_.find(segment_id);
+    return it == data_by_segment_.end() ? 0 : it->second->value();
 }
 
 std::uint64_t NetworkStats::total_data_packets() const {
     std::uint64_t total = 0;
-    for (const auto& [seg, n] : data_packets_by_segment_) total += n;
+    for (const auto& [seg, counter] : data_by_segment_) total += counter->value();
     return total;
 }
 
@@ -48,24 +114,42 @@ std::size_t NetworkStats::max_flows_on_any_segment() const {
     return best;
 }
 
+std::size_t NetworkStats::segments_carrying_data() const {
+    std::size_t n = 0;
+    for (const auto& [seg, counter] : data_by_segment_) {
+        if (counter->value() > 0) ++n;
+    }
+    return n;
+}
+
 std::uint64_t NetworkStats::control_messages(const std::string& protocol) const {
-    auto it = control_messages_.find(protocol);
-    return it == control_messages_.end() ? 0 : it->second;
+    auto it = control_by_protocol_.find(protocol);
+    return it == control_by_protocol_.end() ? 0 : it->second->value();
 }
 
 std::uint64_t NetworkStats::total_control_messages() const {
     std::uint64_t total = 0;
-    for (const auto& [proto, n] : control_messages_) total += n;
+    for (const auto& [proto, counter] : control_by_protocol_) {
+        total += counter->value();
+    }
     return total;
 }
 
 void NetworkStats::reset_data_counters() {
-    data_packets_by_segment_.clear();
-    flows_by_segment_.clear();
-    data_delivered_ = 0;
-    data_dropped_iif_ = 0;
-    data_dropped_ttl_ = 0;
-    data_dropped_no_route_ = 0;
+    data_delivered_->begin_epoch();
+    dropped_iif_->begin_epoch();
+    dropped_ttl_->begin_epoch();
+    dropped_no_route_->begin_epoch();
+    dropped_loss_->begin_epoch();
+    for (auto& [seg, counter] : data_by_segment_) counter->begin_epoch();
+    for (auto& [seg, counter] : control_by_segment_) counter->begin_epoch();
+    for (auto& [seg, flows] : flows_by_segment_) {
+        flows.clear();
+        registry_
+            ->gauge("pimlib_data_segment_flows", {{"segment", std::to_string(seg)}})
+            .set(0);
+    }
+    // Per-protocol control totals intentionally survive (class comment).
 }
 
 } // namespace pimlib::stats

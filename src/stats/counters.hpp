@@ -3,6 +3,12 @@
 // summary statistics. The paper's efficiency metric is "state, control
 // message processing, and data packet processing required across the entire
 // network" (§1) — these counters make that measurable.
+//
+// NetworkStats is now a facade over telemetry::Registry: every count lands
+// in a named, labeled instrument (pimlib_data_*, pimlib_control_*), so the
+// same numbers the legacy query API returns also flow out of the JSON /
+// Prometheus / CSV exporters. The facade keeps resolved Counter* handles,
+// so the per-packet cost is an indirect increment, same as before.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "net/ipv4.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pimlib::stats {
 
@@ -28,53 +35,68 @@ Summary summarize(const std::vector<double>& samples);
 
 /// Global counters for one simulation scenario. Owned by topo::Network;
 /// every segment and router reports into it.
+///
+/// Reset semantics (multi-phase scenarios: warm up, reset, measure): the
+/// query API reads since-the-last-reset values for everything *except*
+/// per-protocol control totals, which stay cumulative — control traffic is
+/// a whole-run protocol cost, not a phase artifact. Lifetime values remain
+/// available through the registry (Counter::lifetime()).
 class NetworkStats {
 public:
+    explicit NetworkStats(telemetry::Registry& registry);
+
     // ---- data plane ----
-    void count_data_packet(int segment_id) { ++data_packets_by_segment_[segment_id]; }
-    void count_data_delivered() { ++data_delivered_; }
-    void count_data_dropped_iif() { ++data_dropped_iif_; }
-    void count_data_dropped_ttl() { ++data_dropped_ttl_; }
-    void count_data_dropped_no_route() { ++data_dropped_no_route_; }
+    void count_data_packet(int segment_id) { segment_data(segment_id).inc(); }
+    void count_data_delivered() { data_delivered_->inc(); }
+    void count_data_dropped_iif() { dropped_iif_->inc(); }
+    void count_data_dropped_ttl() { dropped_ttl_->inc(); }
+    void count_data_dropped_no_route() { dropped_no_route_->inc(); }
     /// A frame (data or control) destroyed by injected segment loss.
-    void count_dropped_loss() { ++dropped_loss_; }
+    void count_dropped_loss() { dropped_loss_->inc(); }
 
     /// Records that a (source, group) flow crossed a segment, for
     /// traffic-concentration measurements (Fig. 2(b) style).
-    void note_flow(int segment_id, net::Ipv4Address source, net::GroupAddress group) {
-        flows_by_segment_[segment_id].insert({source.to_uint(), group.address().to_uint()});
-    }
+    void note_flow(int segment_id, net::Ipv4Address source, net::GroupAddress group);
 
     // ---- control plane ----
-    void count_control_message(const std::string& protocol) { ++control_messages_[protocol]; }
-    void count_control_on_segment(int segment_id) { ++control_by_segment_[segment_id]; }
+    void count_control_message(const std::string& protocol);
+    void count_control_on_segment(int segment_id) { segment_control(segment_id).inc(); }
 
     // ---- queries ----
     [[nodiscard]] std::uint64_t data_packets_on(int segment_id) const;
     [[nodiscard]] std::uint64_t total_data_packets() const;
-    [[nodiscard]] std::uint64_t data_delivered() const { return data_delivered_; }
-    [[nodiscard]] std::uint64_t data_dropped_iif() const { return data_dropped_iif_; }
-    [[nodiscard]] std::uint64_t data_dropped_ttl() const { return data_dropped_ttl_; }
-    [[nodiscard]] std::uint64_t data_dropped_no_route() const { return data_dropped_no_route_; }
-    [[nodiscard]] std::uint64_t dropped_loss() const { return dropped_loss_; }
+    [[nodiscard]] std::uint64_t data_delivered() const { return data_delivered_->value(); }
+    [[nodiscard]] std::uint64_t data_dropped_iif() const { return dropped_iif_->value(); }
+    [[nodiscard]] std::uint64_t data_dropped_ttl() const { return dropped_ttl_->value(); }
+    [[nodiscard]] std::uint64_t data_dropped_no_route() const { return dropped_no_route_->value(); }
+    [[nodiscard]] std::uint64_t dropped_loss() const { return dropped_loss_->value(); }
     [[nodiscard]] std::size_t flows_on(int segment_id) const;
     [[nodiscard]] std::size_t max_flows_on_any_segment() const;
-    [[nodiscard]] std::size_t segments_carrying_data() const { return data_packets_by_segment_.size(); }
+    [[nodiscard]] std::size_t segments_carrying_data() const;
     [[nodiscard]] std::uint64_t control_messages(const std::string& protocol) const;
     [[nodiscard]] std::uint64_t total_control_messages() const;
 
+    /// Starts a new measurement phase: zeroes (via counter epochs) all data
+    /// counters, loss drops, per-segment control counts, and flow sets.
+    /// Historically per-segment control counters and loss drops leaked
+    /// across resets; they no longer do. Per-protocol control totals are
+    /// deliberately cumulative (see class comment).
     void reset_data_counters();
 
 private:
-    std::map<int, std::uint64_t> data_packets_by_segment_;
+    telemetry::Counter& segment_data(int segment_id);
+    telemetry::Counter& segment_control(int segment_id);
+
+    telemetry::Registry* registry_;
+    telemetry::Counter* data_delivered_;
+    telemetry::Counter* dropped_iif_;
+    telemetry::Counter* dropped_ttl_;
+    telemetry::Counter* dropped_no_route_;
+    telemetry::Counter* dropped_loss_;
+    std::map<int, telemetry::Counter*> data_by_segment_;
+    std::map<int, telemetry::Counter*> control_by_segment_;
+    std::map<std::string, telemetry::Counter*> control_by_protocol_;
     std::map<int, std::set<std::pair<std::uint32_t, std::uint32_t>>> flows_by_segment_;
-    std::map<int, std::uint64_t> control_by_segment_;
-    std::map<std::string, std::uint64_t> control_messages_;
-    std::uint64_t data_delivered_ = 0;
-    std::uint64_t data_dropped_iif_ = 0;
-    std::uint64_t data_dropped_ttl_ = 0;
-    std::uint64_t data_dropped_no_route_ = 0;
-    std::uint64_t dropped_loss_ = 0;
 };
 
 } // namespace pimlib::stats

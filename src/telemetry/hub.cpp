@@ -1,0 +1,49 @@
+#include "telemetry/hub.hpp"
+
+namespace pimlib::telemetry {
+
+void Hub::emit(EventType type, const std::string& node, const std::string& protocol,
+               const std::string& group, const std::string& detail,
+               std::uint64_t span) {
+    auto key = std::make_pair(static_cast<int>(type), protocol);
+    auto it = event_counters_.find(key);
+    if (it == event_counters_.end()) {
+        Counter& counter = registry_.counter(
+            "pimlib_control_events_total",
+            {{"type", to_string(type)}, {"protocol", protocol}},
+            "Protocol state transitions, by event type and protocol");
+        it = event_counters_.emplace(std::move(key), &counter).first;
+    }
+    it->second->inc();
+    if (!tracing_) return;
+    events_.emit({clock_->now(), type, node, protocol, group, detail, span});
+}
+
+std::uint64_t Hub::span_begin(const std::string& kind, const std::string& key) {
+    if (!tracing_) return 0;
+    return spans_.begin(kind, key, clock_->now());
+}
+
+std::optional<sim::Time> Hub::span_end(const std::string& kind,
+                                       const std::string& key) {
+    if (!tracing_) return std::nullopt;
+    return spans_.end(kind, key, clock_->now());
+}
+
+void Hub::on_data_delivered(const std::string& host, const std::string& group) {
+    if (!tracing_ || spans_.open_count() == 0) return;
+    spans_.end(span::kJoinToData, host + "|" + group, clock_->now());
+    spans_.end(span::kRpFailover, group, clock_->now());
+}
+
+void Hub::store_snapshot(MribSnapshot snapshot) {
+    for (const RouterMrib& r : snapshot.routers) {
+        registry_
+            .gauge("pimlib_state_mrib_entries", {{"router", r.router}},
+                   "Forwarding-cache entries per router at last snapshot")
+            .set(static_cast<double>(r.entries.size()));
+    }
+    snapshots_.push_back(std::move(snapshot));
+}
+
+} // namespace pimlib::telemetry

@@ -1,0 +1,162 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pimlib::telemetry {
+
+LabelSet::LabelSet(std::initializer_list<std::pair<std::string, std::string>> labels)
+    : pairs_(labels) {
+    std::sort(pairs_.begin(), pairs_.end());
+}
+
+std::string LabelSet::key() const {
+    std::string out;
+    for (const auto& [k, v] : pairs_) {
+        out += k;
+        out += '\x01';
+        out += v;
+        out += '\x02';
+    }
+    return out;
+}
+
+Buckets Buckets::exponential(double start, double growth, int count) {
+    if (start <= 0 || growth <= 1.0 || count <= 0 || count > kMaxBuckets) {
+        throw std::invalid_argument("Buckets::exponential: need start > 0, "
+                                    "growth > 1, 0 < count <= 64");
+    }
+    Buckets b;
+    b.bounds.reserve(static_cast<std::size_t>(count));
+    double bound = start;
+    for (int i = 0; i < count; ++i) {
+        b.bounds.push_back(bound);
+        bound *= growth;
+    }
+    return b;
+}
+
+Histogram::Histogram(Buckets buckets)
+    : bounds_(std::move(buckets.bounds)), counts_(bounds_.size() + 1, 0) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::invalid_argument("Histogram: bucket bounds must ascend");
+    }
+}
+
+void Histogram::observe(double v) {
+    // v <= bounds_[i] lands in bucket i; beyond every bound lands in +Inf.
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count_);
+    double running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (in_bucket == 0 || running + in_bucket < rank) {
+            running += in_bucket;
+            continue;
+        }
+        // The rank falls inside bucket i: interpolate between its bounds.
+        if (i == counts_.size() - 1) return max_; // +Inf bucket
+        const double upper = bounds_[i];
+        const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+        const double pos = (rank - running) / in_bucket;
+        return std::clamp(lower + (upper - lower) * pos, min_, max_);
+    }
+    return max_;
+}
+
+std::size_t Registry::intern(const LabelSet& labels) {
+    const std::string key = labels.key();
+    auto it = label_index_.find(key);
+    if (it != label_index_.end()) return it->second;
+    const std::size_t id = label_sets_.size();
+    label_sets_.push_back(std::make_unique<LabelSet>(labels));
+    label_index_.emplace(key, id);
+    return id;
+}
+
+Registry::Instrument& Registry::find_or_create(const std::string& name,
+                                               const LabelSet& labels, Kind kind,
+                                               const std::string& help) {
+    const std::size_t label_id = intern(labels);
+    auto it = index_.find({name, label_id});
+    if (it != index_.end()) {
+        if (it->second->kind != kind) {
+            throw std::logic_error("telemetry: instrument '" + name +
+                                   "' re-registered with a different kind");
+        }
+        return *it->second;
+    }
+    // A name must keep one kind across all label sets (Prometheus family
+    // semantics).
+    for (const auto& existing : instruments_) {
+        if (existing->name == name && existing->kind != kind) {
+            throw std::logic_error("telemetry: instrument '" + name +
+                                   "' re-registered with a different kind");
+        }
+    }
+    auto inst = std::make_unique<Instrument>();
+    inst->name = name;
+    inst->help = help;
+    inst->kind = kind;
+    inst->labels = labels_of(label_id);
+    Instrument& ref = *inst;
+    index_.emplace(std::make_pair(name, label_id), &ref);
+    instruments_.push_back(std::move(inst));
+    return ref;
+}
+
+Counter& Registry::counter(const std::string& name, const LabelSet& labels,
+                           const std::string& help) {
+    Instrument& inst = find_or_create(name, labels, Kind::kCounter, help);
+    if (!inst.counter) inst.counter = std::make_unique<Counter>();
+    return *inst.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const LabelSet& labels,
+                       const std::string& help) {
+    Instrument& inst = find_or_create(name, labels, Kind::kGauge, help);
+    if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+    return *inst.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Buckets& buckets,
+                               const LabelSet& labels, const std::string& help) {
+    Instrument& inst = find_or_create(name, labels, Kind::kHistogram, help);
+    if (!inst.histogram) inst.histogram = std::make_unique<Histogram>(buckets);
+    return *inst.histogram;
+}
+
+void Registry::begin_epoch() {
+    for (const auto& inst : instruments_) {
+        if (inst->counter) inst->counter->begin_epoch();
+    }
+}
+
+std::vector<const Registry::Instrument*> Registry::sorted() const {
+    std::vector<const Instrument*> out;
+    out.reserve(instruments_.size());
+    for (const auto& inst : instruments_) out.push_back(inst.get());
+    std::sort(out.begin(), out.end(), [](const Instrument* a, const Instrument* b) {
+        if (a->name != b->name) return a->name < b->name;
+        return a->labels.key() < b->labels.key();
+    });
+    return out;
+}
+
+} // namespace pimlib::telemetry

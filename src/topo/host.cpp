@@ -15,6 +15,7 @@ void Host::receive(int ifindex, const net::Packet& packet) {
             received_.push_back(ReceivedRecord{packet.src, group, packet.seq,
                                                network_->simulator().now()});
             network_->stats().count_data_delivered();
+            network_->telemetry().on_data_delivered(name(), group.to_string());
         }
         return;
     }

@@ -11,6 +11,7 @@
 
 #include "sim/simulator.hpp"
 #include "stats/counters.hpp"
+#include "telemetry/hub.hpp"
 #include "topo/host.hpp"
 #include "topo/router.hpp"
 #include "topo/segment.hpp"
@@ -58,6 +59,11 @@ public:
     [[nodiscard]] sim::Simulator& simulator() { return sim_; }
     [[nodiscard]] stats::NetworkStats& stats() { return stats_; }
     [[nodiscard]] const stats::NetworkStats& stats() const { return stats_; }
+    /// The unified observability pipeline: metrics registry, event log,
+    /// span tracker and MRIB snapshot store. NetworkStats writes into the
+    /// same registry, so stats() and telemetry() are two views of one sink.
+    [[nodiscard]] telemetry::Hub& telemetry() { return telemetry_; }
+    [[nodiscard]] const telemetry::Hub& telemetry() const { return telemetry_; }
 
     /// Wiretaps: called for every frame a segment transmits (before delivery,
     /// including frames lost to injected segment loss). Several taps can
@@ -110,7 +116,10 @@ private:
     friend class TopologyBatch;
 
     sim::Simulator sim_;
-    stats::NetworkStats stats_;
+    // Declaration order matters: the hub is bound to sim_, and stats_ writes
+    // into the hub's registry.
+    telemetry::Hub telemetry_{sim_};
+    stats::NetworkStats stats_{telemetry_.registry()};
     std::map<int, PacketTap> taps_;
     int next_tap_token_ = 1;
     std::map<int, TopologyObserver> topo_observers_;
