@@ -1,6 +1,7 @@
 // Shared helpers for the figure-reproduction benchmarks.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include "graph/center_tree.hpp"
 #include "graph/random_graph.hpp"
 #include "graph/shortest_path.hpp"
+#include "stats/counters.hpp"
 
 namespace pimlib::bench {
 
@@ -22,6 +24,24 @@ inline int flag_value(int argc, char** argv, const char* name, int fallback) {
     return fallback;
 }
 
+/// Parses "--rate X" style floating-point flags; returns `fallback` when
+/// absent.
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+    }
+    return fallback;
+}
+
+/// True when the bare flag (e.g. "--check") is present.
+inline bool flag_present(int argc, char** argv, const char* name) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0) return true;
+    }
+    return false;
+}
+
 /// Parses "--metrics prom" style string flags; returns `fallback` when
 /// absent.
 inline std::string flag_string(int argc, char** argv, const char* name,
@@ -30,6 +50,36 @@ inline std::string flag_string(int argc, char** argv, const char* name,
         if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
     }
     return fallback;
+}
+
+/// Nearest-rank percentile (q in [0, 1]) over an unsorted sample; 0 when
+/// the sample is empty.
+inline double percentile(std::vector<double> values, double q) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto i = static_cast<std::size_t>(
+        q * (static_cast<double>(values.size()) - 1.0));
+    return values[i];
+}
+
+/// The JSON object every bench emits for a sample distribution. The
+/// percentiles are parameters so callers can source them either from the
+/// sorted sample (see the overload below) or from a telemetry histogram
+/// (bucket-interpolated, the series a metrics scraper would see).
+inline std::string distribution_json(const stats::Summary& s, double p50,
+                                     double p90, double p99) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mean\":%.6f,\"min\":%.6f,\"max\":%.6f,\"stddev\":%.6f,"
+                  "\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f,\"count\":%zu}",
+                  s.mean, s.min, s.max, s.stddev, p50, p90, p99, s.count);
+    return buf;
+}
+
+/// distribution_json with percentiles taken from the sample itself.
+inline std::string distribution_json(const std::vector<double>& values) {
+    return distribution_json(stats::summarize(values), percentile(values, 0.50),
+                             percentile(values, 0.90), percentile(values, 0.99));
 }
 
 /// Dense per-edge flow counter over a fixed graph: resolves (u,v) pairs to

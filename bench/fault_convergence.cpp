@@ -147,20 +147,17 @@ std::string json_for(const FaultSummary& fs, sim::Time bound,
                                  sim::kSecond);
         }
     }
-    const stats::Summary s = stats::summarize(recoveries);
     // Percentiles come from the shared telemetry histogram the reports were
     // folded into (bucket-interpolated, same series a scraper would see).
     const telemetry::Histogram& hist = registry.histogram(
         "pimlib_fault_recovery_seconds",
         telemetry::Buckets::exponential(0.001, 1.6, 24), {{"fault", fs.name}});
-    char buf[384];
-    std::snprintf(buf, sizeof(buf),
-                  "     ],\n     \"recovery_s\":{\"mean\":%.6f,\"min\":%.6f,"
-                  "\"max\":%.6f,\"stddev\":%.6f,\"p50\":%.6f,\"p90\":%.6f,"
-                  "\"p99\":%.6f,\"converged_trials\":%zu},\n"
-                  "     \"bound_s\":%.6f,\"within_bound\":%s}",
-                  s.mean, s.min, s.max, s.stddev, hist.quantile(0.50),
-                  hist.quantile(0.90), hist.quantile(0.99), s.count,
+    out += "     ],\n     \"recovery_s\":" +
+           bench::distribution_json(stats::summarize(recoveries),
+                                    hist.quantile(0.50), hist.quantile(0.90),
+                                    hist.quantile(0.99));
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\n     \"bound_s\":%.6f,\"within_bound\":%s}",
                   static_cast<double>(bound) / sim::kSecond,
                   fs.within_bound ? "true" : "false");
     return out + buf;

@@ -1,12 +1,14 @@
 // pimsim — scripted scenario driver. Runs an event-scripted multicast
 // simulation described in a single text file: a topology block (the
-// topo::TopologyBuilder format), protocol selection, and a timeline of
+// topo::TopologyBuilder format) or a generated transit-stub topology,
+// protocol selection, an optional churn workload, and a timeline of
 // events. Prints a packet trace (optional) and a delivery report.
 //
 // Usage: pimsim [scenario-file]     (no argument: runs a built-in demo)
 //
 // Scenario format:
 //
+//     seed 42                          # one seed reproduces the whole run
 //     topology
 //       router A B C D
 //       lan lan0 A
@@ -17,6 +19,10 @@
 //       lan lan1 D
 //       host source lan1
 //     end
+//     # ... or a generated wide-area topology instead of the block:
+//     # topology transit-stub transit=2 transit-size=3 stubs=2 stub-size=3 senders=2
+//     #   (routers t<domain>-<n> / s<domain>-<n>, bank hosts bankN on LANs
+//     #    lanN, sender hosts senderN)
 //     protocol pim-sm                  # pim-sm | pim-dm | dvmrp | cbt | mospf
 //     rp 224.1.1.1 C                   # pim-sm: RP list; cbt: core
 //     spt-policy immediate             # immediate | never | threshold M WINDOW_MS
@@ -39,11 +45,21 @@
 //                                       #   against the previous snapshot)
 //     telemetry off                     # disable event/span tracing (default on)
 //     snapshot-every 500ms              # periodic MRIB snapshots
+//     workload churn rate=200 mean=2s groups=8 zipf=1.0 bank=1000
+//                                       # Poisson join/leave churn over host
+//                                       #   banks (options: session=
+//                                       #   exponential|fixed|pareto,
+//                                       #   shape=A, start=T, stop=T)
+//     workload flash at=1s joins=500 window=200ms hold=1s rank=0
+//                                       # flash crowd on catalog rank 0
+//     workload sender sender0 224.9.0.1 on=1s off=1s interval=50ms
+//                                       # sender on/off cycling
 //     run 3s
 //
 // Every fault goes through fault::FaultInjector, so unicast routing
 // recomputes automatically and crashed routers lose (and rebuild) their
 // protocol state; the run ends with the injector's fault log.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -56,6 +72,8 @@
 #include "topo/segment.hpp"
 #include "trace/tracer.hpp"
 #include "unicast/oracle_routing.hpp"
+#include "workload/churn.hpp"
+#include "workload/topology.hpp"
 
 using namespace pimlib;
 
@@ -110,6 +128,7 @@ net::GroupAddress parse_group(int line, const std::string& text) {
 struct Scenario {
     topo::Network net;
     std::unique_ptr<topo::TopologyBuilder> topo;
+    std::unique_ptr<workload::TransitStubNetwork> generated;
     std::unique_ptr<unicast::OracleRouting> routing;
     std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<trace::PacketTracer> tracer;
@@ -119,7 +138,47 @@ struct Scenario {
     std::unique_ptr<scenario::DvmrpStack> dvmrp;
     std::unique_ptr<scenario::CbtStack> cbt;
     std::unique_ptr<scenario::MospfStack> mospf;
+    std::vector<std::unique_ptr<workload::HostBank>> banks;
+    std::unique_ptr<workload::ChurnEngine> churn;
+    std::vector<std::unique_ptr<workload::OnOffSender>> senders;
     sim::Time run_until = 0;
+
+    // Name lookups that work for both topology sources (the named block and
+    // the transit-stub generator).
+    [[nodiscard]] topo::Router& router_ref(const std::string& name) {
+        if (topo) return topo->router(name);
+        for (topo::Router* r : generated->routers) {
+            if (r->name() == name) return *r;
+        }
+        throw std::runtime_error("unknown router '" + name + "'");
+    }
+    [[nodiscard]] topo::Host& host_ref(const std::string& name) {
+        if (topo) return topo->host(name);
+        for (topo::Host* h : generated->bank_hosts) {
+            if (h->name() == name) return *h;
+        }
+        for (topo::Host* h : generated->senders) {
+            if (h->name() == name) return *h;
+        }
+        throw std::runtime_error("unknown host '" + name + "'");
+    }
+    [[nodiscard]] topo::Segment& lan_ref(const std::string& name) {
+        if (topo) return topo->lan(name);
+        // Generated bank LANs are addressable as lan0..lanN-1.
+        if (name.rfind("lan", 0) == 0) {
+            const std::size_t i = std::stoul(name.substr(3));
+            if (i < generated->lans.size()) return *generated->lans[i];
+        }
+        throw std::runtime_error("unknown lan '" + name + "'");
+    }
+    [[nodiscard]] topo::Segment& link_ref(const std::string& a, const std::string& b) {
+        if (topo) return topo->link(a, b);
+        topo::Segment* seg = net.find_link(router_ref(a), router_ref(b));
+        if (seg == nullptr) {
+            throw std::runtime_error("no link between '" + a + "' and '" + b + "'");
+        }
+        return *seg;
+    }
 
     scenario::StackBase& stack() {
         if (pim_sm) return *pim_sm;
@@ -217,6 +276,16 @@ void run_scenario(const std::string& text) {
         std::vector<std::string> routers;
     };
     std::vector<PendingRp> rps;
+    std::uint64_t global_seed = 0;
+    bool churn_enabled = false;
+    workload::ChurnConfig churn_cfg;
+    int bank_capacity = 1000;
+    struct SenderSpec {
+        std::string host;
+        net::GroupAddress group;
+        workload::OnOffSenderConfig cfg;
+    };
+    std::vector<SenderSpec> sender_specs;
     pim::SptPolicy policy = pim::SptPolicy::immediate();
     bool want_trace = false;
     bool want_telemetry = true;
@@ -238,7 +307,7 @@ void run_scenario(const std::string& text) {
             for (const auto& rp : rps) {
                 std::vector<net::Ipv4Address> addrs;
                 for (const auto& name : rp.routers) {
-                    addrs.push_back(sc.topo->router(name).router_id());
+                    addrs.push_back(sc.router_ref(name).router_id());
                 }
                 sc.pim_sm->set_rp(rp.group, addrs);
             }
@@ -249,7 +318,7 @@ void run_scenario(const std::string& text) {
         } else if (sc.protocol == "cbt") {
             sc.cbt = std::make_unique<scenario::CbtStack>(sc.net, config);
             for (const auto& rp : rps) {
-                sc.cbt->set_core(rp.group, sc.topo->router(rp.routers.front()).router_id());
+                sc.cbt->set_core(rp.group, sc.router_ref(rp.routers.front()).router_id());
             }
         } else if (sc.protocol == "mospf") {
             sc.mospf = std::make_unique<scenario::MospfStack>(sc.net, config);
@@ -258,6 +327,63 @@ void run_scenario(const std::string& text) {
             std::exit(2);
         }
         sc.stack().wire_faults(*sc.faults);
+
+        if (churn_enabled) {
+            // Bank hosts: the generated topology's bankN hosts, or every
+            // scripted host that is not an on/off sender.
+            std::vector<topo::Host*> bank_hosts;
+            if (sc.generated) {
+                bank_hosts = sc.generated->bank_hosts;
+            } else {
+                for (const auto& h : sc.net.hosts()) {
+                    bool is_sender = false;
+                    for (const auto& spec : sender_specs) {
+                        if (spec.host == h->name()) is_sender = true;
+                    }
+                    if (!is_sender) bank_hosts.push_back(h.get());
+                }
+            }
+            if (bank_hosts.empty()) {
+                std::fprintf(stderr, "pimsim: workload churn needs at least one host\n");
+                std::exit(2);
+            }
+            std::vector<workload::HostBank*> raw;
+            for (topo::Host* h : bank_hosts) {
+                sc.banks.push_back(std::make_unique<workload::HostBank>(
+                    sc.stack().host_agent(*h), bank_capacity));
+                raw.push_back(sc.banks.back().get());
+            }
+            sc.churn = std::make_unique<workload::ChurnEngine>(sc.net, raw, churn_cfg);
+            // Catalog groups without an explicit rp/core directive get one
+            // auto-assigned: transit routers round-robin on generated
+            // topologies (the wide-area core), router 0 on scripted ones.
+            if (sc.pim_sm || sc.cbt) {
+                std::vector<topo::Router*> anchors =
+                    sc.generated ? sc.generated->transit_routers()
+                                 : std::vector<topo::Router*>{&sc.net.router(0)};
+                for (int r = 0; r < churn_cfg.groups; ++r) {
+                    const net::GroupAddress g = sc.churn->group(r);
+                    bool covered = false;
+                    for (const auto& rp : rps) {
+                        if (rp.group == g) covered = true;
+                    }
+                    if (covered) continue;
+                    topo::Router& anchor =
+                        *anchors[static_cast<std::size_t>(r) % anchors.size()];
+                    if (sc.pim_sm) {
+                        sc.pim_sm->set_rp(g, {anchor.router_id()});
+                    } else {
+                        sc.cbt->set_core(g, anchor.router_id());
+                    }
+                }
+            }
+            sc.churn->start();
+        }
+        for (const SenderSpec& spec : sender_specs) {
+            sc.senders.push_back(std::make_unique<workload::OnOffSender>(
+                sc.host_ref(spec.host), spec.group, spec.cfg));
+            sc.senders.back()->start();
+        }
     };
 
     while (std::getline(input, raw)) {
@@ -280,7 +406,136 @@ void run_scenario(const std::string& text) {
             continue;
         }
         if (word == "topology") {
-            in_topology = true;
+            std::string mode;
+            if (ls >> mode) {
+                if (mode != "transit-stub") fail(line, "unknown topology mode '" + mode + "'");
+                if (topology_done) fail(line, "duplicate topology");
+                graph::TransitStubOptions opts;
+                opts.transit_domains = 2;
+                opts.transit_nodes = 3;
+                opts.stub_domains = 2;
+                opts.stub_nodes = 3;
+                workload::MaterializeOptions mat;
+                std::uint64_t graph_seed = 0;
+                std::string opt;
+                while (ls >> opt) {
+                    if (opt.rfind("transit=", 0) == 0) {
+                        opts.transit_domains = std::stoi(opt.substr(8));
+                    } else if (opt.rfind("transit-size=", 0) == 0) {
+                        opts.transit_nodes = std::stoi(opt.substr(13));
+                    } else if (opt.rfind("stubs=", 0) == 0) {
+                        opts.stub_domains = std::stoi(opt.substr(6));
+                    } else if (opt.rfind("stub-size=", 0) == 0) {
+                        opts.stub_nodes = std::stoi(opt.substr(10));
+                    } else if (opt.rfind("senders=", 0) == 0) {
+                        mat.senders = std::stoi(opt.substr(8));
+                    } else if (opt.rfind("graph-seed=", 0) == 0) {
+                        graph_seed = std::stoull(opt.substr(11));
+                    } else {
+                        fail(line, "unknown transit-stub option '" + opt + "'");
+                    }
+                }
+                if (graph_seed == 0) graph_seed = global_seed != 0 ? global_seed : 1;
+                std::mt19937 rng(static_cast<std::mt19937::result_type>(graph_seed));
+                s.generated = std::make_unique<workload::TransitStubNetwork>(
+                    workload::build_transit_stub(s.net, opts, rng, mat));
+                topology_done = true;
+            } else {
+                in_topology = true;
+            }
+        } else if (word == "seed") {
+            std::string value;
+            ls >> value;
+            try {
+                global_seed = std::stoull(value);
+            } catch (...) {
+                fail(line, "seed needs an unsigned integer");
+            }
+            s.net.set_seed(global_seed);
+            churn_cfg.seed = global_seed != 0 ? global_seed : churn_cfg.seed;
+        } else if (word == "workload") {
+            std::string kind;
+            ls >> kind;
+            std::string opt;
+            if (kind == "churn") {
+                churn_enabled = true;
+                while (ls >> opt) {
+                    if (opt.rfind("rate=", 0) == 0) {
+                        churn_cfg.joins_per_sec = std::stod(opt.substr(5));
+                    } else if (opt.rfind("mean=", 0) == 0) {
+                        churn_cfg.session.mean = parse_time(line, opt.substr(5));
+                    } else if (opt.rfind("groups=", 0) == 0) {
+                        churn_cfg.groups = std::stoi(opt.substr(7));
+                    } else if (opt.rfind("zipf=", 0) == 0) {
+                        churn_cfg.zipf_exponent = std::stod(opt.substr(5));
+                    } else if (opt.rfind("bank=", 0) == 0) {
+                        bank_capacity = std::stoi(opt.substr(5));
+                    } else if (opt.rfind("session=", 0) == 0) {
+                        const std::string k = opt.substr(8);
+                        if (k == "fixed") {
+                            churn_cfg.session.kind = workload::SessionDuration::Kind::kFixed;
+                        } else if (k == "exponential") {
+                            churn_cfg.session.kind =
+                                workload::SessionDuration::Kind::kExponential;
+                        } else if (k == "pareto") {
+                            churn_cfg.session.kind = workload::SessionDuration::Kind::kPareto;
+                        } else {
+                            fail(line, "session= takes fixed|exponential|pareto");
+                        }
+                    } else if (opt.rfind("shape=", 0) == 0) {
+                        churn_cfg.session.pareto_shape = std::stod(opt.substr(6));
+                    } else if (opt.rfind("start=", 0) == 0) {
+                        churn_cfg.start = parse_time(line, opt.substr(6));
+                    } else if (opt.rfind("stop=", 0) == 0) {
+                        churn_cfg.stop = parse_time(line, opt.substr(5));
+                    } else {
+                        fail(line, "unknown churn option '" + opt + "'");
+                    }
+                }
+            } else if (kind == "flash") {
+                churn_enabled = true;
+                workload::FlashCrowd crowd;
+                while (ls >> opt) {
+                    if (opt.rfind("at=", 0) == 0) {
+                        crowd.at = parse_time(line, opt.substr(3));
+                    } else if (opt.rfind("joins=", 0) == 0) {
+                        crowd.joins = std::stoi(opt.substr(6));
+                    } else if (opt.rfind("window=", 0) == 0) {
+                        crowd.window = parse_time(line, opt.substr(7));
+                    } else if (opt.rfind("hold=", 0) == 0) {
+                        crowd.hold.mean = parse_time(line, opt.substr(5));
+                    } else if (opt.rfind("rank=", 0) == 0) {
+                        crowd.group_rank = std::stoi(opt.substr(5));
+                    } else {
+                        fail(line, "unknown flash option '" + opt + "'");
+                    }
+                }
+                if (crowd.joins <= 0) fail(line, "flash needs joins=N");
+                churn_cfg.flash_crowds.push_back(crowd);
+            } else if (kind == "sender") {
+                SenderSpec spec;
+                std::string group;
+                ls >> spec.host >> group;
+                spec.group = parse_group(line, group);
+                while (ls >> opt) {
+                    if (opt.rfind("on=", 0) == 0) {
+                        spec.cfg.on = parse_time(line, opt.substr(3));
+                    } else if (opt.rfind("off=", 0) == 0) {
+                        spec.cfg.off = parse_time(line, opt.substr(4));
+                    } else if (opt.rfind("interval=", 0) == 0) {
+                        spec.cfg.interval = parse_time(line, opt.substr(9));
+                    } else if (opt.rfind("start=", 0) == 0) {
+                        spec.cfg.start = parse_time(line, opt.substr(6));
+                    } else if (opt.rfind("stop=", 0) == 0) {
+                        spec.cfg.stop = parse_time(line, opt.substr(5));
+                    } else {
+                        fail(line, "unknown sender option '" + opt + "'");
+                    }
+                }
+                sender_specs.push_back(std::move(spec));
+            } else {
+                fail(line, "unknown workload '" + kind + "' (churn|flash|sender)");
+            }
         } else if (word == "protocol") {
             ls >> s.protocol;
         } else if (word == "rp") {
@@ -332,10 +587,10 @@ void run_scenario(const std::string& text) {
                 ls >> host >> group;
                 const net::GroupAddress g = parse_group(line, group);
                 const bool join = verb == "join";
-                (void)s.topo->host(host); // validate now
+                (void)s.host_ref(host); // validate now
                 events.push_back({at, [host, g, join](Scenario& sc) {
                                       auto& agent = sc.stack().host_agent(
-                                          sc.topo->host(host));
+                                          sc.host_ref(host));
                                       if (join) {
                                           agent.join(g);
                                       } else {
@@ -359,18 +614,18 @@ void run_scenario(const std::string& text) {
                         fail(line, "unknown send option '" + opt + "'");
                     }
                 }
-                (void)s.topo->host(host);
+                (void)s.host_ref(host);
                 events.push_back({at, [host, g, count, interval](Scenario& sc) {
-                                      sc.topo->host(host).send_stream(g, count, interval);
+                                      sc.host_ref(host).send_stream(g, count, interval);
                                   }});
             } else if (verb == "fail-link" || verb == "heal-link") {
                 std::string a;
                 std::string b;
                 ls >> a >> b;
                 const bool up = verb == "heal-link";
-                (void)s.topo->link(a, b);
+                (void)s.link_ref(a, b);
                 events.push_back({at, [a, b, up](Scenario& sc) {
-                                      auto& link = sc.topo->link(a, b);
+                                      auto& link = sc.link_ref(a, b);
                                       if (up) {
                                           sc.faults->restore_link(link);
                                       } else {
@@ -381,9 +636,9 @@ void run_scenario(const std::string& text) {
                 std::string name;
                 ls >> name;
                 const bool crash = verb == "crash-router";
-                (void)s.topo->router(name);
+                (void)s.router_ref(name);
                 events.push_back({at, [name, crash](Scenario& sc) {
-                                      auto& router = sc.topo->router(name);
+                                      auto& router = sc.router_ref(name);
                                       if (crash) {
                                           sc.faults->crash_router(router);
                                       } else {
@@ -400,13 +655,13 @@ void run_scenario(const std::string& text) {
                 if (rate < 0 || rate >= 1) fail(line, "loss rate must be in [0,1)");
                 const bool is_link = verb == "loss-link";
                 if (is_link) {
-                    (void)s.topo->link(a, b);
+                    (void)s.link_ref(a, b);
                 } else {
-                    (void)s.topo->lan(a);
+                    (void)s.lan_ref(a);
                 }
                 events.push_back({at, [a, b, rate, is_link](Scenario& sc) {
-                                      auto& seg = is_link ? sc.topo->link(a, b)
-                                                          : sc.topo->lan(a);
+                                      auto& seg = is_link ? sc.link_ref(a, b)
+                                                          : sc.lan_ref(a);
                                       sc.faults->set_loss(seg, rate);
                                   }});
             } else if (verb == "partition") {
@@ -417,12 +672,12 @@ void run_scenario(const std::string& text) {
                     fail(line, "partition needs router pairs: A B [C D ...]");
                 }
                 for (std::size_t i = 0; i < names.size(); i += 2) {
-                    (void)s.topo->link(names[i], names[i + 1]);
+                    (void)s.link_ref(names[i], names[i + 1]);
                 }
                 events.push_back({at, [names](Scenario& sc) {
                                       std::vector<topo::Segment*> cut;
                                       for (std::size_t i = 0; i < names.size(); i += 2) {
-                                          cut.push_back(&sc.topo->link(names[i], names[i + 1]));
+                                          cut.push_back(&sc.link_ref(names[i], names[i + 1]));
                                       }
                                       sc.faults->partition(cut);
                                   }});
@@ -480,6 +735,24 @@ void run_scenario(const std::string& text) {
         std::printf("  %-12s received %zu data packets (%zu duplicates)\n",
                     host->name().c_str(), host->received().size(),
                     host->duplicate_count());
+    }
+    if (s.churn) {
+        std::printf("--- workload churn ---\n");
+        std::printf("  joins=%llu leaves=%llu saturated=%llu peak=%zu current=%zu\n",
+                    static_cast<unsigned long long>(s.churn->joins()),
+                    static_cast<unsigned long long>(s.churn->leaves()),
+                    static_cast<unsigned long long>(s.churn->saturated_joins()),
+                    s.churn->membership_peak(), s.churn->membership());
+        std::vector<double> lat = s.churn->join_to_data_seconds();
+        if (!lat.empty()) {
+            std::sort(lat.begin(), lat.end());
+            auto pct = [&lat](double q) {
+                const auto i = static_cast<std::size_t>(q * (static_cast<double>(lat.size()) - 1));
+                return lat[i] * 1000.0;
+            };
+            std::printf("  join-to-data p50=%.2fms p90=%.2fms p99=%.2fms (%zu samples)\n",
+                        pct(0.50), pct(0.90), pct(0.99), lat.size());
+        }
     }
     std::printf("--- totals: data_tx=%llu control=%llu ---\n",
                 static_cast<unsigned long long>(s.net.stats().total_data_packets()),

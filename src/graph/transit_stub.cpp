@@ -1,0 +1,114 @@
+#include "graph/transit_stub.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimlib::graph {
+
+namespace {
+
+/// Connects `nodes` (global ids) into a random connected subgraph of `g`:
+/// a uniform random recursive tree first, then `extra` redundant edges
+/// (skipping duplicates; bounded attempts so dense domains terminate).
+void connect_domain(Graph& g, const std::vector<int>& nodes, int extra,
+                    double weight, std::mt19937& rng) {
+    const int n = static_cast<int>(nodes.size());
+    std::vector<int> order = nodes;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (int i = 1; i < n; ++i) {
+        std::uniform_int_distribution<int> pick(0, i - 1);
+        g.add_edge(order[static_cast<std::size_t>(i)],
+                   order[static_cast<std::size_t>(pick(rng))], weight);
+    }
+    if (n < 3) return;
+    std::uniform_int_distribution<int> any(0, n - 1);
+    const int max_extra = n * (n - 1) / 2 - (n - 1);
+    int added = 0;
+    int attempts = 0;
+    const int budget = 16 * std::max(extra, 1);
+    while (added < std::min(extra, max_extra) && attempts++ < budget) {
+        const int u = nodes[static_cast<std::size_t>(any(rng))];
+        const int v = nodes[static_cast<std::size_t>(any(rng))];
+        if (u == v || g.has_edge(u, v)) continue;
+        g.add_edge(u, v, weight);
+        ++added;
+    }
+}
+
+} // namespace
+
+TransitStubGraph transit_stub_graph(const TransitStubOptions& options, std::mt19937& rng) {
+    if (options.transit_domains < 1 || options.transit_nodes < 1 ||
+        options.stub_domains < 0 || options.stub_nodes < 1) {
+        throw std::invalid_argument("transit_stub_graph: non-positive size");
+    }
+
+    const int transit_total = options.transit_domains * options.transit_nodes;
+    const int stub_domain_total = transit_total * options.stub_domains;
+    const int total = transit_total + stub_domain_total * options.stub_nodes;
+
+    TransitStubGraph out;
+    out.graph = Graph(total);
+    out.is_transit.assign(static_cast<std::size_t>(total), false);
+    out.domain.assign(static_cast<std::size_t>(total), -1);
+
+    // Transit nodes come first: domain d owns [d*transit_nodes, (d+1)*...).
+    std::vector<std::vector<int>> transit_members(
+        static_cast<std::size_t>(options.transit_domains));
+    for (int id = 0; id < transit_total; ++id) {
+        const int d = id / options.transit_nodes;
+        out.is_transit[static_cast<std::size_t>(id)] = true;
+        out.domain[static_cast<std::size_t>(id)] = d;
+        out.transit_nodes.push_back(id);
+        transit_members[static_cast<std::size_t>(d)].push_back(id);
+    }
+    for (const auto& members : transit_members) {
+        connect_domain(out.graph, members,
+                       static_cast<int>(members.size() * options.transit_redundancy),
+                       options.transit_weight, rng);
+    }
+
+    // Inter-domain transit links: a random recursive tree over domains keeps
+    // the core connected; endpoints are random nodes of each domain.
+    for (int d = 1; d < options.transit_domains; ++d) {
+        std::uniform_int_distribution<int> pick_domain(0, d - 1);
+        const auto& from = transit_members[static_cast<std::size_t>(d)];
+        const auto& to = transit_members[static_cast<std::size_t>(pick_domain(rng))];
+        std::uniform_int_distribution<int> pick_from(0, static_cast<int>(from.size()) - 1);
+        std::uniform_int_distribution<int> pick_to(0, static_cast<int>(to.size()) - 1);
+        int u = from[static_cast<std::size_t>(pick_from(rng))];
+        int v = to[static_cast<std::size_t>(pick_to(rng))];
+        if (!out.graph.has_edge(u, v)) {
+            out.graph.add_edge(u, v, options.transit_weight);
+        }
+    }
+
+    // Stub domains: each transit node sponsors `stub_domains` of them, each
+    // a connected subgraph with one access link up to its sponsor.
+    int next = transit_total;
+    int next_domain = options.transit_domains;
+    for (int sponsor : out.transit_nodes) {
+        for (int s = 0; s < options.stub_domains; ++s) {
+            std::vector<int> members;
+            for (int k = 0; k < options.stub_nodes; ++k) {
+                const int id = next++;
+                out.domain[static_cast<std::size_t>(id)] = next_domain;
+                out.stub_nodes.push_back(id);
+                members.push_back(id);
+            }
+            connect_domain(out.graph, members,
+                           static_cast<int>(members.size() * options.stub_redundancy),
+                           options.stub_weight, rng);
+            std::uniform_int_distribution<int> gateway(
+                0, static_cast<int>(members.size()) - 1);
+            out.graph.add_edge(members[static_cast<std::size_t>(gateway(rng))],
+                               sponsor, options.access_weight);
+            out.stub_attachment.push_back(sponsor);
+            ++next_domain;
+        }
+    }
+
+    return out;
+}
+
+} // namespace pimlib::graph

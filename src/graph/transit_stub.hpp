@@ -1,0 +1,65 @@
+// Transit-stub hierarchical random graphs (GT-ITM style; Zegura/Calvert/
+// Bhattacharjee, "How to Model an Internetwork", INFOCOM '96): a connected
+// core of transit domains, each transit node sponsoring several stub
+// domains. This is the wide-area structure the paper assumes — "groups of
+// members ... sparsely distributed across a wide area" (§1.1) — and the
+// substrate the workload subsystem scales membership churn on: stub
+// domains hold the receiver LANs, the transit core carries the shared and
+// shortest-path trees between them.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pimlib::graph {
+
+struct TransitStubOptions {
+    int transit_domains = 2;
+    /// Routers per transit domain (connected random subgraph).
+    int transit_nodes = 4;
+    /// Stub domains hanging off each transit node.
+    int stub_domains = 3;
+    /// Routers per stub domain (connected random subgraph).
+    int stub_nodes = 4;
+    /// Extra intra-domain edges beyond the spanning tree, as a fraction of
+    /// the domain's node count (redundancy inside domains).
+    double transit_redundancy = 0.5;
+    double stub_redundancy = 0.25;
+    /// Link weights: long-haul transit links cost more than stub-internal
+    /// hops; access links (stub gateway -> sponsoring transit node) sit in
+    /// between, matching the usual transit-stub parameterization.
+    double transit_weight = 10.0;
+    double access_weight = 4.0;
+    double stub_weight = 1.0;
+};
+
+/// A generated transit-stub graph plus the hierarchy metadata the workload
+/// layer needs to place RPs (transit core) and receiver banks (stubs).
+struct TransitStubGraph {
+    Graph graph{0};
+    /// Per node: true if it belongs to a transit domain.
+    std::vector<bool> is_transit;
+    /// Per node: domain id. Transit domains are 0..transit_domains-1; stub
+    /// domains continue from transit_domains upward.
+    std::vector<int> domain;
+    /// Node ids of all transit (resp. stub) routers, ascending.
+    std::vector<int> transit_nodes;
+    std::vector<int> stub_nodes;
+    /// Per stub domain (indexed from 0, i.e. domain id - transit_domains):
+    /// the transit node sponsoring it.
+    std::vector<int> stub_attachment;
+
+    [[nodiscard]] int node_count() const { return graph.node_count(); }
+    [[nodiscard]] int stub_domain_count() const {
+        return static_cast<int>(stub_attachment.size());
+    }
+};
+
+/// Generates a connected transit-stub graph. Deterministic for a given
+/// (options, rng state): two calls with equal-seeded generators produce
+/// identical graphs. Throws std::invalid_argument on non-positive sizes.
+TransitStubGraph transit_stub_graph(const TransitStubOptions& options, std::mt19937& rng);
+
+} // namespace pimlib::graph

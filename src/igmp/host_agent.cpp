@@ -7,7 +7,12 @@ namespace pimlib::igmp {
 HostAgent::HostAgent(topo::Host& host, HostConfig config)
     : host_(&host),
       config_(config),
-      rng_(static_cast<std::uint32_t>(host.id()) * 2654435761u + 1) {
+      // Report-spread RNG derives from the network's global seed (legacy
+      // per-id stream when no seed is set), so `pimsim seed N` reproduces
+      // host report timing end-to-end.
+      rng_(host.network().derived_seed(
+          static_cast<std::uint32_t>(host.id()),
+          topo::Network::kHostAgentStreamTag + static_cast<std::uint64_t>(host.id()))) {
     host_->set_control_handler([this](int ifindex, const net::Packet& packet) {
         on_control(ifindex, packet);
     });

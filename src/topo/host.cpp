@@ -16,6 +16,7 @@ void Host::receive(int ifindex, const net::Packet& packet) {
                                                network_->simulator().now()});
             network_->stats().count_data_delivered();
             network_->telemetry().on_data_delivered(name(), group.to_string());
+            if (data_observer_) data_observer_(received_.back());
         }
         return;
     }

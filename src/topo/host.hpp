@@ -52,6 +52,12 @@ public:
     using PacketHandler = std::function<void(int ifindex, const net::Packet&)>;
     void set_control_handler(PacketHandler handler) { control_handler_ = std::move(handler); }
 
+    /// Observer for accepted data packets, fired after the record is stored.
+    /// One slot; workload::HostBank registers here to close join-to-data
+    /// measurements without scanning received().
+    using DataObserver = std::function<void(const ReceivedRecord&)>;
+    void set_data_observer(DataObserver observer) { data_observer_ = std::move(observer); }
+
     [[nodiscard]] net::Ipv4Address address() const { return interface(0).address; }
 
 private:
@@ -59,6 +65,7 @@ private:
     std::map<std::uint32_t, std::uint64_t> next_seq_; // per group
     std::vector<ReceivedRecord> received_;
     PacketHandler control_handler_;
+    DataObserver data_observer_;
 };
 
 } // namespace pimlib::topo

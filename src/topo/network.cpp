@@ -86,6 +86,25 @@ void Network::notify_topology_changed() {
     for (const auto& [token, observer] : topo_observers_) observer();
 }
 
+void Network::set_seed(std::uint64_t seed) {
+    seed_ = seed;
+    for (const auto& seg : segments_) {
+        seg->reseed_loss(derived_seed(static_cast<std::uint32_t>(seg->id()),
+                                      kSegmentStreamTag + static_cast<std::uint64_t>(seg->id())));
+    }
+}
+
+std::uint32_t Network::derived_seed(std::uint32_t legacy_salt,
+                                    std::uint64_t stream_tag) const {
+    if (seed_ == 0) return legacy_salt * 2654435761u + 1; // historical stream
+    // splitmix64 of (seed, stream_tag): statistically independent streams
+    // per object class and id, fully determined by the global seed.
+    std::uint64_t z = seed_ + stream_tag * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::uint32_t>((z ^ (z >> 31)) >> 16);
+}
+
 Segment* Network::find_link(const Router& a, const Router& b) {
     for (const auto& seg : segments_) {
         bool has_a = false;

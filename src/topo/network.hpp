@@ -3,6 +3,7 @@
 // builder API used by tests, examples and benchmarks.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -110,6 +111,25 @@ public:
     /// Runs the simulation for `duration` of simulated time.
     void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
 
+    /// Global RNG seed for every derived random stream in the network
+    /// (segment loss, IGMP host report spread, ...). Setting it re-seeds the
+    /// loss RNG of every existing segment, so it can be applied at any point
+    /// before the run. Seed 0 (the default) keeps the legacy per-object
+    /// derivation, so existing scenarios replay unchanged.
+    void set_seed(std::uint64_t seed);
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /// A per-object RNG seed derived from the global seed. `legacy_salt`
+    /// reproduces the historical `salt * 2654435761 + 1` stream when the
+    /// global seed is 0; `stream_tag` decorrelates object classes (segments,
+    /// host agents, ...) when a global seed is set (splitmix64 mix).
+    [[nodiscard]] std::uint32_t derived_seed(std::uint32_t legacy_salt,
+                                             std::uint64_t stream_tag) const;
+
+    /// Stream-tag bases for derived_seed (add the object's id).
+    static constexpr std::uint64_t kSegmentStreamTag = 0x5e67'0000'0000ull;
+    static constexpr std::uint64_t kHostAgentStreamTag = 0xa63e'0000'0000ull;
+
 private:
     net::Prefix next_segment_prefix();
 
@@ -132,6 +152,7 @@ private:
     int next_segment_number_ = 0;
     int next_node_id_ = 0;
     int next_router_number_ = 1;
+    std::uint64_t seed_ = 0;
 };
 
 } // namespace pimlib::topo

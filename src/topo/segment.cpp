@@ -7,7 +7,9 @@ namespace pimlib::topo {
 
 Segment::Segment(Network& network, int id, net::Prefix prefix, sim::Time delay, int metric)
     : network_(&network), id_(id), prefix_(prefix), delay_(delay), metric_(metric),
-      loss_rng_(static_cast<std::uint32_t>(id) * 2654435761u + 1) {}
+      loss_rng_(network.derived_seed(
+          static_cast<std::uint32_t>(id),
+          Network::kSegmentStreamTag + static_cast<std::uint64_t>(id))) {}
 
 void Segment::add_attachment(Node& node, int ifindex) {
     attachments_.push_back(Attachment{&node, ifindex});

@@ -41,6 +41,9 @@ public:
     /// loses it, not one station). Deterministic per-segment RNG so fault
     /// scenarios replay identically.
     void set_loss_rate(double rate);
+    /// Restarts the loss RNG stream; called by Network::set_seed so one
+    /// global seed makes whole runs reproducible end-to-end.
+    void reseed_loss(std::uint32_t seed) { loss_rng_.seed(seed); }
     [[nodiscard]] double loss_rate() const { return loss_rate_; }
     /// Frames dropped by injected loss so far.
     [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }

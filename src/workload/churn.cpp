@@ -1,0 +1,188 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "topo/network.hpp"
+
+namespace pimlib::workload {
+
+ZipfSampler::ZipfSampler(int n, double exponent) {
+    if (n < 1) throw std::invalid_argument("ZipfSampler: need at least one rank");
+    cdf_.resize(static_cast<std::size_t>(n));
+    double sum = 0;
+    for (int k = 0; k < n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+        cdf_[static_cast<std::size_t>(k)] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+    cdf_.back() = 1.0; // guard against accumulated rounding
+}
+
+int ZipfSampler::sample(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u(rng));
+    return static_cast<int>(it - cdf_.begin());
+}
+
+sim::Time SessionDuration::draw(std::mt19937_64& rng) const {
+    double seconds = static_cast<double>(mean) / sim::kSecond;
+    switch (kind) {
+    case Kind::kFixed:
+        break;
+    case Kind::kExponential: {
+        std::exponential_distribution<double> dist(1.0 / seconds);
+        seconds = dist(rng);
+        break;
+    }
+    case Kind::kPareto: {
+        // Inverse-CDF Pareto with scale chosen so E[X] = mean.
+        const double alpha = pareto_shape > 1.0 ? pareto_shape : 1.0001;
+        const double scale = seconds * (alpha - 1.0) / alpha;
+        std::uniform_real_distribution<double> u(0.0, 1.0);
+        seconds = scale / std::pow(1.0 - u(rng), 1.0 / alpha);
+        break;
+    }
+    }
+    const auto t = static_cast<sim::Time>(seconds * sim::kSecond);
+    return std::max<sim::Time>(t, sim::kMillisecond);
+}
+
+ChurnEngine::ChurnEngine(topo::Network& network, std::vector<HostBank*> banks,
+                         ChurnConfig config)
+    : network_(&network),
+      banks_(std::move(banks)),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      zipf_(config_.groups, config_.zipf_exponent) {
+    if (banks_.empty()) throw std::invalid_argument("ChurnEngine: no banks");
+    telemetry::Registry& reg = network_->telemetry().registry();
+    joins_total_ = &reg.counter("pimlib_workload_joins_total", {},
+                                "receiver joins issued by the churn engine");
+    leaves_total_ = &reg.counter("pimlib_workload_leaves_total", {},
+                                 "receiver leaves issued by the churn engine");
+    saturated_total_ =
+        &reg.counter("pimlib_workload_saturated_joins_total", {},
+                     "joins refused because the target bank was at capacity");
+    membership_gauge_ = &reg.gauge("pimlib_workload_membership", {},
+                                   "current aggregate receiver membership");
+    peak_gauge_ = &reg.gauge("pimlib_workload_membership_peak", {},
+                             "high-water mark of aggregate membership");
+    join_to_data_hist_ = &reg.histogram(
+        "pimlib_workload_join_to_data_seconds",
+        telemetry::Buckets::exponential(0.0001, 2.0, 24), {},
+        "first-join to first-data latency under churn");
+    for (std::size_t i = 0; i < banks_.size(); ++i) {
+        banks_[i]->set_first_data_callback(
+            [this](net::GroupAddress, sim::Time latency) {
+                const double s = static_cast<double>(latency) / sim::kSecond;
+                join_to_data_s_.push_back(s);
+                join_to_data_hist_->observe(s);
+            });
+    }
+}
+
+net::GroupAddress ChurnEngine::group(int rank) const {
+    return net::GroupAddress{net::Ipv4Address(config_.group_base.to_uint() +
+                                              static_cast<std::uint32_t>(rank))};
+}
+
+void ChurnEngine::start() {
+    sim::Simulator& sim = network_->simulator();
+    sim.schedule_at(std::max(config_.start, sim.now()), [this] { schedule_next_arrival(); });
+    for (const FlashCrowd& crowd : config_.flash_crowds) schedule_flash(crowd);
+}
+
+void ChurnEngine::schedule_next_arrival() {
+    if (config_.joins_per_sec <= 0) return;
+    std::exponential_distribution<double> gap(config_.joins_per_sec);
+    const auto wait =
+        std::max<sim::Time>(static_cast<sim::Time>(gap(rng_) * sim::kSecond), 1);
+    sim::Simulator& sim = network_->simulator();
+    const sim::Time at = sim.now() + wait;
+    if (config_.stop > 0 && at >= config_.stop) return;
+    sim.schedule_at(at, [this] {
+        std::uniform_int_distribution<std::size_t> pick(0, banks_.size() - 1);
+        const auto bank = static_cast<int>(pick(rng_));
+        const int rank = zipf_.sample(rng_);
+        const sim::Time hold = config_.session.draw(rng_);
+        arrive(bank, rank, hold);
+        schedule_next_arrival();
+    });
+}
+
+void ChurnEngine::arrive(int bank_index, int rank, sim::Time hold) {
+    HostBank& bank = *banks_[static_cast<std::size_t>(bank_index)];
+    if (bank.join(group(rank)) == 0) {
+        ++saturated_;
+        saturated_total_->inc();
+        return;
+    }
+    ++joins_;
+    joins_total_->inc();
+    ++membership_;
+    if (membership_ > peak_) {
+        peak_ = membership_;
+        peak_gauge_->set(static_cast<double>(peak_));
+    }
+    membership_gauge_->set(static_cast<double>(membership_));
+    if (config_.record_history) {
+        history_.push_back({network_->simulator().now(), bank_index, rank, true});
+    }
+    network_->simulator().schedule(hold, [this, bank_index, rank] {
+        depart(bank_index, rank, 1);
+    });
+}
+
+void ChurnEngine::depart(int bank_index, int rank, int count) {
+    HostBank& bank = *banks_[static_cast<std::size_t>(bank_index)];
+    const int left = bank.leave(group(rank), count);
+    if (left == 0) return;
+    leaves_ += static_cast<std::uint64_t>(left);
+    leaves_total_->inc(static_cast<std::uint64_t>(left));
+    membership_ -= static_cast<std::size_t>(left);
+    membership_gauge_->set(static_cast<double>(membership_));
+    if (config_.record_history) {
+        history_.push_back({network_->simulator().now(), bank_index, rank, false});
+    }
+}
+
+void ChurnEngine::schedule_flash(const FlashCrowd& crowd) {
+    network_->simulator().schedule_at(crowd.at, [this, crowd] {
+        // All of the crowd's randomness is drawn here, in one event, so the
+        // burst is deterministic regardless of how it interleaves with the
+        // background arrival process.
+        std::uniform_int_distribution<std::size_t> pick(0, banks_.size() - 1);
+        std::uniform_int_distribution<sim::Time> offset(
+            0, std::max<sim::Time>(crowd.window, 1));
+        for (int i = 0; i < crowd.joins; ++i) {
+            const auto bank = static_cast<int>(pick(rng_));
+            const sim::Time at = offset(rng_);
+            const sim::Time hold = crowd.hold.draw(rng_);
+            network_->simulator().schedule(at, [this, bank, crowd, hold] {
+                arrive(bank, crowd.group_rank, hold);
+            });
+        }
+    });
+}
+
+OnOffSender::OnOffSender(topo::Host& host, net::GroupAddress group,
+                         OnOffSenderConfig config)
+    : host_(&host), group_(group), config_(config) {}
+
+void OnOffSender::start() {
+    host_->simulator().schedule_at(
+        std::max(config_.start, host_->simulator().now()), [this] { begin_cycle(); });
+}
+
+void OnOffSender::begin_cycle() {
+    const sim::Time now = host_->simulator().now();
+    if (config_.stop > 0 && now >= config_.stop) return;
+    ++cycles_;
+    const int count = static_cast<int>(config_.on / std::max<sim::Time>(config_.interval, 1));
+    host_->send_stream(group_, std::max(count, 1), config_.interval);
+    host_->simulator().schedule(config_.on + config_.off, [this] { begin_cycle(); });
+}
+
+} // namespace pimlib::workload

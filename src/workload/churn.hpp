@@ -1,0 +1,192 @@
+// Membership/sender churn models: seeded, deterministic generators that
+// exercise the paper's core premise — sparse groups whose members and
+// senders come and go across a wide area (§1.1, §2). Everything here emits
+// plain simulator events, so any protocol stack under any topology can be
+// driven by the same workload:
+//
+//   - ChurnEngine: Poisson join arrivals over a catalog of groups with
+//     Zipf-distributed popularity, configurable session-duration
+//     distributions (fixed / exponential / Pareto heavy-tail), and optional
+//     flash-crowd bursts. Joins land on aggregated HostBanks, so the
+//     receiver population scales far past the host-object count.
+//   - OnOffSender: a source cycling between talking and silent periods,
+//     the sender-side churn that exercises register/SPT/(S,G)-expiry paths.
+//
+// Determinism: one std::mt19937_64 seeded from ChurnConfig::seed, with all
+// draws made in simulator event order — two runs with equal seeds produce
+// identical event sequences and therefore identical metrics.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "workload/host_bank.hpp"
+
+namespace pimlib::topo {
+class Network;
+}
+
+namespace pimlib::workload {
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) ∝ 1/(k+1)^s. Precomputes
+/// the CDF once; each draw is one uniform variate plus a binary search.
+/// Exponent 0 degenerates to the uniform distribution.
+class ZipfSampler {
+public:
+    ZipfSampler(int n, double exponent);
+
+    [[nodiscard]] int sample(std::mt19937_64& rng) const;
+    [[nodiscard]] int size() const { return static_cast<int>(cdf_.size()); }
+    /// P(rank <= k), for tests.
+    [[nodiscard]] double cdf(int k) const { return cdf_.at(static_cast<std::size_t>(k)); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+/// How long a receiver stays joined once it arrives.
+struct SessionDuration {
+    enum class Kind { kFixed, kExponential, kPareto };
+
+    Kind kind = Kind::kExponential;
+    sim::Time mean = 10 * sim::kSecond;
+    /// Pareto tail index alpha (> 1 so the mean exists); the scale is set
+    /// from `mean` as x_m = mean * (alpha - 1) / alpha.
+    double pareto_shape = 1.5;
+
+    /// Draws a duration (clamped to >= 1ms so a leave never precedes its
+    /// join in the event order).
+    [[nodiscard]] sim::Time draw(std::mt19937_64& rng) const;
+};
+
+/// A flash crowd: `joins` arrivals packed into `window` starting at `at`,
+/// all storming the catalog group of popularity rank `group_rank` and
+/// staying for `hold`-drawn sessions — the "everyone tunes in" transient
+/// that stresses first-join bursts and the RP.
+struct FlashCrowd {
+    sim::Time at = 0;
+    int joins = 0;
+    sim::Time window = sim::kSecond;
+    SessionDuration hold{SessionDuration::Kind::kFixed, 5 * sim::kSecond, 1.5};
+    int group_rank = 0;
+};
+
+struct ChurnConfig {
+    std::uint64_t seed = 1;
+    /// Poisson arrival rate of individual receiver joins, per simulated
+    /// second, across the whole bank population.
+    double joins_per_sec = 100.0;
+    SessionDuration session{};
+    /// Group catalog: `groups` addresses starting at `group_base`, with
+    /// popularity rank r mapping to base + r.
+    int groups = 16;
+    net::Ipv4Address group_base{net::Ipv4Address(224, 9, 0, 1)};
+    double zipf_exponent = 1.0;
+    sim::Time start = 0;
+    /// No new arrivals at/after this time (0 = never stop; sessions still
+    /// drain via their scheduled leaves).
+    sim::Time stop = 0;
+    std::vector<FlashCrowd> flash_crowds;
+    /// Record every join/leave in history() (tests; off for big benches).
+    bool record_history = false;
+};
+
+/// Drives join/leave churn over a set of host banks and accounts for it in
+/// the network's telemetry hub:
+///   pimlib_workload_joins_total / _leaves_total / _saturated_joins_total
+///   pimlib_workload_membership (gauge) / _membership_peak (gauge)
+///   pimlib_workload_join_to_data_seconds (histogram, first-join latency)
+class ChurnEngine {
+public:
+    ChurnEngine(topo::Network& network, std::vector<HostBank*> banks, ChurnConfig config);
+
+    ChurnEngine(const ChurnEngine&) = delete;
+    ChurnEngine& operator=(const ChurnEngine&) = delete;
+
+    /// Schedules the arrival process and flash crowds. Call once.
+    void start();
+
+    [[nodiscard]] net::GroupAddress group(int rank) const;
+    [[nodiscard]] const ChurnConfig& config() const { return config_; }
+
+    // Aggregate workload accounting (mirrored into the telemetry registry).
+    [[nodiscard]] std::uint64_t joins() const { return joins_; }
+    [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
+    /// Joins refused because the target bank was at capacity for the group.
+    [[nodiscard]] std::uint64_t saturated_joins() const { return saturated_; }
+    [[nodiscard]] std::size_t membership() const { return membership_; }
+    [[nodiscard]] std::size_t membership_peak() const { return peak_; }
+    /// First-join-to-first-data latencies (seconds), across all banks.
+    [[nodiscard]] const std::vector<double>& join_to_data_seconds() const {
+        return join_to_data_s_;
+    }
+
+    struct HistoryEntry {
+        sim::Time at;
+        int bank;
+        int group_rank;
+        bool join; // false = leave
+    };
+    [[nodiscard]] const std::vector<HistoryEntry>& history() const { return history_; }
+
+private:
+    void schedule_next_arrival();
+    void arrive(int bank_index, int rank, sim::Time hold);
+    void depart(int bank_index, int rank, int count);
+    void schedule_flash(const FlashCrowd& crowd);
+
+    topo::Network* network_;
+    std::vector<HostBank*> banks_;
+    ChurnConfig config_;
+    std::mt19937_64 rng_;
+    ZipfSampler zipf_;
+    std::uint64_t joins_ = 0;
+    std::uint64_t leaves_ = 0;
+    std::uint64_t saturated_ = 0;
+    std::size_t membership_ = 0;
+    std::size_t peak_ = 0;
+    std::vector<double> join_to_data_s_;
+    std::vector<HistoryEntry> history_;
+    telemetry::Counter* joins_total_;
+    telemetry::Counter* leaves_total_;
+    telemetry::Counter* saturated_total_;
+    telemetry::Gauge* membership_gauge_;
+    telemetry::Gauge* peak_gauge_;
+    telemetry::Histogram* join_to_data_hist_;
+};
+
+/// Sender on/off cycling: starting at `start`, the host streams to the
+/// group for `on` (packets every `interval`), goes silent for `off`, and
+/// repeats until `stop` (0 = forever) — the workload that keeps (S,G)
+/// state, registers and SPT switchovers churning alongside membership.
+struct OnOffSenderConfig {
+    sim::Time on = 5 * sim::kSecond;
+    sim::Time off = 5 * sim::kSecond;
+    sim::Time interval = 100 * sim::kMillisecond;
+    sim::Time start = 0;
+    sim::Time stop = 0;
+};
+
+class OnOffSender {
+public:
+    OnOffSender(topo::Host& host, net::GroupAddress group, OnOffSenderConfig config);
+
+    OnOffSender(const OnOffSender&) = delete;
+    OnOffSender& operator=(const OnOffSender&) = delete;
+
+    void start();
+    [[nodiscard]] int cycles_started() const { return cycles_; }
+
+private:
+    void begin_cycle();
+
+    topo::Host* host_;
+    net::GroupAddress group_;
+    OnOffSenderConfig config_;
+    int cycles_ = 0;
+};
+
+} // namespace pimlib::workload

@@ -1,0 +1,57 @@
+#include "workload/host_bank.hpp"
+
+#include <algorithm>
+
+#include "topo/network.hpp"
+
+namespace pimlib::workload {
+
+HostBank::HostBank(igmp::HostAgent& agent, int capacity)
+    : agent_(&agent), capacity_(capacity < 1 ? 1 : capacity) {
+    agent_->host().set_data_observer([this](const topo::Host::ReceivedRecord& rec) {
+        auto it = awaiting_data_.find(rec.group);
+        if (it == awaiting_data_.end()) return;
+        const sim::Time latency = rec.at - it->second;
+        awaiting_data_.erase(it);
+        join_to_data_s_.push_back(static_cast<double>(latency) / sim::kSecond);
+        if (first_data_cb_) first_data_cb_(rec.group, latency);
+    });
+}
+
+HostBank::~HostBank() { agent_->host().set_data_observer(nullptr); }
+
+int HostBank::join(net::GroupAddress group, int n) {
+    if (n <= 0) return 0;
+    int& count = counts_[group];
+    const int admitted = std::min(n, capacity_ - count);
+    if (admitted <= 0) return 0;
+    if (count == 0) {
+        awaiting_data_[group] = agent_->host().simulator().now();
+        agent_->join(group);
+    }
+    count += admitted;
+    total_ += static_cast<std::size_t>(admitted);
+    return admitted;
+}
+
+int HostBank::leave(net::GroupAddress group, int n) {
+    if (n <= 0) return 0;
+    auto it = counts_.find(group);
+    if (it == counts_.end() || it->second == 0) return 0;
+    const int removed = std::min(n, it->second);
+    it->second -= removed;
+    total_ -= static_cast<std::size_t>(removed);
+    if (it->second == 0) {
+        counts_.erase(it);
+        awaiting_data_.erase(group);
+        agent_->leave(group);
+    }
+    return removed;
+}
+
+int HostBank::members(net::GroupAddress group) const {
+    auto it = counts_.find(group);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+} // namespace pimlib::workload

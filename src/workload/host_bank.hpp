@@ -1,0 +1,72 @@
+// Aggregated host bank: one IGMP-facing agent standing in for N receivers
+// on a LAN, with O(1) state per (bank, group) instead of N HostAgent
+// objects. The key observation — already implicit in IGMP's report
+// suppression (RFC 1112) — is that a LAN's contribution to the routing
+// protocol collapses to one bit per group: "at least one member here".
+// So a bank keeps per-group member *counts* and drives its underlying
+// igmp::HostAgent only on the 0→1 (first join: unsolicited reports, data
+// plane join) and 1→0 (last leave: stop answering queries, membership ages
+// out) transitions. This is what lets bench/churn_scale push 100k+
+// simulated receivers through a few hundred topo::Host objects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "igmp/host_agent.hpp"
+
+namespace pimlib::workload {
+
+class HostBank {
+public:
+    /// Wraps an existing host agent (one per bank LAN, created by the
+    /// scenario stack). `capacity` is the number of receivers the bank
+    /// stands in for; per-group membership is clamped to it.
+    HostBank(igmp::HostAgent& agent, int capacity);
+    ~HostBank();
+
+    HostBank(const HostBank&) = delete;
+    HostBank& operator=(const HostBank&) = delete;
+
+    /// Adds up to `n` members of `group`; returns how many were admitted
+    /// (less than `n` only when the bank saturates at capacity). The first
+    /// admitted member triggers the underlying agent's join.
+    int join(net::GroupAddress group, int n = 1);
+
+    /// Removes up to `n` members; returns how many actually left. The last
+    /// member leaving triggers the underlying agent's leave.
+    int leave(net::GroupAddress group, int n = 1);
+
+    [[nodiscard]] int members(net::GroupAddress group) const;
+    /// Sum of members over all groups (one receiver joined to two groups
+    /// counts twice, matching the membership-state cost it induces).
+    [[nodiscard]] std::size_t total_members() const { return total_; }
+    [[nodiscard]] int capacity() const { return capacity_; }
+    [[nodiscard]] topo::Host& host() { return agent_->host(); }
+    [[nodiscard]] igmp::HostAgent& agent() { return *agent_; }
+
+    /// Fired once per first-join when the first data packet for the group
+    /// arrives: the join-to-data latency seen by the bank's leading
+    /// receiver. Latencies are also retained in join_to_data_seconds().
+    using FirstDataCallback = std::function<void(net::GroupAddress, sim::Time latency)>;
+    void set_first_data_callback(FirstDataCallback callback) {
+        first_data_cb_ = std::move(callback);
+    }
+    [[nodiscard]] const std::vector<double>& join_to_data_seconds() const {
+        return join_to_data_s_;
+    }
+
+private:
+    igmp::HostAgent* agent_;
+    int capacity_;
+    std::size_t total_ = 0;
+    std::map<net::GroupAddress, int> counts_;
+    // first-join time per group still waiting for its first data packet
+    std::map<net::GroupAddress, sim::Time> awaiting_data_;
+    std::vector<double> join_to_data_s_;
+    FirstDataCallback first_data_cb_;
+};
+
+} // namespace pimlib::workload

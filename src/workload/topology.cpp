@@ -1,0 +1,80 @@
+#include "workload/topology.hpp"
+
+#include <map>
+
+#include "topo/segment.hpp"
+
+namespace pimlib::workload {
+
+std::vector<topo::Router*> TransitStubNetwork::transit_routers() const {
+    std::vector<topo::Router*> out;
+    for (int id : graph.transit_nodes) out.push_back(routers[static_cast<std::size_t>(id)]);
+    return out;
+}
+
+std::vector<topo::Router*> TransitStubNetwork::stub_routers() const {
+    std::vector<topo::Router*> out;
+    for (int id : graph.stub_nodes) out.push_back(routers[static_cast<std::size_t>(id)]);
+    return out;
+}
+
+TransitStubNetwork build_transit_stub(topo::Network& network,
+                                      const graph::TransitStubOptions& options,
+                                      std::mt19937& rng,
+                                      const MaterializeOptions& materialize) {
+    TransitStubNetwork out;
+    out.graph = graph::transit_stub_graph(options, rng);
+    const graph::TransitStubGraph& g = out.graph;
+
+    // Routers, named by hierarchy position ("t0-1" = transit domain 0 node
+    // 1, "s5-2" = stub domain 5 node 2). Per-domain indices restart at 0.
+    std::map<int, int> next_in_domain;
+    out.routers.reserve(static_cast<std::size_t>(g.node_count()));
+    for (int id = 0; id < g.node_count(); ++id) {
+        const int d = g.domain[static_cast<std::size_t>(id)];
+        const int k = next_in_domain[d]++;
+        const std::string name = (g.is_transit[static_cast<std::size_t>(id)] ? "t" : "s") +
+                                 std::to_string(d) + "-" + std::to_string(k);
+        out.routers.push_back(&network.add_router(name));
+    }
+
+    // Links per edge. Delay class follows the edge's endpoints: both
+    // transit -> long haul, mixed -> access, both stub -> intra-domain.
+    for (int u = 0; u < g.node_count(); ++u) {
+        for (const auto& e : g.graph.neighbors(u)) {
+            if (e.to < u) continue;
+            const bool ut = g.is_transit[static_cast<std::size_t>(u)];
+            const bool vt = g.is_transit[static_cast<std::size_t>(e.to)];
+            const sim::Time delay = ut && vt ? materialize.transit_delay
+                                   : ut != vt ? materialize.access_delay
+                                              : materialize.stub_delay;
+            network.add_link(*out.routers[static_cast<std::size_t>(u)],
+                             *out.routers[static_cast<std::size_t>(e.to)], delay,
+                             static_cast<int>(e.weight));
+        }
+    }
+
+    // One receiver LAN + bank host per stub router.
+    for (std::size_t i = 0; i < g.stub_nodes.size(); ++i) {
+        topo::Router* router = out.routers[static_cast<std::size_t>(g.stub_nodes[i])];
+        topo::Segment& lan = network.add_lan({router}, materialize.lan_delay);
+        out.lans.push_back(&lan);
+        out.bank_hosts.push_back(
+            &network.add_host("bank" + std::to_string(i), lan));
+    }
+
+    // Senders round-robin across stub LANs (offset so sender0 does not
+    // share bank0's LAN unless there are more senders than LANs).
+    for (int sidx = 0; sidx < materialize.senders; ++sidx) {
+        const std::size_t lan_index =
+            out.lans.empty() ? 0
+                             : (static_cast<std::size_t>(sidx) * 7 + 1) % out.lans.size();
+        if (out.lans.empty()) break;
+        out.senders.push_back(&network.add_host("sender" + std::to_string(sidx),
+                                                *out.lans[lan_index]));
+    }
+
+    return out;
+}
+
+} // namespace pimlib::workload

@@ -1,0 +1,48 @@
+// Materializes a graph::TransitStubGraph into a packet-level topo::Network:
+// one router per graph node, one link per edge (transit links slower than
+// stub links, metrics from edge weights), a receiver LAN with one bank host
+// on every stub router, and optional sender hosts spread across stub
+// domains. The result plugs straight into scenario::* stacks; RPs/cores
+// belong on transit routers (the wide-area core).
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/transit_stub.hpp"
+#include "topo/network.hpp"
+
+namespace pimlib::workload {
+
+struct MaterializeOptions {
+    sim::Time transit_delay = 10 * sim::kMillisecond;
+    sim::Time access_delay = 3 * sim::kMillisecond;
+    sim::Time stub_delay = 1 * sim::kMillisecond;
+    sim::Time lan_delay = sim::kMillisecond / 10;
+    /// Sender hosts to create, round-robin across stub LANs ("senderN").
+    int senders = 0;
+};
+
+/// The materialized network: indexes line up with graph node ids.
+struct TransitStubNetwork {
+    graph::TransitStubGraph graph;
+    std::vector<topo::Router*> routers;   // per graph node
+    std::vector<topo::Segment*> lans;     // per stub router (bank LANs)
+    std::vector<topo::Host*> bank_hosts;  // "bankN", one per LAN, same order
+    std::vector<topo::Host*> senders;     // "senderN"
+
+    [[nodiscard]] std::vector<topo::Router*> transit_routers() const;
+    [[nodiscard]] std::vector<topo::Router*> stub_routers() const;
+};
+
+/// Generates a transit-stub graph from `options` using `rng` and builds it
+/// into `network` (which should be empty). Router names encode the
+/// hierarchy: transit "tD-N", stub "sD-N" (D = domain id, N = index within
+/// the domain).
+TransitStubNetwork build_transit_stub(topo::Network& network,
+                                      const graph::TransitStubOptions& options,
+                                      std::mt19937& rng,
+                                      const MaterializeOptions& materialize = {});
+
+} // namespace pimlib::workload

@@ -40,6 +40,54 @@ TEST(Rib, DefaultRouteMatchesEverything) {
     EXPECT_EQ(rib.lookup(net::Ipv4Address(8, 8, 8, 8))->ifindex, 7);
 }
 
+TEST(Rib, DefaultRouteIsFallbackNotOverride) {
+    Rib rib;
+    rib.set_route(Route{net::Prefix{net::Ipv4Address{}, 0}, 1, net::Ipv4Address{}, 1});
+    rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 1, 2, 0), 24}, 9,
+                        net::Ipv4Address(9, 9, 9, 9), 1});
+    // Inside the /24 the specific route wins; anywhere else the default
+    // catches it.
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 1, 2, 3))->ifindex, 9);
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 1, 3, 3))->ifindex, 1);
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(172, 16, 0, 1))->ifindex, 1);
+    // Removing the specific route falls back to the default, not to no
+    // route.
+    ASSERT_TRUE(rib.remove_route(net::Prefix{net::Ipv4Address(10, 1, 2, 0), 24}));
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 1, 2, 3))->ifindex, 1);
+}
+
+TEST(Rib, OverlappingPrefixesAtTheSameBaseAddress) {
+    // /8 and /24 share the base address 10.0.0.0: the mask length alone
+    // must decide which one a destination matches.
+    Rib rib;
+    rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 0, 0, 0), 8}, 1,
+                        net::Ipv4Address(1, 1, 1, 1), 10});
+    rib.set_route(Route{net::Prefix{net::Ipv4Address(10, 0, 0, 0), 24}, 2,
+                        net::Ipv4Address(2, 2, 2, 2), 1});
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 0, 0, 77))->ifindex, 2);
+    EXPECT_EQ(rib.lookup(net::Ipv4Address(10, 0, 1, 77))->ifindex, 1);
+    EXPECT_EQ(rib.size(), 2u); // distinct entries despite the shared base
+}
+
+TEST(Rib, RemoveThenLookupFallsToTheNextLongerMatch) {
+    Rib rib;
+    const net::Prefix p8{net::Ipv4Address(10, 0, 0, 0), 8};
+    const net::Prefix p16{net::Ipv4Address(10, 1, 0, 0), 16};
+    const net::Prefix p24{net::Ipv4Address(10, 1, 2, 0), 24};
+    rib.set_route(Route{p8, 1, net::Ipv4Address{}, 1});
+    rib.set_route(Route{p16, 2, net::Ipv4Address{}, 1});
+    rib.set_route(Route{p24, 3, net::Ipv4Address{}, 1});
+
+    const net::Ipv4Address dst(10, 1, 2, 9);
+    EXPECT_EQ(rib.lookup(dst)->ifindex, 3);
+    ASSERT_TRUE(rib.remove_route(p24));
+    EXPECT_EQ(rib.lookup(dst)->ifindex, 2);
+    ASSERT_TRUE(rib.remove_route(p16));
+    EXPECT_EQ(rib.lookup(dst)->ifindex, 1);
+    ASSERT_TRUE(rib.remove_route(p8));
+    EXPECT_FALSE(rib.lookup(dst).has_value());
+}
+
 TEST(Rib, RemoveAndClear) {
     Rib rib;
     const net::Prefix p{net::Ipv4Address(10, 0, 0, 0), 8};

@@ -1,0 +1,361 @@
+// Workload subsystem tests: Zipf catalog sampling, session-duration draws,
+// host-bank boundary semantics (first join / last leave), churn-engine
+// determinism, flash crowds, and the transit-stub topology generator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/transit_stub.hpp"
+#include "igmp/router_agent.hpp"
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+#include "workload/churn.hpp"
+#include "workload/host_bank.hpp"
+#include "workload/topology.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using workload::ChurnConfig;
+using workload::ChurnEngine;
+using workload::HostBank;
+using workload::SessionDuration;
+using workload::ZipfSampler;
+
+TEST(ZipfSampler, CdfIsMonotoneNormalizedAndRankOrdered) {
+    ZipfSampler zipf(8, 1.0);
+    double prev = 0;
+    double prev_share = 2.0;
+    for (int k = 0; k < 8; ++k) {
+        const double share = zipf.cdf(k) - prev;
+        EXPECT_GT(share, 0.0);
+        EXPECT_LT(share, prev_share); // popularity strictly decreasing
+        prev_share = share;
+        EXPECT_GE(zipf.cdf(k), prev);
+        prev = zipf.cdf(k);
+    }
+    EXPECT_DOUBLE_EQ(zipf.cdf(7), 1.0);
+
+    // Exponent 0 degenerates to uniform.
+    ZipfSampler uniform(4, 0.0);
+    EXPECT_NEAR(uniform.cdf(0), 0.25, 1e-12);
+    EXPECT_NEAR(uniform.cdf(1), 0.50, 1e-12);
+}
+
+TEST(ZipfSampler, SamplingIsDeterministicAndFollowsPopularity) {
+    ZipfSampler zipf(8, 1.0);
+    std::mt19937_64 rng_a(7);
+    std::mt19937_64 rng_b(7);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const int a = zipf.sample(rng_a);
+        ASSERT_EQ(a, zipf.sample(rng_b)); // same seed, same stream
+        ASSERT_GE(a, 0);
+        ASSERT_LT(a, 8);
+        ++counts[static_cast<std::size_t>(a)];
+    }
+    // Rank popularity must come out ordered at this sample size.
+    for (int k = 0; k + 1 < 8; ++k) EXPECT_GT(counts[k], counts[k + 1]);
+}
+
+TEST(SessionDuration, DrawsRespectKindAndClamp) {
+    std::mt19937_64 rng(1);
+    SessionDuration fixed{SessionDuration::Kind::kFixed, 3 * sim::kSecond, 1.5};
+    EXPECT_EQ(fixed.draw(rng), 3 * sim::kSecond);
+
+    // The 1 ms clamp keeps leaves from preceding their joins.
+    SessionDuration tiny{SessionDuration::Kind::kFixed, 0, 1.5};
+    EXPECT_EQ(tiny.draw(rng), sim::kMillisecond);
+
+    SessionDuration expo{SessionDuration::Kind::kExponential, 2 * sim::kSecond, 1.5};
+    SessionDuration pareto{SessionDuration::Kind::kPareto, 2 * sim::kSecond, 1.5};
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GE(expo.draw(rng), sim::kMillisecond);
+        EXPECT_GE(pareto.draw(rng), sim::kMillisecond);
+    }
+}
+
+/// One router + one LAN with a bank host and a sender host; membership
+/// observed from the router side through the IGMP agent's callbacks.
+struct BankLan {
+    topo::Network net;
+    topo::Router* router;
+    topo::Segment* lan;
+    topo::Host* bank_host;
+    topo::Host* sender;
+    std::unique_ptr<igmp::RouterAgent> router_agent;
+    std::unique_ptr<igmp::HostAgent> host_agent;
+    int first_member = 0;
+    int last_leave = 0;
+
+    BankLan() {
+        router = &net.add_router("r");
+        lan = &net.add_lan({router});
+        bank_host = &net.add_host("bank", *lan);
+        sender = &net.add_host("sender", *lan);
+        igmp::RouterConfig rc;
+        rc.query_interval = 100 * sim::kMillisecond;
+        rc.membership_timeout = 250 * sim::kMillisecond;
+        rc.other_querier_timeout = 250 * sim::kMillisecond;
+        router_agent = std::make_unique<igmp::RouterAgent>(*router, rc);
+        igmp::HostConfig hc;
+        hc.query_response_max = 10 * sim::kMillisecond;
+        host_agent = std::make_unique<igmp::HostAgent>(*bank_host, hc);
+        router_agent->subscribe([this](int, net::GroupAddress, bool present) {
+            if (present) {
+                ++first_member;
+            } else {
+                ++last_leave;
+            }
+        });
+    }
+};
+
+TEST(HostBank, DrivesAgentOnlyOnBoundaryTransitions) {
+    BankLan lan;
+    HostBank bank(*lan.host_agent, 1000);
+
+    EXPECT_EQ(bank.join(kGroup, 5), 5);
+    EXPECT_EQ(bank.members(kGroup), 5);
+    lan.net.run_for(200 * sim::kMillisecond);
+    EXPECT_EQ(lan.first_member, 1); // one agent join for five members
+
+    EXPECT_EQ(bank.join(kGroup, 3), 3);
+    lan.net.run_for(200 * sim::kMillisecond);
+    EXPECT_EQ(lan.first_member, 1); // already a member: no new protocol work
+    EXPECT_EQ(bank.total_members(), 8u);
+
+    EXPECT_EQ(bank.leave(kGroup, 7), 7);
+    lan.net.run_for(400 * sim::kMillisecond);
+    EXPECT_EQ(lan.last_leave, 0); // one member still present, keeps reporting
+
+    EXPECT_EQ(bank.leave(kGroup, 1), 1);
+    EXPECT_EQ(bank.members(kGroup), 0);
+    lan.net.run_for(400 * sim::kMillisecond);
+    EXPECT_EQ(lan.last_leave, 1); // membership aged out after the last leave
+
+    // Leaving an empty group is a no-op.
+    EXPECT_EQ(bank.leave(kGroup, 1), 0);
+}
+
+TEST(HostBank, CapacityClampsPerGroupMembership) {
+    BankLan lan;
+    HostBank bank(*lan.host_agent, 10);
+    EXPECT_EQ(bank.join(kGroup, 25), 10);
+    EXPECT_EQ(bank.members(kGroup), 10);
+    EXPECT_EQ(bank.join(kGroup), 0); // saturated
+    EXPECT_EQ(bank.leave(kGroup, 4), 4);
+    EXPECT_EQ(bank.join(kGroup, 9), 4); // back up to the cap
+}
+
+TEST(HostBank, RecordsJoinToDataLatency) {
+    BankLan lan;
+    HostBank bank(*lan.host_agent, 100);
+    int callbacks = 0;
+    bank.set_first_data_callback(
+        [&](net::GroupAddress g, sim::Time latency) {
+            ++callbacks;
+            EXPECT_EQ(g, kGroup);
+            EXPECT_GT(latency, 0);
+        });
+
+    lan.net.simulator().schedule_at(10 * sim::kMillisecond,
+                                    [&] { bank.join(kGroup, 3); });
+    // On a shared LAN the sender's data reaches the bank host directly.
+    lan.sender->send_stream(kGroup, 3, 10 * sim::kMillisecond,
+                            50 * sim::kMillisecond);
+    lan.net.run_for(sim::kSecond);
+
+    ASSERT_EQ(bank.join_to_data_seconds().size(), 1u);
+    // Joined at 10 ms, first packet sent at 50 ms (+ LAN delay): the
+    // latency is dominated by the 40 ms wait for the source.
+    EXPECT_NEAR(bank.join_to_data_seconds()[0], 0.040, 0.005);
+    EXPECT_EQ(callbacks, 1);
+}
+
+/// Two hosts with direct IGMP agents (no routing stack needed: churn only
+/// exercises join/leave bookkeeping here).
+struct ChurnWorld {
+    topo::Network net;
+    std::unique_ptr<igmp::HostAgent> agent_a;
+    std::unique_ptr<igmp::HostAgent> agent_b;
+    std::vector<std::unique_ptr<HostBank>> banks;
+    std::unique_ptr<ChurnEngine> engine;
+
+    explicit ChurnWorld(const ChurnConfig& cfg, int capacity = 1000) {
+        auto& router = net.add_router("r");
+        auto& lan_a = net.add_lan({&router});
+        auto& lan_b = net.add_lan({&router});
+        agent_a = std::make_unique<igmp::HostAgent>(net.add_host("a", lan_a));
+        agent_b = std::make_unique<igmp::HostAgent>(net.add_host("b", lan_b));
+        banks.push_back(std::make_unique<HostBank>(*agent_a, capacity));
+        banks.push_back(std::make_unique<HostBank>(*agent_b, capacity));
+        engine = std::make_unique<ChurnEngine>(
+            net, std::vector<HostBank*>{banks[0].get(), banks[1].get()}, cfg);
+        engine->start();
+    }
+};
+
+TEST(ChurnEngine, SameSeedReproducesTheExactEventSequence) {
+    ChurnConfig cfg;
+    cfg.seed = 7;
+    cfg.joins_per_sec = 500;
+    cfg.session.mean = 200 * sim::kMillisecond;
+    cfg.groups = 4;
+    cfg.record_history = true;
+
+    ChurnWorld a(cfg);
+    ChurnWorld b(cfg);
+    a.net.run_for(2 * sim::kSecond);
+    b.net.run_for(2 * sim::kSecond);
+
+    EXPECT_GT(a.engine->joins(), 500u);
+    EXPECT_GT(a.engine->leaves(), 0u);
+    EXPECT_EQ(a.engine->joins(), b.engine->joins());
+    EXPECT_EQ(a.engine->leaves(), b.engine->leaves());
+    ASSERT_EQ(a.engine->history().size(), b.engine->history().size());
+    for (std::size_t i = 0; i < a.engine->history().size(); ++i) {
+        const auto& ea = a.engine->history()[i];
+        const auto& eb = b.engine->history()[i];
+        EXPECT_EQ(ea.at, eb.at);
+        EXPECT_EQ(ea.bank, eb.bank);
+        EXPECT_EQ(ea.group_rank, eb.group_rank);
+        EXPECT_EQ(ea.join, eb.join);
+    }
+
+    // A different seed must diverge.
+    ChurnConfig other = cfg;
+    other.seed = 8;
+    ChurnWorld c(other);
+    c.net.run_for(2 * sim::kSecond);
+    EXPECT_NE(a.engine->joins(), c.engine->joins());
+}
+
+TEST(ChurnEngine, MembershipAccountingBalances) {
+    ChurnConfig cfg;
+    cfg.seed = 3;
+    cfg.joins_per_sec = 300;
+    cfg.session.mean = 100 * sim::kMillisecond;
+    cfg.groups = 4;
+    ChurnWorld w(cfg);
+    w.net.run_for(3 * sim::kSecond);
+    const auto& e = *w.engine;
+    EXPECT_EQ(e.membership(), e.joins() - e.leaves());
+    EXPECT_GE(e.membership_peak(), e.membership());
+    std::size_t bank_total = 0;
+    for (const auto& bank : w.banks) bank_total += bank->total_members();
+    EXPECT_EQ(bank_total, e.membership());
+}
+
+TEST(ChurnEngine, FlashCrowdLandsInWindowAndSaturatesSmallBanks) {
+    ChurnConfig cfg;
+    cfg.seed = 5;
+    cfg.joins_per_sec = 0; // flash only
+    cfg.groups = 4;
+    cfg.record_history = true;
+    workload::FlashCrowd crowd;
+    crowd.at = 500 * sim::kMillisecond;
+    crowd.joins = 50;
+    crowd.window = 100 * sim::kMillisecond;
+    crowd.hold = {SessionDuration::Kind::kFixed, 10 * sim::kSecond, 1.5};
+    crowd.group_rank = 2;
+    cfg.flash_crowds.push_back(crowd);
+
+    ChurnWorld w(cfg, /*capacity=*/10);
+    w.net.run_for(2 * sim::kSecond);
+    const auto& e = *w.engine;
+    // Two banks x capacity 10 on one group: 20 admitted, the rest refused.
+    EXPECT_EQ(e.joins(), 20u);
+    EXPECT_EQ(e.saturated_joins(), 30u);
+    EXPECT_EQ(e.membership(), 20u);
+    for (const auto& entry : e.history()) {
+        EXPECT_TRUE(entry.join);
+        EXPECT_EQ(entry.group_rank, 2);
+        EXPECT_GE(entry.at, crowd.at);
+        EXPECT_LE(entry.at, crowd.at + crowd.window);
+    }
+}
+
+TEST(TransitStub, GraphShapeConnectivityAndDeterminism) {
+    graph::TransitStubOptions opts;
+    opts.transit_domains = 2;
+    opts.transit_nodes = 3;
+    opts.stub_domains = 2;
+    opts.stub_nodes = 4;
+
+    std::mt19937 rng(11);
+    const graph::TransitStubGraph g = graph::transit_stub_graph(opts, rng);
+
+    const int transit_total = opts.transit_domains * opts.transit_nodes;
+    const int stub_domains = transit_total * opts.stub_domains;
+    EXPECT_EQ(static_cast<int>(g.transit_nodes.size()), transit_total);
+    EXPECT_EQ(g.stub_domain_count(), stub_domains);
+    EXPECT_EQ(static_cast<int>(g.stub_nodes.size()), stub_domains * opts.stub_nodes);
+    EXPECT_EQ(g.node_count(),
+              transit_total + stub_domains * opts.stub_nodes);
+    EXPECT_TRUE(g.graph.connected());
+
+    // Hierarchy metadata is consistent: every stub domain's sponsor is a
+    // transit node, and the is_transit flags partition the node set.
+    for (int sponsor : g.stub_attachment) {
+        EXPECT_TRUE(g.is_transit[static_cast<std::size_t>(sponsor)]);
+    }
+    for (int id : g.transit_nodes) EXPECT_TRUE(g.is_transit[static_cast<std::size_t>(id)]);
+    for (int id : g.stub_nodes) EXPECT_FALSE(g.is_transit[static_cast<std::size_t>(id)]);
+
+    // Same seed, same graph — edge for edge.
+    std::mt19937 rng2(11);
+    const graph::TransitStubGraph h = graph::transit_stub_graph(opts, rng2);
+    ASSERT_EQ(g.node_count(), h.node_count());
+    for (int u = 0; u < g.node_count(); ++u) {
+        const auto& gu = g.graph.neighbors(u);
+        const auto& hu = h.graph.neighbors(u);
+        ASSERT_EQ(gu.size(), hu.size());
+        for (std::size_t i = 0; i < gu.size(); ++i) {
+            EXPECT_EQ(gu[i].to, hu[i].to);
+            EXPECT_EQ(gu[i].weight, hu[i].weight);
+        }
+    }
+
+    graph::TransitStubOptions bad;
+    bad.transit_nodes = 0;
+    EXPECT_THROW(graph::transit_stub_graph(bad, rng), std::invalid_argument);
+}
+
+TEST(TransitStub, MaterializesIntoRoutableNetwork) {
+    graph::TransitStubOptions opts;
+    opts.transit_domains = 2;
+    opts.transit_nodes = 2;
+    opts.stub_domains = 1;
+    opts.stub_nodes = 2;
+    workload::MaterializeOptions mat;
+    mat.senders = 2;
+
+    topo::Network net;
+    std::mt19937 rng(3);
+    const workload::TransitStubNetwork ts =
+        workload::build_transit_stub(net, opts, rng, mat);
+
+    EXPECT_EQ(static_cast<int>(ts.routers.size()), ts.graph.node_count());
+    EXPECT_EQ(ts.lans.size(), ts.graph.stub_nodes.size());
+    EXPECT_EQ(ts.bank_hosts.size(), ts.lans.size());
+    EXPECT_EQ(static_cast<int>(ts.senders.size()), mat.senders);
+    EXPECT_EQ(ts.routers[0]->name(), "t0-0");
+    EXPECT_EQ(ts.bank_hosts[0]->name(), "bank0");
+
+    // Unicast routing must reach every router from every stub: the
+    // materialized links mirror the (connected) graph.
+    unicast::OracleRouting routing(net);
+    for (topo::Router* r : ts.routers) {
+        if (r == ts.routers[0]) continue;
+        EXPECT_TRUE(routing.distance(*ts.routers[0], *r).has_value())
+            << r->name();
+    }
+
+    // Transit/stub router partitions line up with the graph metadata.
+    EXPECT_EQ(ts.transit_routers().size(), ts.graph.transit_nodes.size());
+    EXPECT_EQ(ts.stub_routers().size(), ts.graph.stub_nodes.size());
+}
+
+} // namespace
+} // namespace pimlib::test
