@@ -1,0 +1,282 @@
+// pimcheck: systematic state-space checker for the PIM-SM stack.
+//
+// Explores a scripted scenario under controlled nondeterminism — every
+// same-instant event ordering, single-frame loss and fault placement is a
+// decision point (see src/check) — and evaluates protocol invariant
+// oracles on every branch. Failing branches are shrunk to a minimal set
+// of forced choices and emitted as a replayable pimsim script plus a
+// decoded packet trace.
+//
+//   pimcheck                          explore the walkthrough scenario
+//   pimcheck --scenario rp-failover   explore the §3.9 failover scenario
+//   pimcheck --mutate no-rp-bit-prune expect the seeded bug to be caught
+//   pimcheck --replay 17:1,42:2       re-run one branch and show verdicts
+//   pimcheck --smoke                  CI gate: baseline clean + both
+//                                     seeded mutations caught (exit 1 if not)
+//
+// Exit status: 0 when the run matches expectations (no violations without
+// --mutate; at least one caught violation with --mutate), 1 otherwise,
+// 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+
+namespace {
+
+using namespace pimlib;
+
+void usage() {
+    std::printf(
+        "usage: pimcheck [options]\n"
+        "  --scenario NAME     walkthrough | rp-failover (default walkthrough)\n"
+        "  --mutate NAME       enable a seeded bug: skip-spt-bit-handshake |\n"
+        "                      no-rp-bit-prune\n"
+        "  --time-budget SECS  wall-clock budget for the search (default 50)\n"
+        "  --max-runs N        cap on explored branches (default 100000)\n"
+        "  --max-depth N       forced choices per branch (default 3)\n"
+        "  --children N        sampled child branches per run (default 800)\n"
+        "  --checkpoint-ms N   MRIB hash cadence in sim ms (default 1)\n"
+        "  --seed N            frontier sampling seed (default 1)\n"
+        "  --stop-at-first     end the search at the first violation\n"
+        "  --replay SPEC       run the single branch SPEC (e.g. \"17:1,42:2\")\n"
+        "  --forced-fault L    apply fault candidate L unconditionally (with\n"
+        "                      --replay)\n"
+        "  --out DIR           where counterexample files go (default .)\n"
+        "  --list              print scenarios and mutations\n"
+        "  --smoke             CI gate (baseline + both mutations, ~30s)\n");
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << content;
+    return static_cast<bool>(out);
+}
+
+std::string save_counterexample(const std::string& dir, const std::string& scenario,
+                                const std::string& mutation, std::size_t index,
+                                const check::Counterexample& ce) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best effort; write reports
+    const std::string base = dir + "/pimcheck-" + scenario +
+                             (mutation.empty() ? "" : "-" + mutation) + "-" +
+                             std::to_string(index);
+    if (!write_file(base + ".pimsim", ce.script)) {
+        std::fprintf(stderr, "pimcheck: cannot write %s.pimsim\n", base.c_str());
+        return {};
+    }
+    (void)write_file(base + ".trace", ce.trace_dump);
+    return base;
+}
+
+void print_report(const check::ExploreOptions& options,
+                  const check::ExploreReport& report, const std::string& out_dir) {
+    std::printf("scenario %s%s%s: %zu runs, %zu distinct MRIB states, "
+                "%zu violating branch(es), %.1fs%s\n",
+                options.scenario.c_str(),
+                options.mutation.empty() ? "" : " --mutate ",
+                options.mutation.c_str(), report.runs, report.deduped_states,
+                report.violating_runs, report.elapsed_seconds,
+                report.frontier_exhausted ? " (frontier exhausted)" : "");
+    for (std::size_t i = 0; i < report.counterexamples.size(); ++i) {
+        const check::Counterexample& ce = report.counterexamples[i];
+        std::printf("  counterexample %zu: choices [%s]\n", i,
+                    check::format_choices(ce.choices).c_str());
+        for (const check::Violation& v : ce.violations) {
+            std::printf("    %s: %s\n", v.oracle.c_str(), v.detail.c_str());
+        }
+        const std::string base =
+            save_counterexample(out_dir, options.scenario, options.mutation, i, ce);
+        if (!base.empty()) {
+            std::printf("    replay script: %s.pimsim  trace: %s.trace\n",
+                        base.c_str(), base.c_str());
+        }
+    }
+}
+
+int run_replay(const check::ExploreOptions& options, const std::string& spec,
+               const std::string& forced_fault, const std::string& out_dir) {
+    const auto choices = check::parse_choices(spec);
+    if (!choices) {
+        std::fprintf(stderr, "pimcheck: bad --replay spec '%s'\n", spec.c_str());
+        return 2;
+    }
+    check::RunConfig cfg;
+    cfg.choices = *choices;
+    cfg.mutation = options.mutation;
+    cfg.forced_fault = forced_fault;
+    cfg.collect_trace = true;
+    cfg.checkpoint_every = options.checkpoint_every;
+    const check::RunResult result = check::run_scenario(options.scenario, cfg);
+    std::printf("replayed branch [%s]: %zu events to t=%.3fs, %zu state hashes, "
+                "clean=%s, converged=%s%s\n",
+                spec.c_str(), result.events,
+                static_cast<double>(result.end_time) / sim::kSecond,
+                result.state_hashes.size(), result.clean ? "yes" : "no",
+                result.converged ? "yes" : "no",
+                result.choices_applied ? "" : " (WARNING: choices not applied)");
+    for (const check::Violation& v : result.violations) {
+        std::printf("  violation %s: %s\n", v.oracle.c_str(), v.detail.c_str());
+    }
+    if (result.violations.empty()) std::printf("  all oracles passed\n");
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const std::string trace_path = out_dir + "/pimcheck-replay.trace";
+    if (write_file(trace_path, result.trace_dump)) {
+        std::printf("  trace: %s\n", trace_path.c_str());
+    }
+    return result.violations.empty() ? 0 : 1;
+}
+
+/// CI gate: the unmutated walkthrough and failover scenarios must survive a
+/// bounded search with zero violations, and each seeded mutation must be
+/// caught with a replayable counterexample.
+int run_smoke(check::ExploreOptions base, const std::string& out_dir) {
+    bool ok = true;
+
+    base.mutation.clear();
+    base.scenario = "walkthrough";
+    base.time_budget_seconds = 20.0;
+    check::ExploreReport baseline = check::explore(base);
+    print_report(base, baseline, out_dir);
+    if (!baseline.clean()) {
+        std::printf("SMOKE FAIL: unmutated walkthrough has violations\n");
+        ok = false;
+    }
+
+    check::ExploreOptions fo = base;
+    fo.scenario = "rp-failover";
+    fo.time_budget_seconds = 8.0;
+    const check::ExploreReport failover = check::explore(fo);
+    print_report(fo, failover, out_dir);
+    if (!failover.clean()) {
+        std::printf("SMOKE FAIL: unmutated rp-failover has violations\n");
+        ok = false;
+    }
+
+    for (const std::string& mutation : check::known_mutations()) {
+        check::ExploreOptions mo = base;
+        mo.mutation = mutation;
+        mo.time_budget_seconds = 8.0;
+        mo.stop_at_first_violation = true;
+        const check::ExploreReport report = check::explore(mo);
+        print_report(mo, report, out_dir);
+        if (report.violating_runs == 0) {
+            std::printf("SMOKE FAIL: mutation %s was not caught\n",
+                        mutation.c_str());
+            ok = false;
+        } else if (report.counterexamples.empty()) {
+            std::printf("SMOKE FAIL: mutation %s caught but no counterexample "
+                        "emitted\n",
+                        mutation.c_str());
+            ok = false;
+        }
+    }
+
+    std::printf("smoke: %s (%zu+%zu baseline states explored)\n",
+                ok ? "PASS" : "FAIL", baseline.deduped_states,
+                failover.deduped_states);
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    check::ExploreOptions options;
+    std::string replay_spec;
+    std::string forced_fault;
+    std::string out_dir = ".";
+    bool smoke = false;
+    bool replay = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pimcheck: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scenario") {
+            options.scenario = next();
+        } else if (arg == "--mutate") {
+            options.mutation = next();
+        } else if (arg == "--time-budget") {
+            options.time_budget_seconds = std::atof(next());
+        } else if (arg == "--max-runs") {
+            options.max_runs = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--max-depth") {
+            options.max_depth = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--children") {
+            options.children_per_run = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--checkpoint-ms") {
+            options.checkpoint_every = std::atoll(next()) * sim::kMillisecond;
+        } else if (arg == "--seed") {
+            options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--stop-at-first") {
+            options.stop_at_first_violation = true;
+        } else if (arg == "--replay") {
+            replay = true;
+            replay_spec = next();
+        } else if (arg == "--forced-fault") {
+            forced_fault = next();
+        } else if (arg == "--out") {
+            out_dir = next();
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--list") {
+            std::printf("scenarios:\n");
+            for (const std::string& name : check::scenario_names()) {
+                std::printf("  %s\n", name.c_str());
+            }
+            std::printf("mutations:\n");
+            for (const std::string& name : check::known_mutations()) {
+                std::printf("  %s\n", name.c_str());
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "pimcheck: unknown option '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    const auto& scenarios = check::scenario_names();
+    if (std::find(scenarios.begin(), scenarios.end(), options.scenario) ==
+        scenarios.end()) {
+        std::fprintf(stderr, "pimcheck: unknown scenario '%s' (see --list)\n",
+                     options.scenario.c_str());
+        return 2;
+    }
+    if (!options.mutation.empty()) {
+        const auto& mutations = check::known_mutations();
+        if (std::find(mutations.begin(), mutations.end(), options.mutation) ==
+            mutations.end()) {
+            std::fprintf(stderr, "pimcheck: unknown mutation '%s' (see --list)\n",
+                         options.mutation.c_str());
+            return 2;
+        }
+    }
+
+    if (smoke) return run_smoke(options, out_dir);
+    if (replay) return run_replay(options, replay_spec, forced_fault, out_dir);
+
+    const check::ExploreReport report = check::explore(options);
+    print_report(options, report, out_dir);
+    if (options.mutation.empty()) {
+        return report.clean() ? 0 : 1;
+    }
+    // With a seeded bug enabled, the search is expected to catch it.
+    return report.violating_runs > 0 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+#include "check/choice.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace pimlib::check {
+
+std::string format_choices(const ChoiceSet& set) {
+    std::string out;
+    for (const Pick& pick : set) {
+        if (!out.empty()) out += ',';
+        out += std::to_string(pick.index) + ':' + std::to_string(pick.value);
+    }
+    return out;
+}
+
+std::optional<ChoiceSet> parse_choices(const std::string& text) {
+    ChoiceSet out;
+    if (!text.empty() && text.back() == ',') return std::nullopt;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos) end = text.size();
+        const std::string_view item{text.data() + pos, end - pos};
+        const std::size_t colon = item.find(':');
+        if (colon == std::string_view::npos) return std::nullopt;
+        Pick pick;
+        auto [p1, e1] = std::from_chars(item.data(), item.data() + colon, pick.index);
+        auto [p2, e2] = std::from_chars(item.data() + colon + 1,
+                                        item.data() + item.size(), pick.value);
+        if (e1 != std::errc{} || e2 != std::errc{} || p1 != item.data() + colon ||
+            p2 != item.data() + item.size()) {
+            return std::nullopt;
+        }
+        out.push_back(pick);
+        pos = end + 1;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ChoiceRecorder::ChoiceRecorder(ChoiceSet forced) : forced_(std::move(forced)) {
+    std::sort(forced_.begin(), forced_.end());
+}
+
+std::size_t ChoiceRecorder::choose(std::size_t n, sim::ChoicePoint point) {
+    const auto index = static_cast<std::uint32_t>(trace_.size());
+    std::size_t pick = 0;
+    if (cursor_ < forced_.size() && forced_[cursor_].index == index) {
+        if (forced_[cursor_].value < n) {
+            pick = forced_[cursor_].value;
+            ++applied_;
+        }
+        ++cursor_;
+    }
+    trace_.push_back(ChoiceRec{point, static_cast<std::uint32_t>(n),
+                               static_cast<std::uint32_t>(pick),
+                               sim_ != nullptr ? sim_->now() : 0});
+    return pick;
+}
+
+} // namespace pimlib::check

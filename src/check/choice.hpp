@@ -1,0 +1,79 @@
+// Controllable nondeterminism for the state-space checker.
+//
+// The simulator consults an installed sim::ChoiceSource at every genuine
+// decision point: same-timestamp event ordering, per-frame delivery vs.
+// loss, and (scheduled by the checker's scenarios) fault placement. The
+// ChoiceRecorder here is the checker's implementation of that interface:
+// it replays a *sparse* set of forced picks — everything not forced takes
+// alternative 0, which is exactly the behavior an unchecked simulation
+// exhibits — and records every decision point it was consulted about.
+//
+// A branch of the search is therefore identified by its ChoiceSet alone;
+// re-running the scenario with the same set reproduces the execution
+// deterministically (all RNGs in the stack are seeded). This is the classic
+// stateless-search design: no simulator snapshotting, just replay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pimlib::check {
+
+/// One forced decision: the `index`-th choose() call of the run returns
+/// `value` instead of the default 0.
+struct Pick {
+    std::uint32_t index = 0;
+    std::uint32_t value = 0;
+
+    friend bool operator==(const Pick&, const Pick&) = default;
+    friend auto operator<=>(const Pick&, const Pick&) = default;
+};
+
+/// Sparse branch identity, kept sorted by index. The empty set is the
+/// baseline deterministic run.
+using ChoiceSet = std::vector<Pick>;
+
+/// One decision point the simulation consulted, as recorded during a run.
+struct ChoiceRec {
+    sim::ChoicePoint point;
+    std::uint32_t alternatives = 0;
+    std::uint32_t pick = 0;
+    sim::Time at = 0;
+};
+
+/// "17:1,42:2" — the --replay wire format of pimcheck. Empty string is the
+/// empty set.
+[[nodiscard]] std::string format_choices(const ChoiceSet& set);
+[[nodiscard]] std::optional<ChoiceSet> parse_choices(const std::string& text);
+
+class ChoiceRecorder final : public sim::ChoiceSource {
+public:
+    explicit ChoiceRecorder(ChoiceSet forced = {});
+
+    /// The simulator whose clock stamps recorded decisions.
+    void bind(const sim::Simulator& sim) { sim_ = &sim; }
+
+    std::size_t choose(std::size_t n, sim::ChoicePoint point) override;
+
+    [[nodiscard]] const std::vector<ChoiceRec>& trace() const { return trace_; }
+    [[nodiscard]] const ChoiceSet& forced() const { return forced_; }
+    /// True if every forced pick was both reached and in range. A shorter
+    /// or reshaped execution (prefix inconsistent with this scenario) makes
+    /// this false — the explorer discards such branches.
+    [[nodiscard]] bool fully_applied() const {
+        return applied_ == forced_.size();
+    }
+
+private:
+    ChoiceSet forced_;
+    const sim::Simulator* sim_ = nullptr;
+    std::vector<ChoiceRec> trace_;
+    std::size_t cursor_ = 0;  // next forced_ entry to consume
+    std::size_t applied_ = 0; // forced picks actually taken
+};
+
+} // namespace pimlib::check

@@ -1,0 +1,144 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <random>
+#include <set>
+#include <unordered_set>
+
+namespace pimlib::check {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+RunResult run_branch(const ExploreOptions& options, const ChoiceSet& choices,
+                     bool collect_trace) {
+    RunConfig cfg;
+    cfg.choices = choices;
+    cfg.mutation = options.mutation;
+    cfg.collect_trace = collect_trace;
+    cfg.checkpoint_every = options.checkpoint_every;
+    return run_scenario(options.scenario, cfg);
+}
+
+/// Candidate children of a completed run: flip one decision point after the
+/// last already-forced pick. Loss and fault picks are rationed to one each
+/// per execution — single-failure semantics, and the main guard against
+/// frontier blowup.
+std::vector<Pick> child_flips(const ChoiceSet& current, const RunResult& result) {
+    std::vector<Pick> flips;
+    bool have_loss = false;
+    bool have_fault = false;
+    for (const Pick& pick : current) {
+        if (pick.index < result.trace.size()) {
+            const auto kind = result.trace[pick.index].point.kind;
+            have_loss |= kind == sim::ChoicePoint::Kind::kFrameLoss;
+            have_fault |= kind == sim::ChoicePoint::Kind::kFault;
+        }
+    }
+    const std::uint32_t start = current.empty() ? 0 : current.back().index + 1;
+    for (std::uint32_t i = start; i < result.trace.size(); ++i) {
+        const ChoiceRec& rec = result.trace[i];
+        if (rec.alternatives < 2) continue;
+        if (rec.point.kind == sim::ChoicePoint::Kind::kFrameLoss && have_loss) continue;
+        if (rec.point.kind == sim::ChoicePoint::Kind::kFault && have_fault) continue;
+        for (std::uint32_t v = 1; v < rec.alternatives; ++v) {
+            if (v == rec.pick) continue;
+            flips.push_back(Pick{i, v});
+        }
+    }
+    return flips;
+}
+
+} // namespace
+
+ChoiceSet shrink_counterexample(const ExploreOptions& options, ChoiceSet failing) {
+    bool shrunk = true;
+    while (shrunk && !failing.empty()) {
+        shrunk = false;
+        for (std::size_t i = 0; i < failing.size(); ++i) {
+            ChoiceSet candidate = failing;
+            candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+            const RunResult result = run_branch(options, candidate, false);
+            if (!result.violations.empty()) {
+                failing = std::move(candidate);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return failing;
+}
+
+ExploreReport explore(const ExploreOptions& options) {
+    ExploreReport report;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(options.time_budget_seconds));
+
+    std::deque<ChoiceSet> frontier{ChoiceSet{}};
+    std::set<ChoiceSet> seen{ChoiceSet{}};
+    std::unordered_set<std::uint64_t> states;
+    std::mt19937_64 rng(options.seed);
+
+    while (!frontier.empty() && report.runs < options.max_runs &&
+           Clock::now() < deadline) {
+        const ChoiceSet current = std::move(frontier.front());
+        frontier.pop_front();
+
+        RunResult result = run_branch(options, current, false);
+        ++report.runs;
+        states.insert(result.state_hashes.begin(), result.state_hashes.end());
+
+        if (!result.choices_applied) {
+            // The flipped prefix reshaped the execution so a later forced
+            // pick was never reached (or shrank out of range): not a real
+            // branch of the state space.
+            ++report.skipped_branches;
+            continue;
+        }
+        if (!result.violations.empty()) {
+            ++report.violating_runs;
+            if (report.counterexamples.size() < options.max_counterexamples) {
+                const ChoiceSet minimal = shrink_counterexample(options, current);
+                RunResult replay = run_branch(options, minimal, true);
+                if (replay.violations.empty()) {
+                    // Shrinking is best-effort; fall back to the original.
+                    replay = run_branch(options, current, true);
+                }
+                Counterexample ce;
+                ce.choices = replay.violations.empty() ? current : minimal;
+                ce.violations = replay.violations.empty() ? result.violations
+                                                          : replay.violations;
+                ce.script = replay_script(options.scenario, options.mutation, replay);
+                ce.trace_dump = std::move(replay.trace_dump);
+                report.counterexamples.push_back(std::move(ce));
+            }
+            if (options.stop_at_first_violation) break;
+            continue; // don't grow the tree under a failing branch
+        }
+
+        if (current.size() >= options.max_depth) continue;
+        std::vector<Pick> flips = child_flips(current, result);
+        std::shuffle(flips.begin(), flips.end(), rng);
+        if (flips.size() > options.children_per_run) {
+            flips.resize(options.children_per_run);
+        }
+        for (const Pick& flip : flips) {
+            if (frontier.size() >= options.max_frontier) break;
+            ChoiceSet child = current;
+            child.push_back(flip);
+            if (seen.insert(child).second) frontier.push_back(std::move(child));
+        }
+    }
+
+    report.frontier_exhausted = frontier.empty();
+    report.deduped_states = states.size();
+    report.elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return report;
+}
+
+} // namespace pimlib::check

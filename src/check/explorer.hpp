@@ -1,0 +1,75 @@
+// Bounded forward search over a scenario's nondeterminism.
+//
+// The explorer enumerates branches as sparse ChoiceSets (see choice.hpp):
+// it replays a branch, then derives children by flipping one decision
+// point strictly after the branch's last forced pick — the canonical
+// in-order construction that generates each choice set exactly once. The
+// per-branch budget (max_depth forced picks, at most one loss and one
+// fault per execution) and a seeded sample of children per run keep the
+// frontier tractable; wall-clock and run-count budgets bound the whole
+// search. Every run's timed-state keys — (sim clock, structural MRIB
+// hash) pairs, see scenario.hpp — land in one global dedup set: the
+// "distinct protocol states visited" metric.
+//
+// A branch whose oracles fail is shrunk (greedy pick-dropping, re-running
+// each candidate) to a minimal failing choice set and packaged as a
+// replayable counterexample: pimsim script + decoded packet trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+
+namespace pimlib::check {
+
+struct ExploreOptions {
+    std::string scenario = "walkthrough";
+    std::string mutation;
+    /// Hard caps; whichever trips first ends the search.
+    std::size_t max_runs = 100000;
+    double time_budget_seconds = 50.0;
+    /// Forced picks per branch (search depth).
+    std::size_t max_depth = 3;
+    /// Seeded sample of children enqueued per completed run. Wide on
+    /// purpose: the loss choice points (one per frame) are where branches
+    /// structurally diverge, and sampling them narrowly revisits the same
+    /// few divergence windows over and over.
+    std::size_t children_per_run = 800;
+    std::size_t max_frontier = 50000;
+    std::size_t max_counterexamples = 3;
+    std::uint64_t seed = 1;
+    /// Stop the whole search at the first verified violation (mutation
+    /// gate mode).
+    bool stop_at_first_violation = false;
+    sim::Time checkpoint_every = sim::kMillisecond;
+};
+
+struct Counterexample {
+    ChoiceSet choices; // shrunk to a minimal failing set
+    std::vector<Violation> violations;
+    std::string script;     // pimsim replay (see scenario.hpp)
+    std::string trace_dump; // decoded packet trace of the failing run
+};
+
+struct ExploreReport {
+    std::size_t runs = 0;
+    std::size_t deduped_states = 0;
+    std::size_t violating_runs = 0;
+    std::size_t skipped_branches = 0; // choice sets inconsistent on replay
+    bool frontier_exhausted = false;
+    double elapsed_seconds = 0.0;
+    std::vector<Counterexample> counterexamples;
+
+    [[nodiscard]] bool clean() const { return violating_runs == 0; }
+};
+
+[[nodiscard]] ExploreReport explore(const ExploreOptions& options);
+
+/// Greedy minimization: drops forced picks one at a time while the run
+/// keeps violating. Exposed for tests.
+[[nodiscard]] ChoiceSet shrink_counterexample(const ExploreOptions& options,
+                                              ChoiceSet failing);
+
+} // namespace pimlib::check

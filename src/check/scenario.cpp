@@ -1,0 +1,752 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "fault/fault_injector.hpp"
+#include "stats/counters.hpp"
+#include "topo/host.hpp"
+#include "topo/network.hpp"
+#include "topo/router.hpp"
+#include "topo/segment.hpp"
+#include "trace/tracer.hpp"
+#include "unicast/oracle_routing.hpp"
+
+namespace pimlib::check {
+namespace {
+
+constexpr sim::Time kMs = sim::kMillisecond;
+
+// A data packet legitimately crosses a segment once; the register/native
+// overlap of an SPT switchover can add a stray crossing or two. Anything
+// past this bound means the packet is circling.
+constexpr int kCrossingBound = 4;
+// Hosts may see a couple of (source,seq) duplicates during make-before-
+// break switchover (shared and shortest path both live for a moment); a
+// forwarding loop duplicates every packet and blows far past this.
+constexpr std::size_t kDuplicateBound = 6;
+// Convergence probes after stimuli stop: one join/prune interval each.
+constexpr int kConvergenceProbes = 12;
+
+net::GroupAddress checker_group() {
+    return net::GroupAddress{*net::Ipv4Address::parse("224.9.9.9")};
+}
+
+void add_violation(RunResult& out, std::string oracle, std::string detail) {
+    out.violations.push_back(Violation{std::move(oracle), std::move(detail)});
+}
+
+// (seq, segment id) -> number of crossings of the checker group's data.
+using CrossingMap = std::map<std::pair<std::uint64_t, int>, int>;
+
+/// Dedup key for an explored state. This is a timed protocol, so the
+/// global state is (clock, configuration): two branches that reach the
+/// same MRIB structure at different points of the schedule are different
+/// states — one of them still has timers and in-flight messages the other
+/// has already consumed. splitmix64-style finalizer over both.
+std::uint64_t timed_state_key(sim::Time t, std::uint64_t structural) {
+    std::uint64_t x =
+        static_cast<std::uint64_t>(t) * 0x9E3779B97F4A7C15ull ^ structural;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+// ---------------------------------------------------------------------------
+// Shared oracle implementations
+// ---------------------------------------------------------------------------
+
+void check_loops(RunResult& out, const CrossingMap& crossings,
+                 const std::vector<std::string>& segment_names,
+                 std::uint64_t ttl_drops) {
+    if (ttl_drops > 0) {
+        add_violation(out, "forwarding-loop",
+                      std::to_string(ttl_drops) +
+                          " data packet(s) dropped for TTL exhaustion");
+    }
+    int reported = 0;
+    for (const auto& [key, count] : crossings) {
+        if (count <= kCrossingBound) continue;
+        if (++reported > 3) break;
+        const auto seg = static_cast<std::size_t>(key.second);
+        add_violation(out, "forwarding-loop",
+                      "seq " + std::to_string(key.first) + " crossed segment " +
+                          (seg < segment_names.size() ? segment_names[seg]
+                                                      : std::to_string(key.second)) +
+                          " " + std::to_string(count) + " times");
+    }
+}
+
+void check_duplicate_bound(RunResult& out, const topo::Host& host) {
+    const std::size_t dupes = host.duplicate_count();
+    if (dupes > kDuplicateBound) {
+        add_violation(out, "duplicate-bound",
+                      host.name() + " saw " + std::to_string(dupes) +
+                          " duplicate data packets (bound " +
+                          std::to_string(kDuplicateBound) + ")");
+    }
+}
+
+/// Every surviving entry's iif must agree with the unicast RPF oracle
+/// toward its root, an RP-bit entry must shadow a live (*,G) (footnote 13),
+/// and no entry may list its own iif as an oif.
+void check_iif_consistency(RunResult& out, const telemetry::MribSnapshot& snap,
+                           const std::map<std::string, const topo::Router*>& routers,
+                           const fault::FaultInjector& faults) {
+    for (const telemetry::RouterMrib& r : snap.routers) {
+        const auto it = routers.find(r.router);
+        if (it == routers.end()) continue;
+        const topo::Router& router = *it->second;
+        if (faults.is_crashed(router)) continue;
+        for (const telemetry::EntrySnapshot& e : r.entries) {
+            const std::string id = r.router + " " + e.key();
+            for (const telemetry::OifSnapshot& oif : e.oifs) {
+                if (oif.ifindex == e.iif && e.iif >= 0) {
+                    add_violation(out, "iif-consistency",
+                                  id + ": iif " + std::to_string(e.iif) +
+                                      " also appears in its own oif list");
+                }
+            }
+            const auto root = net::Ipv4Address::parse(e.source_or_rp);
+            if (!root) continue;
+            if (e.wildcard || !e.rp_bit) {
+                // (*,G) roots at the RP, a real (S,G) at its source; both
+                // must point the iif along the unicast oracle's RPF path.
+                if (e.wildcard && *root == router.router_id()) {
+                    if (e.iif != -1) {
+                        add_violation(out, "iif-consistency",
+                                      id + ": entry at its own RP has iif " +
+                                          std::to_string(e.iif) + ", want -1");
+                    }
+                    continue;
+                }
+                const auto route = router.route_to(*root);
+                if (route && route->ifindex != e.iif) {
+                    add_violation(out, "iif-consistency",
+                                  id + ": iif " + std::to_string(e.iif) +
+                                      " disagrees with unicast RPF interface " +
+                                      std::to_string(route->ifindex) + " toward " +
+                                      e.source_or_rp);
+                }
+            } else {
+                // Negative cache: must shadow a (*,G) and share its iif.
+                const telemetry::EntrySnapshot* wc = nullptr;
+                for (const telemetry::EntrySnapshot& other : r.entries) {
+                    if (other.wildcard && other.group == e.group) wc = &other;
+                }
+                if (wc == nullptr) {
+                    add_violation(out, "iif-consistency",
+                                  id + ": RP-bit entry outlives its (*,G)");
+                } else if (wc->iif != e.iif) {
+                    add_violation(out, "iif-consistency",
+                                  id + ": RP-bit iif " + std::to_string(e.iif) +
+                                      " != (*,G) iif " + std::to_string(wc->iif));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario worlds
+// ---------------------------------------------------------------------------
+
+struct FaultCandidate {
+    std::string label;
+    std::function<void()> fire;
+};
+
+/// Shared per-run driver state: recorder, crossing tap, checkpointing and
+/// the convergence probe loop.
+struct Driver {
+    topo::Network& net;
+    RunResult& out;
+    const RunConfig& cfg;
+    ChoiceRecorder recorder;
+    CrossingMap crossings;
+    std::unique_ptr<trace::PacketTracer> tracer;
+
+    Driver(topo::Network& n, RunResult& o, const RunConfig& c,
+           net::Ipv4Address data_source)
+        : net(n), out(o), cfg(c), recorder(c.choices) {
+        recorder.bind(net.simulator());
+        net.simulator().set_choice_source(&recorder);
+        net.add_packet_tap([this, data_source](const topo::Segment& seg,
+                                               const net::Frame& frame) {
+            if (frame.packet.proto != net::IpProto::kUdp) return;
+            if (!frame.packet.is_multicast()) return;
+            if (frame.packet.src != data_source) return;
+            ++crossings[{frame.packet.seq, seg.id()}];
+        });
+        if (cfg.collect_trace) {
+            tracer = std::make_unique<trace::PacketTracer>(net);
+            tracer->set_group_filter(checker_group());
+        }
+    }
+
+    ~Driver() { net.simulator().set_choice_source(nullptr); }
+
+    /// Installs one decision point per fault slot. Alternative 0 is "no
+    /// fault"; the rest fire the candidate (which schedules its own repair
+    /// if the scenario wants one).
+    void arm_fault_slots(const std::vector<sim::Time>& slots,
+                         const std::vector<FaultCandidate>& candidates) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            net.simulator().schedule_at(slots[i], [this, i, &candidates] {
+                if (!cfg.forced_fault.empty()) {
+                    if (i != 0) return;
+                    for (const FaultCandidate& cand : candidates) {
+                        if (cand.label == cfg.forced_fault) cand.fire();
+                    }
+                    return;
+                }
+                const std::size_t pick = recorder.choose(
+                    candidates.size() + 1,
+                    sim::ChoicePoint{sim::ChoicePoint::Kind::kFault,
+                                     static_cast<int>(i)});
+                if (pick > 0) candidates[pick - 1].fire();
+            });
+        }
+    }
+
+    /// Advances the simulation to `until`, hashing the global MRIB every
+    /// checkpoint interval along the way.
+    void checkpoint_until(sim::Time until, scenario::StackBase& stack) {
+        sim::Time t = net.simulator().now();
+        const sim::Time step = cfg.checkpoint_every > 0 ? cfg.checkpoint_every
+                                                        : 10 * kMs;
+        while (t < until) {
+            t = std::min(until, t + step);
+            out.events += net.simulator().run_until(t);
+            out.state_hashes.push_back(
+                timed_state_key(t, stack.capture_mrib().hash()));
+        }
+    }
+
+    /// Runs probe intervals until the global MRIB is stable (empty
+    /// structural diff) or revisits an earlier probe state (a recurrent
+    /// soft-state orbit — decaying caches re-established by periodic joins
+    /// cycle through a small state set; that still counts as converged).
+    /// Leaves the last capture in out.final_mrib.
+    void probe_convergence(scenario::StackBase& stack, sim::Time probe_interval) {
+        telemetry::MribSnapshot prev = stack.capture_mrib();
+        std::vector<std::uint64_t> probe_hashes{prev.hash()};
+        bool converged = false;
+        for (int round = 0; round < kConvergenceProbes && !converged; ++round) {
+            out.events +=
+                net.simulator().run_until(net.simulator().now() + probe_interval);
+            telemetry::MribSnapshot next = stack.capture_mrib();
+            const std::uint64_t h = next.hash();
+            out.state_hashes.push_back(timed_state_key(net.simulator().now(), h));
+            if (telemetry::diff(prev, next).empty()) {
+                converged = true;
+            } else if (std::find(probe_hashes.begin(), probe_hashes.end(), h) !=
+                       probe_hashes.end()) {
+                converged = true;
+            }
+            probe_hashes.push_back(h);
+            prev = std::move(next);
+        }
+        out.converged = converged;
+        if (!converged) {
+            add_violation(out, "convergence",
+                          "global MRIB neither stabilized nor revisited a state "
+                          "within " +
+                              std::to_string(kConvergenceProbes) +
+                              " probe intervals after stimuli stopped");
+        }
+        out.final_mrib = std::move(prev);
+    }
+
+    void finish() {
+        out.trace = recorder.trace();
+        out.choices_applied = recorder.fully_applied();
+        out.end_time = net.simulator().now();
+        if (!cfg.forced_fault.empty()) out.clean = false;
+        for (const ChoiceRec& rec : out.trace) {
+            if (rec.pick != 0 &&
+                rec.point.kind != sim::ChoicePoint::Kind::kEventOrder) {
+                out.clean = false;
+            }
+        }
+        if (tracer) out.trace_dump = tracer->dump();
+    }
+};
+
+// --- walkthrough -----------------------------------------------------------
+//
+// The §3 walkthrough reshaped so every §3.3/§3.5 mechanism is observable:
+//
+//       receiver(lan0) - A ----1ms---- C(RP) --1ms-- D - lan2(viewer)
+//                        |            /
+//                       1ms  20ms   1ms (metric 2)
+//                        |  /      /
+//                        E --- 20ms --- B - lan1(source)
+//
+// Topology (see kWalkthroughScript): A reaches the source via E-B (slow,
+// 21ms) but the RP directly (1ms), so A's SPT diverges from the shared
+// tree and the switchover handshake has a real in-flight window: the
+// shared path outruns the SPT by ~20ms. Pruning the shared arm before SPT
+// data arrives (the skip-spt-bit-handshake mutation) deterministically
+// loses the packets in that window; never pruning it (no-rp-bit-prune)
+// leaves a permanently redundant A-C crossing that A must iif-drop.
+// The viewer behind the RP keeps the shared tree carrying data, so the
+// RP's own (S,G) oif set stays observable.
+
+const std::vector<std::string> kWalkthroughSegments = {
+    "A-E", "E-B", "A-C", "B-C", "C-D", "lan0(A)", "lan1(B)", "lan2(D)"};
+
+const std::vector<sim::Time> kWalkthroughFaultSlots = {400 * kMs, 900 * kMs};
+constexpr sim::Time kWalkthroughRepairAfter = 350 * kMs;
+
+// Burst one exercises register + switchover (seqs 1..12); burst two lands
+// well after convergence and is the steady-state measurement window.
+constexpr std::uint64_t kSeqCount = 18;
+constexpr std::uint64_t kSteadyFirstSeq = 13;
+constexpr sim::Time kWalkthroughSteadyStart = 1550 * kMs;
+constexpr sim::Time kWalkthroughHorizon = 1900 * kMs;
+// Steady-state delivery tree: lan1, B-C, C-D, lan2, E-B, A-E, lan0.
+constexpr int kWalkthroughSteadyCrossings = 7;
+
+RunResult run_walkthrough(const RunConfig& cfg) {
+    RunResult out;
+    const net::GroupAddress group = checker_group();
+
+    topo::Network net;
+    topo::Router& a = net.add_router("A");
+    topo::Router& b = net.add_router("B");
+    topo::Router& c = net.add_router("C");
+    topo::Router& d = net.add_router("D");
+    topo::Router& e = net.add_router("E");
+    net.add_link(a, e, 1 * kMs, 1);
+    topo::Segment& link_eb = net.add_link(e, b, 20 * kMs, 1);
+    topo::Segment& link_ac = net.add_link(a, c, 1 * kMs, 1);
+    net.add_link(b, c, 1 * kMs, 2);
+    net.add_link(c, d, 1 * kMs, 1);
+    topo::Segment& lan0 = net.add_lan({&a});
+    topo::Segment& lan1 = net.add_lan({&b});
+    topo::Segment& lan2 = net.add_lan({&d});
+    topo::Host& receiver = net.add_host("receiver", lan0);
+    topo::Host& source = net.add_host("source", lan1);
+    topo::Host& viewer = net.add_host("viewer", lan2);
+
+    unicast::OracleRouting routing(net);
+    scenario::StackConfig config = scenario::StackConfig{}.scaled(0.01);
+    const bool mutation_ok = apply_mutation(cfg.mutation, config);
+    assert(mutation_ok);
+    (void)mutation_ok;
+    scenario::PimSmStack stack(net, config);
+    stack.set_rp(group, {c.router_id()});
+    stack.set_spt_policy(pim::SptPolicy::immediate());
+    fault::FaultInjector faults(net);
+    stack.wire_faults(faults);
+
+    Driver driver(net, out, cfg, source.address());
+    sim::Simulator& sim = net.simulator();
+
+    sim.schedule_at(120 * kMs, [&] { stack.host_agent(receiver).join(group); });
+    sim.schedule_at(130 * kMs, [&] { stack.host_agent(viewer).join(group); });
+    source.send_stream(group, 12, 10 * kMs, 250 * kMs);
+    source.send_stream(group, 6, 20 * kMs, 1600 * kMs);
+
+    const std::vector<FaultCandidate> candidates = {
+        {"cut-link-A-C",
+         [&] {
+             faults.cut_link(link_ac);
+             faults.restore_link_at(sim.now() + kWalkthroughRepairAfter, link_ac);
+         }},
+        {"cut-link-E-B",
+         [&] {
+             faults.cut_link(link_eb);
+             faults.restore_link_at(sim.now() + kWalkthroughRepairAfter, link_eb);
+         }},
+        {"crash-router-E",
+         [&] {
+             faults.crash_router(e);
+             faults.restart_router_at(sim.now() + kWalkthroughRepairAfter, e);
+         }},
+        {"crash-router-C",
+         [&] {
+             faults.crash_router(c);
+             faults.restart_router_at(sim.now() + kWalkthroughRepairAfter, c);
+         }},
+    };
+    driver.arm_fault_slots(kWalkthroughFaultSlots, candidates);
+
+    driver.checkpoint_until(kWalkthroughSteadyStart, stack);
+    const std::uint64_t steady_iif_base = net.stats().data_dropped_iif();
+    driver.checkpoint_until(kWalkthroughHorizon, stack);
+    const std::uint64_t steady_iif_drops =
+        net.stats().data_dropped_iif() - steady_iif_base;
+    driver.probe_convergence(stack, config.pim.join_prune_interval);
+    driver.finish();
+
+    // --- oracles ---
+    check_loops(out, driver.crossings, kWalkthroughSegments,
+                net.stats().data_dropped_ttl());
+    check_duplicate_bound(out, receiver);
+    check_duplicate_bound(out, viewer);
+    const std::map<std::string, const topo::Router*> routers = {
+        {"A", &a}, {"B", &b}, {"C", &c}, {"D", &d}, {"E", &e}};
+    check_iif_consistency(out, out.final_mrib, routers, faults);
+
+    if (out.clean) {
+        // §3.3: switching from shared tree to SPT must not lose packets,
+        // and soft-state refresh must keep the tree delivering. On clean
+        // branches (pure event reorderings included) every member hears
+        // every sequence number.
+        for (const topo::Host* host : {&receiver, &viewer}) {
+            std::set<std::uint64_t> got;
+            std::map<std::uint64_t, int> steady_copies;
+            for (const topo::Host::ReceivedRecord& rec : host->received()) {
+                if (rec.source != source.address() || rec.group != group) continue;
+                got.insert(rec.seq);
+                if (rec.seq >= kSteadyFirstSeq) ++steady_copies[rec.seq];
+            }
+            std::string missing;
+            for (std::uint64_t s = 1; s <= kSeqCount; ++s) {
+                if (!got.contains(s)) missing += (missing.empty() ? "" : ",") +
+                                                 std::to_string(s);
+            }
+            if (!missing.empty()) {
+                add_violation(out, "delivery",
+                              host->name() + " never received seq(s) " + missing);
+            }
+            for (const auto& [seq, copies] : steady_copies) {
+                if (copies > 1) {
+                    add_violation(out, "steady-duplicate",
+                                  host->name() + " received steady seq " +
+                                      std::to_string(seq) + " " +
+                                      std::to_string(copies) + " times");
+                }
+            }
+        }
+        // §3.3/§3.5: a converged tree crosses exactly the delivery tree's
+        // segments once per packet. An extra crossing is a shared-tree arm
+        // that an RP-bit prune should have shut off.
+        for (std::uint64_t s = kSteadyFirstSeq; s <= kSeqCount; ++s) {
+            int total = 0;
+            std::string breakdown;
+            for (const auto& [key, count] : driver.crossings) {
+                if (key.first != s) continue;
+                total += count;
+                const auto seg = static_cast<std::size_t>(key.second);
+                breakdown += (breakdown.empty() ? "" : ", ") +
+                             kWalkthroughSegments[seg] + "x" + std::to_string(count);
+            }
+            if (total != kWalkthroughSteadyCrossings) {
+                add_violation(out, "steady-redundancy",
+                              "steady seq " + std::to_string(s) + " crossed " +
+                                  std::to_string(total) + " segment(s), want " +
+                                  std::to_string(kWalkthroughSteadyCrossings) +
+                                  " (" + breakdown + ")");
+            }
+        }
+        // §3.5: in steady state every packet arrives on the expected iif
+        // everywhere; iif-drops mean a stale or missing prune.
+        if (steady_iif_drops > 0) {
+            add_violation(out, "steady-iif",
+                          std::to_string(steady_iif_drops) +
+                              " iif-check drops during the steady-state window");
+        }
+    }
+    return out;
+}
+
+// --- rp-failover -----------------------------------------------------------
+//
+// §3.9: two member routers, a reachable alternate RP, and a fault slot
+// that can crash the primary. Crashing it must re-home every member's
+// (*,G) to the alternate within the RP-reachability timeout plus three
+// join/prune refreshes; leaving it alive (or merely losing one
+// reachability message) must not.
+
+const std::vector<std::string> kFailoverSegments = {
+    "M-R1", "N-R1", "M-R2", "N-R2", "R1-R2", "lan0(M)", "lan1(N)"};
+const std::vector<sim::Time> kFailoverFaultSlots = {500 * kMs};
+constexpr sim::Time kFailoverHorizon = 2300 * kMs; // crash + timeout + 3 refreshes
+
+RunResult run_rp_failover(const RunConfig& cfg) {
+    RunResult out;
+    const net::GroupAddress group = checker_group();
+
+    topo::Network net;
+    topo::Router& m = net.add_router("M");
+    topo::Router& n = net.add_router("N");
+    topo::Router& r1 = net.add_router("R1");
+    topo::Router& r2 = net.add_router("R2");
+    net.add_link(m, r1, 1 * kMs, 1);
+    net.add_link(n, r1, 1 * kMs, 1);
+    net.add_link(m, r2, 1 * kMs, 3);
+    net.add_link(n, r2, 1 * kMs, 3);
+    net.add_link(r1, r2, 1 * kMs, 1);
+    topo::Segment& lan0 = net.add_lan({&m});
+    topo::Segment& lan1 = net.add_lan({&n});
+    topo::Host& h1 = net.add_host("h1", lan0);
+    topo::Host& h2 = net.add_host("h2", lan1);
+
+    unicast::OracleRouting routing(net);
+    scenario::StackConfig config = scenario::StackConfig{}.scaled(0.01);
+    const bool mutation_ok = apply_mutation(cfg.mutation, config);
+    assert(mutation_ok);
+    (void)mutation_ok;
+    scenario::PimSmStack stack(net, config);
+    stack.set_rp(group, {r1.router_id(), r2.router_id()});
+    stack.set_spt_policy(pim::SptPolicy::never());
+    fault::FaultInjector faults(net);
+    stack.wire_faults(faults);
+
+    Driver driver(net, out, cfg, net::Ipv4Address{});
+    sim::Simulator& sim = net.simulator();
+
+    sim.schedule_at(100 * kMs, [&] { stack.host_agent(h1).join(group); });
+    sim.schedule_at(110 * kMs, [&] { stack.host_agent(h2).join(group); });
+
+    const std::vector<FaultCandidate> candidates = {
+        {"crash-router-R1", [&] { faults.crash_router(r1); }},
+    };
+    driver.arm_fault_slots(kFailoverFaultSlots, candidates);
+
+    driver.checkpoint_until(kFailoverHorizon, stack);
+    // §3.9's deadline: judge failover on this capture, not on whatever the
+    // (open-ended) convergence probes later settle into.
+    const telemetry::MribSnapshot at_deadline = stack.capture_mrib();
+    driver.probe_convergence(stack, config.pim.join_prune_interval);
+    driver.finish();
+
+    check_loops(out, driver.crossings, kFailoverSegments,
+                net.stats().data_dropped_ttl());
+    const std::map<std::string, const topo::Router*> routers = {
+        {"M", &m}, {"N", &n}, {"R1", &r1}, {"R2", &r2}};
+    check_iif_consistency(out, out.final_mrib, routers, faults);
+
+    const bool crashed = faults.is_crashed(r1);
+    const std::string want_rp =
+        (crashed ? r2.router_id() : r1.router_id()).to_string();
+    for (const telemetry::RouterMrib& r : at_deadline.routers) {
+        if (r.router != "M" && r.router != "N") continue;
+        bool has_wc = false;
+        for (const telemetry::EntrySnapshot& entry : r.entries) {
+            if (!entry.wildcard) continue;
+            has_wc = true;
+            if (entry.source_or_rp != want_rp) {
+                add_violation(out, "rp-failover",
+                              r.router + " (*,G) still rooted at " +
+                                  entry.source_or_rp + ", want " + want_rp +
+                                  (crashed ? " (primary RP crashed)" : ""));
+            }
+        }
+        if (!has_wc) {
+            add_violation(out, "rp-failover",
+                          r.router + " has no (*,G) at the failover deadline");
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Replay script emission
+// ---------------------------------------------------------------------------
+
+std::string time_ms(sim::Time t) {
+    return std::to_string(t / kMs) + "ms";
+}
+
+const char* kWalkthroughScript = R"(topology
+router A
+router B
+router C
+router D
+router E
+link A E delay=1ms metric=1
+link E B delay=20ms metric=1
+link A C delay=1ms metric=1
+link B C delay=1ms metric=2
+link C D delay=1ms metric=1
+lan lan0 A
+lan lan1 B
+lan lan2 D
+host receiver lan0
+host source lan1
+host viewer lan2
+end
+protocol pim-sm
+rp 224.9.9.9 C
+spt-policy immediate
+trace on
+at 120ms join receiver 224.9.9.9
+at 130ms join viewer 224.9.9.9
+at 250ms send source 224.9.9.9 count=12 interval=10ms
+at 1600ms send source 224.9.9.9 count=6 interval=20ms
+)";
+
+const char* kFailoverScript = R"(topology
+router M
+router N
+router R1
+router R2
+link M R1 delay=1ms metric=1
+link N R1 delay=1ms metric=1
+link M R2 delay=1ms metric=3
+link N R2 delay=1ms metric=3
+link R1 R2 delay=1ms metric=1
+lan lan0 M
+lan lan1 N
+host h1 lan0
+host h2 lan1
+end
+protocol pim-sm
+rp 224.9.9.9 R1 R2
+spt-policy never
+trace on
+at 100ms join h1 224.9.9.9
+at 110ms join h2 224.9.9.9
+)";
+
+/// Fault directives equivalent to firing candidate `value - 1` at `slot`.
+std::string fault_directives(const std::string& scenario, std::size_t slot,
+                             std::uint32_t value) {
+    if (value == 0) return {};
+    std::string out;
+    if (scenario == "walkthrough") {
+        if (slot >= kWalkthroughFaultSlots.size()) return {};
+        const sim::Time at = kWalkthroughFaultSlots[slot];
+        const sim::Time repair = at + kWalkthroughRepairAfter;
+        switch (value) {
+        case 1:
+            out += "at " + time_ms(at) + " fail-link A C\n";
+            out += "at " + time_ms(repair) + " heal-link A C\n";
+            break;
+        case 2:
+            out += "at " + time_ms(at) + " fail-link E B\n";
+            out += "at " + time_ms(repair) + " heal-link E B\n";
+            break;
+        case 3:
+            out += "at " + time_ms(at) + " crash-router E\n";
+            out += "at " + time_ms(repair) + " restart-router E\n";
+            break;
+        case 4:
+            out += "at " + time_ms(at) + " crash-router C\n";
+            out += "at " + time_ms(repair) + " restart-router C\n";
+            break;
+        default: break;
+        }
+    } else if (scenario == "rp-failover") {
+        if (slot == 0 && value == 1) {
+            out += "at " + time_ms(kFailoverFaultSlots[0]) + " crash-router R1\n";
+        }
+    }
+    return out;
+}
+
+std::string describe_choice(const std::string& scenario, std::uint32_t index,
+                            const ChoiceRec& rec) {
+    const std::vector<std::string>& segs = scenario == "walkthrough"
+                                               ? kWalkthroughSegments
+                                               : kFailoverSegments;
+    std::string what;
+    switch (rec.point.kind) {
+    case sim::ChoicePoint::Kind::kEventOrder:
+        what = "fire queued event " + std::to_string(rec.pick + 1) + " of " +
+               std::to_string(rec.alternatives) + " tied at this instant";
+        break;
+    case sim::ChoicePoint::Kind::kFrameLoss: {
+        const auto seg = static_cast<std::size_t>(rec.point.detail);
+        what = "drop the frame crossing segment " +
+               (seg < segs.size() ? segs[seg] : std::to_string(rec.point.detail));
+        break;
+    }
+    case sim::ChoicePoint::Kind::kFault:
+        what = "inject fault candidate " + std::to_string(rec.pick) +
+               " at slot " + std::to_string(rec.point.detail);
+        break;
+    }
+    return "choice " + std::to_string(index) + " at t=" + time_ms(rec.at) + ": " +
+           what;
+}
+
+} // namespace
+
+const std::vector<std::string>& scenario_names() {
+    static const std::vector<std::string> names = {"walkthrough", "rp-failover"};
+    return names;
+}
+
+const std::vector<std::string>& known_mutations() {
+    static const std::vector<std::string> names = {"skip-spt-bit-handshake",
+                                                   "no-rp-bit-prune"};
+    return names;
+}
+
+bool apply_mutation(const std::string& mutation, scenario::StackConfig& config) {
+    if (mutation.empty()) return true;
+    if (mutation == "skip-spt-bit-handshake") {
+        config.pim.mutate_skip_spt_bit_handshake = true;
+        return true;
+    }
+    if (mutation == "no-rp-bit-prune") {
+        config.pim.mutate_no_rp_bit_prune = true;
+        return true;
+    }
+    return false;
+}
+
+RunResult run_scenario(const std::string& name, const RunConfig& cfg) {
+    if (name == "walkthrough") return run_walkthrough(cfg);
+    if (name == "rp-failover") return run_rp_failover(cfg);
+    assert(false && "unknown scenario; validate against scenario_names()");
+    return {};
+}
+
+std::string replay_script(const std::string& name, const std::string& mutation,
+                          const RunResult& result) {
+    std::string out = "# pimcheck counterexample -- scenario " + name;
+    if (!mutation.empty()) out += " --mutate " + mutation;
+    out += "\n";
+    for (const Violation& v : result.violations) {
+        out += "# violation: " + v.oracle + ": " + v.detail + "\n";
+    }
+
+    ChoiceSet forced;
+    std::string fault_lines;
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+        const ChoiceRec& rec = result.trace[i];
+        if (rec.pick == 0) continue;
+        forced.push_back(Pick{static_cast<std::uint32_t>(i), rec.pick});
+        if (rec.point.kind == sim::ChoicePoint::Kind::kFault) {
+            fault_lines += fault_directives(
+                name, static_cast<std::size_t>(rec.point.detail), rec.pick);
+        }
+    }
+    if (forced.empty()) {
+        out += "# the deterministic baseline run already fails -- no forced "
+               "choices needed\n";
+    } else {
+        out += "# deviations from the deterministic baseline (replay exactly "
+               "with:\n";
+        out += "#   pimcheck --scenario " + name;
+        if (!mutation.empty()) out += " --mutate " + mutation;
+        out += " --replay " + format_choices(forced) + "):\n";
+        for (const Pick& pick : forced) {
+            out += "#   " + describe_choice(name, pick.index,
+                                            result.trace[pick.index]) +
+                   "\n";
+        }
+        out += "# fault injections replay below; pimsim cannot force "
+               "message-level order/loss\n";
+    }
+    out += name == "walkthrough" ? kWalkthroughScript : kFailoverScript;
+    out += fault_lines;
+    out += "run " + time_ms(name == "walkthrough" ? 2500 * kMs : 2400 * kMs) + "\n";
+    return out;
+}
+
+} // namespace pimlib::check

@@ -1,0 +1,105 @@
+// The checker's scenarios and invariant oracles.
+//
+// A scenario is a small, fully scripted pimlib world (topology + PIM-SM
+// stack + oracle unicast routing + stimuli) run once under a ChoiceRecorder.
+// After the run, invariant oracles derived from the paper are evaluated:
+//
+//   duplicate-bound      no host sees more than a handful of (source,seq)
+//                        duplicates; a forwarding loop dupes every packet
+//   forwarding-loop      no data packet crosses the same segment more than
+//                        a few times, and nothing dies of TTL exhaustion
+//   steady-duplicate     zero duplicates in the post-convergence window
+//   delivery             every packet sent while all members are joined is
+//                        delivered to every member (§3.3's lossless
+//                        SPT-switchover claim; clean branches only)
+//   steady-redundancy    each steady-state packet crosses exactly the
+//                        expected tree's segments — one extra crossing means
+//                        a missing RP-bit negative cache (§3.3, §3.5)
+//   steady-iif           zero incoming-interface check failures in steady
+//                        state (§3.5's iif discipline; clean branches only)
+//   iif-consistency      every surviving MRIB entry's iif agrees with the
+//                        unicast RPF oracle, and never appears in its own
+//                        oif list (§2.3, §3.8)
+//   convergence          after stimuli stop, the global MRIB reaches a
+//                        stable state or a recurrent soft-state orbit
+//   rp-failover          (rp-failover scenario) after the primary RP dies,
+//                        every member router's (*,G) re-homes to the
+//                        alternate RP (§3.9)
+//
+// Oracles that assert efficiency or completeness only apply to "clean"
+// branches — no forced frame loss and no injected fault — because the
+// protocol's own spec tolerates transient loss after a dropped control
+// message (soft state repairs at the next periodic refresh, §3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/choice.hpp"
+#include "scenario/stacks.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace pimlib::check {
+
+struct Violation {
+    std::string oracle;
+    std::string detail;
+};
+
+struct RunConfig {
+    /// Forced picks identifying the branch; empty = baseline run.
+    ChoiceSet choices;
+    /// Seeded-bug selector: "", "skip-spt-bit-handshake", "no-rp-bit-prune".
+    std::string mutation;
+    /// Unconditionally apply this fault candidate at the first fault slot
+    /// (by label, bypassing the choice machinery). Test hook.
+    std::string forced_fault;
+    /// Capture a decoded packet trace of the whole run (expensive; used
+    /// when emitting counterexamples).
+    bool collect_trace = false;
+    /// Cadence of MRIB state-hash checkpoints.
+    sim::Time checkpoint_every = sim::kMillisecond;
+};
+
+struct RunResult {
+    std::vector<ChoiceRec> trace;
+    std::vector<Violation> violations;
+    /// Timed-state keys — hash of (sim clock, structural MRIB hash) — one
+    /// per checkpoint plus the convergence probes. The clock is part of
+    /// the key because this is a timed protocol: the same MRIB structure
+    /// at two points of the schedule is two different global states. The
+    /// explorer dedups these globally.
+    std::vector<std::uint64_t> state_hashes;
+    telemetry::MribSnapshot final_mrib;
+    /// No forced loss, no fault: every efficiency oracle applies.
+    bool clean = true;
+    bool converged = false;
+    /// The forced choice set was consistent with this scenario (every pick
+    /// reached and in range). Inconsistent branches are discarded upstream.
+    bool choices_applied = true;
+    sim::Time end_time = 0;
+    std::size_t events = 0;
+    std::string trace_dump; // filled when RunConfig::collect_trace
+};
+
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+[[nodiscard]] const std::vector<std::string>& known_mutations();
+
+/// Applies a mutation by name to the stack config; false if unknown.
+[[nodiscard]] bool apply_mutation(const std::string& mutation,
+                                  scenario::StackConfig& config);
+
+/// Runs one branch of `name`. Aborts (assert) on unknown scenario names —
+/// callers validate against scenario_names() first.
+[[nodiscard]] RunResult run_scenario(const std::string& name, const RunConfig& cfg);
+
+/// A pimsim directive script reproducing `result`'s branch of `name`:
+/// topology, stimuli and fault injections replay exactly; message-level
+/// order/loss choices (which pimsim cannot force) are documented as
+/// comments, including the --replay spec for reproducing them in pimcheck.
+[[nodiscard]] std::string replay_script(const std::string& name,
+                                        const std::string& mutation,
+                                        const RunResult& result);
+
+} // namespace pimlib::check

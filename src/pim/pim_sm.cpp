@@ -546,6 +546,17 @@ void PimSmRouter::initiate_spt_switch(net::Ipv4Address source, net::GroupAddress
              group.to_string(), "src=" + source.to_string(), span);
     mcast::ForwardingEntry& sg = establish_sg(source, group);
     send_triggered_join(sg);
+    if (config_.mutate_skip_spt_bit_handshake) {
+        // Seeded bug (model-checker mutation gate): fire the §3.3 divergence
+        // prune now, before any data has arrived over the SPT, instead of
+        // from on_spt_bit_set. Shared-tree packets in flight while the
+        // (S,G) join still propagates are lost.
+        const auto* wc = cache_.find_wc(group);
+        if (wc != nullptr && wc->iif() >= 0 && wc->iif() != sg.iif()) {
+            send_join_prune(wc->iif(), wc->upstream_neighbor(), group, {},
+                            {AddressEntry{source, EntryFlags{false, true}}});
+        }
+    }
 }
 
 void PimSmRouter::on_spt_bit_set(mcast::ForwardingEntry& entry) {
@@ -564,6 +575,7 @@ void PimSmRouter::on_spt_bit_set(mcast::ForwardingEntry& entry) {
     // "…sends a PIM prune toward RP if its shared tree incoming interface
     // differs from its shortest path tree incoming interface" (§3.3).
     if (entry.rp_bit()) return;
+    if (config_.mutate_no_rp_bit_prune) return; // seeded bug: never prune
     const auto* wc = cache_.find_wc(entry.group());
     if (wc == nullptr || wc->iif() < 0 || wc->iif() == entry.iif()) return;
     send_join_prune(wc->iif(), wc->upstream_neighbor(), entry.group(), {},
@@ -869,6 +881,14 @@ void PimSmRouter::observe_peer_prune(int ifindex, const JoinPrune& msg) {
                                                         to_join, target, epoch] {
                 if (epoch != epoch_) return; // rebooted meanwhile
                 override_scheduled_.erase(key);
+                // The entry may have died between scheduling and firing (our
+                // own member left, state expired): a join now would rebuild
+                // upstream state nobody wants, so the override is a no-op.
+                mcast::ForwardingEntry* still = entry_of(key.first);
+                if (still == nullptr || still->iif() != ifindex ||
+                    still->oif_list_empty(router_->simulator().now())) {
+                    return;
+                }
                 send_join_prune(ifindex, target, group, {to_join}, {});
             });
         }
@@ -1135,7 +1155,8 @@ void PimSmRouter::send_periodic_join_prune() {
                             AddressEntry{sg.source_or_rp(), EntryFlags{false, true}});
                     }
                 }
-            } else if (sg.spt_bit() && sg.iif() != wc.iif()) {
+            } else if (sg.spt_bit() && sg.iif() != wc.iif() &&
+                       !config_.mutate_no_rp_bit_prune) {
                 batch.prunes.push_back(
                     AddressEntry{sg.source_or_rp(), EntryFlags{false, true}});
             }

@@ -72,6 +72,18 @@ struct PimConfig {
     sim::Time join_suppression = 90 * sim::kSecond;
     sim::Time override_delay = 500 * sim::kMillisecond;
 
+    /// Seeded-bug switches for the model checker's mutation gate (pimcheck
+    /// --mutate …). Both default off; production behavior is unmodified.
+    /// skip-spt-bit-handshake prunes the source off the shared tree the
+    /// moment the switchover (S,G) join is sent, instead of waiting for data
+    /// to arrive over the SPT — breaking §3.3's make-before-break handshake
+    /// and losing in-flight shared-tree packets. no-rp-bit-prune never sends
+    /// the (S,G)RP-bit prune (triggered or periodic), so upstream negative
+    /// caches are never built and the shared tree keeps carrying the source
+    /// redundantly (§3.3).
+    bool mutate_skip_spt_bit_handshake = false;
+    bool mutate_no_rp_bit_prune = false;
+
     /// Uniformly scales every interval (convenience for tests: a factor of
     /// 0.01 turns the 60 s refresh into 0.6 s).
     [[nodiscard]] PimConfig scaled(double factor) const;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <iterator>
 
 namespace pimlib::sim {
 
@@ -21,11 +22,29 @@ bool Simulator::cancel(EventId id) {
     return queue_.erase(Key{id.at_, id.seq_}) > 0;
 }
 
+std::map<Simulator::Key, Simulator::Action>::iterator Simulator::pick_next() {
+    auto it = queue_.begin();
+    if (choices_ == nullptr) return it;
+    // Count the events tied for the earliest time; with >1 the order they
+    // fire in is genuine nondeterminism (message arrivals racing each other
+    // and racing timers), so let the choice source pick. The non-chosen
+    // events stay queued and are re-chosen on the next iterations, which
+    // covers every permutation of the batch.
+    const Time at = it->first.at;
+    std::size_t n = 0;
+    for (auto scan = it; scan != queue_.end() && scan->first.at == at; ++scan) ++n;
+    if (n < 2) return it;
+    std::size_t pick = choices_->choose(n, ChoicePoint{ChoicePoint::Kind::kEventOrder, 0});
+    if (pick >= n) pick = 0;
+    std::advance(it, static_cast<std::ptrdiff_t>(pick));
+    return it;
+}
+
 std::size_t Simulator::run_until(Time deadline) {
     std::size_t count = 0;
     while (!queue_.empty()) {
-        auto it = queue_.begin();
-        if (it->first.at > deadline) break;
+        if (queue_.begin()->first.at > deadline) break;
+        auto it = pick_next();
         now_ = it->first.at;
         // Move the action out before erasing so the action may safely
         // schedule/cancel other events (including re-entrantly).
@@ -42,7 +61,7 @@ std::size_t Simulator::run_until(Time deadline) {
 std::size_t Simulator::run() {
     std::size_t count = 0;
     while (!queue_.empty()) {
-        auto it = queue_.begin();
+        auto it = pick_next();
         now_ = it->first.at;
         Action action = std::move(it->second);
         queue_.erase(it);

@@ -18,6 +18,33 @@ constexpr Time kMicrosecond = 1;
 constexpr Time kMillisecond = 1000 * kMicrosecond;
 constexpr Time kSecond = 1000 * kMillisecond;
 
+/// A labeled nondeterministic decision point. The kernel exposes the places
+/// where a real network is free to behave differently from run to run —
+/// which of several simultaneous events fires first, whether a frame
+/// survives the wire — and src/check enumerates them. `detail` identifies
+/// the site (the segment id for kFrameLoss, a scenario-defined tag for
+/// kFault).
+struct ChoicePoint {
+    enum class Kind : std::uint8_t {
+        kEventOrder, // which same-time event runs next
+        kFrameLoss,  // 0 = deliver, 1 = the wire loses the frame
+        kFault,      // scenario-defined fault placement (driven by src/check)
+    };
+    Kind kind = Kind::kEventOrder;
+    int detail = 0;
+};
+
+/// Supplies decisions at choice points. Installed by the model checker via
+/// Simulator::set_choice_source; when none is installed every choice takes
+/// alternative 0, which is exactly the historical deterministic behavior
+/// (same-time events fire in scheduling order, no frame is dropped).
+class ChoiceSource {
+public:
+    virtual ~ChoiceSource() = default;
+    /// Picks one of `n` alternatives (n >= 2); must return a value in [0, n).
+    virtual std::size_t choose(std::size_t n, ChoicePoint point) = 0;
+};
+
 /// Identifies a scheduled event so it can be cancelled. Default-constructed
 /// ids are "null" and safe to cancel (no-op).
 class EventId {
@@ -62,16 +89,27 @@ public:
     [[nodiscard]] std::size_t pending() const { return queue_.size(); }
     [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+    /// Installs (or, with nullptr, removes) the decision source consulted at
+    /// choice points. The source is borrowed, not owned; it must outlive its
+    /// installation.
+    void set_choice_source(ChoiceSource* source) { choices_ = source; }
+    [[nodiscard]] ChoiceSource* choice_source() const { return choices_; }
+
 private:
     struct Key {
         Time at;
         std::uint64_t seq;
         friend auto operator<=>(const Key&, const Key&) = default;
     };
+    /// The next event to run: the earliest by (time, seq), unless a choice
+    /// source picks another event scheduled for the same instant.
+    std::map<Key, Action>::iterator pick_next();
+
     Time now_ = 0;
     std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
     std::map<Key, Action> queue_;
+    ChoiceSource* choices_ = nullptr;
 };
 
 /// A periodic timer bound to a simulator. Start/stop are idempotent. The

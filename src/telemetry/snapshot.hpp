@@ -54,6 +54,13 @@ struct MribSnapshot {
 
     [[nodiscard]] std::size_t entry_count() const;
     [[nodiscard]] std::string to_text() const;
+
+    /// Stable structural hash: FNV-1a over every router's entry signatures,
+    /// sorted first so capture order (which follows pointer-keyed maps)
+    /// cannot perturb the value. Excludes `at` and all timer remainders —
+    /// two captures of the same tree hash equal no matter when they were
+    /// taken. This is the state-dedup key of the model checker (src/check).
+    [[nodiscard]] std::uint64_t hash() const;
 };
 
 /// What changed between two snapshots, keyed "router key". `changed` holds

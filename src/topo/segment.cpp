@@ -50,6 +50,19 @@ void Segment::transmit(const Node& sender, const net::Frame& frame) {
         network_->stats().count_control_on_segment(id_);
     }
 
+    // Checker-driven loss: with a choice source installed, every
+    // transmission is a decision point — alternative 0 delivers, alternative
+    // 1 vanishes on the wire. The checker bounds how many drop branches it
+    // actually explores; without a source this path is never taken.
+    if (sim::ChoiceSource* choices = network_->simulator().choice_source()) {
+        if (choices->choose(
+                2, sim::ChoicePoint{sim::ChoicePoint::Kind::kFrameLoss, id_}) == 1) {
+            ++frames_lost_;
+            network_->stats().count_dropped_loss();
+            return;
+        }
+    }
+
     // Injected loss: the transmission happened (and was accounted and
     // tapped), but no station hears it.
     if (loss_rate_ > 0.0) {

@@ -1,0 +1,128 @@
+// Tests for the state-space checker itself (src/check): choice encoding,
+// replay determinism, the scenario oracles on known-good and known-bad
+// branches, the RP-failover invariant, and the mutation gate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/explorer.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace pimlib::check {
+namespace {
+
+std::string render(const std::vector<Violation>& violations) {
+    std::string out;
+    for (const Violation& v : violations) {
+        out += v.oracle + ": " + v.detail + "\n";
+    }
+    return out;
+}
+
+TEST(ChoiceCodec, FormatParseRoundTrip) {
+    const ChoiceSet choices = {{3, 1}, {17, 2}, {240, 1}};
+    const std::string wire = format_choices(choices);
+    const auto parsed = parse_choices(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, choices);
+}
+
+TEST(ChoiceCodec, ParseRejectsGarbage) {
+    EXPECT_FALSE(parse_choices("not-a-spec").has_value());
+    EXPECT_FALSE(parse_choices("3:").has_value());
+    EXPECT_FALSE(parse_choices("3:1,").has_value());
+    EXPECT_FALSE(parse_choices(":2").has_value());
+}
+
+TEST(ChoiceCodec, ParseSortsByIndex) {
+    const auto parsed = parse_choices("17:2,3:1");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, (ChoiceSet{{3, 1}, {17, 2}}));
+}
+
+TEST(CheckScenario, BaselineWalkthroughSatisfiesAllOracles) {
+    const RunResult result = run_scenario("walkthrough", RunConfig{});
+    EXPECT_TRUE(result.violations.empty()) << render(result.violations);
+    EXPECT_TRUE(result.clean);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.choices_applied);
+    EXPECT_GT(result.state_hashes.size(), 10u);
+}
+
+TEST(CheckScenario, ReplayIsDeterministic) {
+    const RunResult first = run_scenario("walkthrough", RunConfig{});
+    const RunResult second = run_scenario("walkthrough", RunConfig{});
+    ASSERT_EQ(first.state_hashes.size(), second.state_hashes.size());
+    EXPECT_EQ(first.state_hashes, second.state_hashes);
+    EXPECT_EQ(first.trace.size(), second.trace.size());
+    EXPECT_EQ(first.final_mrib.hash(), second.final_mrib.hash());
+}
+
+TEST(CheckScenario, MutationsFailTheBaselineBranch) {
+    for (const std::string& mutation : known_mutations()) {
+        RunConfig cfg;
+        cfg.mutation = mutation;
+        const RunResult result = run_scenario("walkthrough", cfg);
+        EXPECT_FALSE(result.violations.empty())
+            << mutation << " was not caught on the baseline branch";
+    }
+}
+
+TEST(CheckScenario, RpFailoverRehomesToAlternate) {
+    RunConfig crash;
+    crash.forced_fault = "crash-router-R1";
+    const RunResult crashed = run_scenario("rp-failover", crash);
+    // The §3.9 oracle inside the scenario asserts every member's (*,G) is
+    // rooted at R2 by the deadline; any violation here is a failover bug.
+    EXPECT_TRUE(crashed.violations.empty()) << render(crashed.violations);
+    EXPECT_FALSE(crashed.clean);
+
+    const RunResult calm = run_scenario("rp-failover", RunConfig{});
+    EXPECT_TRUE(calm.violations.empty()) << render(calm.violations);
+
+    // The two end states must be structurally different trees (different
+    // RP roots), and the diff machinery must see that.
+    const telemetry::MribDiff d = telemetry::diff(calm.final_mrib,
+                                                  crashed.final_mrib);
+    EXPECT_FALSE(d.empty());
+    EXPECT_NE(calm.final_mrib.hash(), crashed.final_mrib.hash());
+}
+
+TEST(CheckExplorer, MutationGateCatchesSeededBugs) {
+    for (const std::string& mutation : known_mutations()) {
+        ExploreOptions options;
+        options.mutation = mutation;
+        options.max_runs = 5;
+        options.stop_at_first_violation = true;
+        const ExploreReport report = explore(options);
+        EXPECT_GT(report.violating_runs, 0u) << mutation << " not caught";
+        ASSERT_FALSE(report.counterexamples.empty()) << mutation;
+        const Counterexample& ce = report.counterexamples.front();
+        EXPECT_FALSE(ce.violations.empty());
+        EXPECT_NE(ce.script.find("pimcheck counterexample"), std::string::npos);
+        EXPECT_FALSE(ce.trace_dump.empty());
+    }
+}
+
+TEST(CheckExplorer, ShrinkDropsIrrelevantPicks) {
+    // With a seeded bug the deterministic baseline already fails, so any
+    // forced pick is removable and shrinking must reach the empty set.
+    ExploreOptions options;
+    options.mutation = "skip-spt-bit-handshake";
+    const ChoiceSet shrunk = shrink_counterexample(options, ChoiceSet{{0, 1}});
+    EXPECT_TRUE(shrunk.empty());
+}
+
+TEST(CheckExplorer, ExploresDistinctStatesWithoutViolations) {
+    ExploreOptions options;
+    options.max_runs = 8;
+    options.max_depth = 2;
+    options.time_budget_seconds = 60.0;
+    const ExploreReport report = explore(options);
+    EXPECT_TRUE(report.clean());
+    EXPECT_GE(report.runs, 2u);
+    EXPECT_GT(report.deduped_states, 10u);
+}
+
+} // namespace
+} // namespace pimlib::check

@@ -281,6 +281,153 @@ TEST(PimConfigTest, ScalingIsUniform) {
     EXPECT_EQ(scaled.holdtime, 3 * scaled.join_prune_interval);
 }
 
+// --- §3.7 multi-access LAN timing ---
+//
+// Two downstream routers share a transit LAN below one upstream router:
+//
+//   RP — U — transit LAN — { D1 — lan1 (r1),  D2 — lan2 (r2) }
+//
+// A prune on the LAN is held by the upstream for 2× the override delay so
+// a router that still has members can override it with a join; periodic
+// joins from one downstream suppress the other's.
+class LanTimingTest : public ::testing::Test {
+protected:
+    LanTimingTest() {
+        rp_ = &net_.add_router("RP");
+        u_ = &net_.add_router("U");
+        d1_ = &net_.add_router("D1");
+        d2_ = &net_.add_router("D2");
+        net_.add_link(*rp_, *u_);
+        transit_ = &net_.add_lan({u_, d1_, d2_});
+        auto& lan1 = net_.add_lan({d1_});
+        r1_ = &net_.add_host("r1", lan1);
+        auto& lan2 = net_.add_lan({d2_});
+        r2_ = &net_.add_host("r2", lan2);
+        auto& slan = net_.add_lan({rp_});
+        source_ = &net_.add_host("source", slan);
+        routing_ = std::make_unique<unicast::OracleRouting>(net_);
+        stack_ = std::make_unique<scenario::PimSmStack>(net_, fast_config());
+        stack_->set_rp(kGroup, {rp_->router_id()});
+        stack_->set_spt_policy(pim::SptPolicy::never());
+        net_.run_for(200 * sim::kMillisecond);
+    }
+
+    bool u_serves_lan() {
+        auto* wc = stack_->pim_at(*u_).cache().find_wc(kGroup);
+        return wc != nullptr && wc->has_oif(u_->ifindex_on(*transit_).value());
+    }
+
+    topo::Network net_;
+    topo::Router* rp_ = nullptr;
+    topo::Router* u_ = nullptr;
+    topo::Router* d1_ = nullptr;
+    topo::Router* d2_ = nullptr;
+    topo::Segment* transit_ = nullptr;
+    topo::Host* r1_ = nullptr;
+    topo::Host* r2_ = nullptr;
+    topo::Host* source_ = nullptr;
+    std::unique_ptr<unicast::OracleRouting> routing_;
+    std::unique_ptr<scenario::PimSmStack> stack_;
+};
+
+TEST_F(LanTimingTest, JoinOverrideRacesPendingPrune) {
+    stack_->host_agent(*r1_).join(kGroup);
+    stack_->host_agent(*r2_).join(kGroup);
+    net_.run_for(300 * sim::kMillisecond);
+    ASSERT_TRUE(u_serves_lan());
+
+    // r2 falls silent; D2's membership ages out (IGMPv1 has no leave
+    // message) and D2 prunes the LAN. D1 must overhear and override inside
+    // U's 2×override_delay hold — across a full holdtime U never stops
+    // serving the LAN and no packet is lost.
+    const auto d2_before = stack_->pim_at(*d2_).join_prune_messages_sent();
+    stack_->host_agent(*r2_).leave(kGroup);
+    net_.run_for(2 * sim::kSecond);
+    EXPECT_GT(stack_->pim_at(*d2_).join_prune_messages_sent(), d2_before)
+        << "D2 never sent its prune; the override was not exercised";
+    EXPECT_TRUE(u_serves_lan());
+
+    source_->send_stream(kGroup, 5, 50 * sim::kMillisecond);
+    net_.run_for(1 * sim::kSecond);
+    EXPECT_EQ(r1_->received_count(kGroup), 5u);
+    EXPECT_EQ(r1_->duplicate_count(), 0u);
+    EXPECT_EQ(r2_->received_count(kGroup), 0u);
+}
+
+TEST_F(LanTimingTest, SuppressionExpiresAndRefreshResumes) {
+    stack_->host_agent(*r1_).join(kGroup);
+    stack_->host_agent(*r2_).join(kGroup);
+    net_.run_for(300 * sim::kMillisecond);
+
+    // While both are joined, each overhears the other's refresh of the same
+    // (*,G) toward U and suppresses its own: the pair sends roughly one
+    // join per refresh interval, not two.
+    const auto d1_before = stack_->pim_at(*d1_).join_prune_messages_sent();
+    const auto d2_before = stack_->pim_at(*d2_).join_prune_messages_sent();
+    net_.run_for(6 * sim::kSecond); // 10 join/prune intervals
+    const auto joint = (stack_->pim_at(*d1_).join_prune_messages_sent() - d1_before) +
+                       (stack_->pim_at(*d2_).join_prune_messages_sent() - d2_before);
+    EXPECT_LT(joint, 16u) << "suppression is not reducing LAN join traffic";
+    EXPECT_GE(joint, 8u);
+
+    // r2 departs, so D2 goes quiet for good. D1's suppression mark (1.5×
+    // refresh, jittered) must expire rather than stick: D1 resumes its own
+    // periodic joins and keeps U's LAN oif alive well past a holdtime.
+    stack_->host_agent(*r2_).leave(kGroup);
+    net_.run_for(1 * sim::kSecond); // membership ages out, prune + override settle
+    const auto d1_solo_before = stack_->pim_at(*d1_).join_prune_messages_sent();
+    net_.run_for(4 * sim::kSecond); // > 2 × holdtime with nobody else refreshing
+    EXPECT_GE(stack_->pim_at(*d1_).join_prune_messages_sent() - d1_solo_before, 2u)
+        << "D1 never came out of suppression";
+    EXPECT_TRUE(u_serves_lan());
+
+    source_->send_stream(kGroup, 3, 20 * sim::kMillisecond);
+    net_.run_for(1 * sim::kSecond);
+    EXPECT_EQ(r1_->received_count(kGroup), 3u);
+}
+
+TEST_F(LanTimingTest, OverrideAfterDepartureIsNoOp) {
+    // Only r1 is a member. After it departs and D1's membership ages out,
+    // D1 still holds the (*,G) entry in its soft-state grace period — but
+    // with an empty oif list an overheard peer prune must NOT trigger an
+    // override join (§3.7: overriding for state nobody downstream wants
+    // would rebuild the tree arm for no one).
+    stack_->host_agent(*r1_).join(kGroup);
+    net_.run_for(300 * sim::kMillisecond);
+    ASSERT_TRUE(u_serves_lan());
+    stack_->host_agent(*r1_).leave(kGroup);
+    net_.run_for(600 * sim::kMillisecond); // membership times out; oifs empty
+    {
+        auto* wc = stack_->pim_at(*d1_).cache().find_wc(kGroup);
+        ASSERT_NE(wc, nullptr) << "entry should linger in its deletion grace";
+        ASSERT_TRUE(wc->oif_list_empty(net_.simulator().now()));
+    }
+    // D1's ageout prune rides its next periodic refresh; U holds it for
+    // 2× override delay and — with nobody overriding — drops the LAN oif.
+    // Run past that refresh so the quiescent state is established before
+    // the injection (and the next refresh stays outside the test window).
+    net_.run_for(150 * sim::kMillisecond);
+    ASSERT_FALSE(u_serves_lan()) << "U never processed D1's ageout prune";
+
+    // A peer's (*,G) prune appears on the transit LAN (as D2 would send).
+    auto* wc_d1 = stack_->pim_at(*d1_).cache().find_wc(kGroup);
+    ASSERT_NE(wc_d1, nullptr) << "entry should linger in its deletion grace";
+    const int d1_if = d1_->ifindex_on(*transit_).value();
+    const int d2_if = d2_->ifindex_on(*transit_).value();
+    JoinPrune prune;
+    prune.upstream_neighbor = wc_d1->upstream_neighbor().value_or(
+        u_->interface(u_->ifindex_on(*transit_).value()).address);
+    prune.holdtime_ms = 1800;
+    prune.group = kGroup.address();
+    prune.prunes = {AddressEntry{rp_->router_id(), EntryFlags{true, true}}};
+    const auto d1_before = stack_->pim_at(*d1_).join_prune_messages_sent();
+    inject_pim(*d1_, d1_if, d2_->interface(d2_if).address, prune.encode());
+    net_.run_for(100 * sim::kMillisecond); // >> 2 × override delay (5 ms)
+    EXPECT_EQ(stack_->pim_at(*d1_).join_prune_messages_sent(), d1_before)
+        << "D1 sent an override join for state it no longer wants";
+    EXPECT_FALSE(u_serves_lan());
+}
+
 // Handler-level fuzz: random bytes thrown at every control-plane entry
 // point of a live PIM network must neither crash nor corrupt delivery.
 TEST_F(PimEdgeTest, HandlersSurviveGarbageControlTraffic) {

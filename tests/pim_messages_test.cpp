@@ -124,6 +124,125 @@ TEST(PimMessages, EveryTruncationRejected) {
     EXPECT_FALSE(JoinPrune::decode(extended).has_value());
 }
 
+// Every strict prefix of a valid encoding must decode to nullopt, for all
+// four message types — a decoder that "succeeds" on a truncated buffer is
+// reading uninitialized state. Trailing garbage must be rejected too
+// (every format carries explicit lengths, so the end is knowable).
+TEST(PimMessages, QueryTruncationAndTrailingGarbageRejected) {
+    const auto bytes = Query{123456}.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(Query::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(Query::decode(extended).has_value());
+}
+
+TEST(PimMessages, RegisterTruncationAndTrailingGarbageRejected) {
+    Register reg;
+    reg.group = kGroupAddr;
+    reg.inner_src = kSrc;
+    reg.inner_ttl = 31;
+    reg.inner_seq = 42;
+    reg.inner_payload = {9, 8, 7};
+    const auto bytes = reg.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(Register::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(Register::decode(extended).has_value());
+}
+
+TEST(PimMessages, RpReachabilityTruncationAndTrailingGarbageRejected) {
+    const auto bytes = RpReachability{kGroupAddr, kRp, 90000}.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(RpReachability::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(RpReachability::decode(extended).has_value());
+}
+
+TEST(PimMessages, JoinPruneCountFieldBeyondBufferRejected) {
+    JoinPrune msg;
+    msg.group = kGroupAddr;
+    msg.joins = {AddressEntry{kRp, EntryFlags{true, true}}};
+    auto bytes = msg.encode();
+    // Inflate the join count (bytes 14..15, big-endian u16 after header +
+    // upstream + holdtime + group) without providing the entries.
+    bytes[15] = 0xFF;
+    EXPECT_FALSE(JoinPrune::decode(bytes).has_value());
+}
+
+// Randomized property: encode() of arbitrary field values always decodes
+// back to the same message, for all four types.
+TEST(PimMessages, RandomizedEncodeDecodeRoundTrip) {
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<std::uint32_t> u32(0, 0xFFFFFFFFu);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> small(0, 5);
+    auto rand_addr = [&] {
+        return net::Ipv4Address(static_cast<std::uint8_t>(byte(rng)),
+                                static_cast<std::uint8_t>(byte(rng)),
+                                static_cast<std::uint8_t>(byte(rng)),
+                                static_cast<std::uint8_t>(byte(rng)));
+    };
+    auto rand_entries = [&] {
+        std::vector<AddressEntry> out;
+        for (int i = small(rng); i > 0; --i) {
+            out.push_back(AddressEntry{
+                rand_addr(), EntryFlags{byte(rng) % 2 == 0, byte(rng) % 2 == 0}});
+        }
+        return out;
+    };
+    for (int trial = 0; trial < 500; ++trial) {
+        const Query q{u32(rng)};
+        auto dq = Query::decode(q.encode());
+        ASSERT_TRUE(dq.has_value());
+        EXPECT_EQ(dq->holdtime_ms, q.holdtime_ms);
+
+        Register reg;
+        reg.group = rand_addr();
+        reg.inner_src = rand_addr();
+        reg.inner_ttl = static_cast<std::uint8_t>(byte(rng));
+        reg.inner_seq = (static_cast<std::uint64_t>(u32(rng)) << 32) | u32(rng);
+        reg.inner_payload.resize(static_cast<std::size_t>(small(rng)) * 7);
+        for (auto& b : reg.inner_payload) b = static_cast<std::uint8_t>(byte(rng));
+        auto dr = Register::decode(reg.encode());
+        ASSERT_TRUE(dr.has_value());
+        EXPECT_EQ(dr->group, reg.group);
+        EXPECT_EQ(dr->inner_src, reg.inner_src);
+        EXPECT_EQ(dr->inner_ttl, reg.inner_ttl);
+        EXPECT_EQ(dr->inner_seq, reg.inner_seq);
+        EXPECT_EQ(dr->inner_payload, reg.inner_payload);
+
+        JoinPrune jp;
+        jp.upstream_neighbor = rand_addr();
+        jp.holdtime_ms = u32(rng);
+        jp.group = rand_addr();
+        jp.joins = rand_entries();
+        jp.prunes = rand_entries();
+        auto dj = JoinPrune::decode(jp.encode());
+        ASSERT_TRUE(dj.has_value());
+        EXPECT_EQ(dj->upstream_neighbor, jp.upstream_neighbor);
+        EXPECT_EQ(dj->holdtime_ms, jp.holdtime_ms);
+        EXPECT_EQ(dj->group, jp.group);
+        EXPECT_EQ(dj->joins, jp.joins);
+        EXPECT_EQ(dj->prunes, jp.prunes);
+
+        const RpReachability rr{rand_addr(), rand_addr(), u32(rng)};
+        auto drr = RpReachability::decode(rr.encode());
+        ASSERT_TRUE(drr.has_value());
+        EXPECT_EQ(drr->group, rr.group);
+        EXPECT_EQ(drr->rp, rr.rp);
+        EXPECT_EQ(drr->holdtime_ms, rr.holdtime_ms);
+    }
+}
+
 TEST(PimMessages, FuzzRandomBytesNeverCrash) {
     std::mt19937 rng(2024);
     std::uniform_int_distribution<int> byte(0, 255);

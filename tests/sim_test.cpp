@@ -1,6 +1,10 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "sim/simulator.hpp"
 
 namespace pimlib::sim {
@@ -158,6 +162,110 @@ TEST(Simulator, DestructorOfTimerCancels) {
     }
     sim.run_until(100);
     EXPECT_FALSE(fired);
+}
+
+// --- EventId identity semantics ---
+//
+// Cancellation is keyed on (time, seq), so an id stays bound to exactly the
+// event it named: it goes dead once that event fires, and can never alias a
+// later event — even one scheduled for the same instant.
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+    Simulator sim;
+    int fires = 0;
+    const EventId id = sim.schedule(10, [&] { ++fires; });
+    sim.run_until(50);
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(sim.cancel(id));
+    sim.run_until(100);
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Simulator, StaleIdDoesNotCancelRescheduledEvent) {
+    Simulator sim;
+    bool first = false;
+    bool second = false;
+    const EventId id = sim.schedule_at(10, [&] { first = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    // Re-schedule a replacement at the very same instant; the dead id must
+    // not reach it (fresh seq), and double-cancel stays a no-op.
+    sim.schedule_at(10, [&] { second = true; });
+    EXPECT_FALSE(sim.cancel(id));
+    sim.run_until(50);
+    EXPECT_FALSE(first);
+    EXPECT_TRUE(second);
+}
+
+TEST(Simulator, CancelAcrossRescheduleOnlyRemovesNamedEvent) {
+    Simulator sim;
+    std::string log;
+    sim.schedule_at(10, [&] { log += 'a'; });
+    const EventId b = sim.schedule_at(10, [&] { log += 'b'; });
+    sim.schedule_at(10, [&] { log += 'c'; });
+    EXPECT_TRUE(sim.cancel(b));
+    sim.run_until(50);
+    EXPECT_EQ(log, "ac");
+}
+
+// --- ChoicePoint hooks ---
+
+/// Always picks the last alternative; records every consultation.
+class LastPicker final : public ChoiceSource {
+public:
+    std::size_t choose(std::size_t n, ChoicePoint point) override {
+        consulted.push_back({point.kind, n});
+        return n - 1;
+    }
+    std::vector<std::pair<ChoicePoint::Kind, std::size_t>> consulted;
+};
+
+TEST(Simulator, ChoiceSourcePermutesSameTimeEvents) {
+    Simulator sim;
+    LastPicker picker;
+    sim.set_choice_source(&picker);
+    std::string log;
+    sim.schedule_at(10, [&] { log += 'a'; });
+    sim.schedule_at(10, [&] { log += 'b'; });
+    sim.schedule_at(10, [&] { log += 'c'; });
+    sim.schedule_at(20, [&] { log += 'd'; });
+    sim.run_until(50);
+    // Picking "last" each round reverses the batch; the lone event at t=20
+    // never consults the source.
+    EXPECT_EQ(log, "cbad");
+    ASSERT_EQ(picker.consulted.size(), 2u);
+    EXPECT_EQ(picker.consulted[0], std::make_pair(ChoicePoint::Kind::kEventOrder,
+                                                  std::size_t{3}));
+    EXPECT_EQ(picker.consulted[1], std::make_pair(ChoicePoint::Kind::kEventOrder,
+                                                  std::size_t{2}));
+    sim.set_choice_source(nullptr);
+}
+
+TEST(Simulator, OutOfRangeChoiceFallsBackToFirst) {
+    class Wild final : public ChoiceSource {
+    public:
+        std::size_t choose(std::size_t n, ChoicePoint) override { return n + 7; }
+    };
+    Simulator sim;
+    Wild wild;
+    sim.set_choice_source(&wild);
+    std::string log;
+    sim.schedule_at(10, [&] { log += 'a'; });
+    sim.schedule_at(10, [&] { log += 'b'; });
+    sim.run_until(50);
+    EXPECT_EQ(log, "ab");
+}
+
+TEST(Simulator, ClearingChoiceSourceRestoresSchedulingOrder) {
+    Simulator sim;
+    LastPicker picker;
+    sim.set_choice_source(&picker);
+    sim.set_choice_source(nullptr);
+    std::string log;
+    sim.schedule_at(10, [&] { log += 'a'; });
+    sim.schedule_at(10, [&] { log += 'b'; });
+    sim.run_until(50);
+    EXPECT_EQ(log, "ab");
+    EXPECT_TRUE(picker.consulted.empty());
 }
 
 } // namespace
