@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -52,10 +53,14 @@ inline std::string flag_string(int argc, char** argv, const char* name,
     return fallback;
 }
 
-/// Nearest-rank percentile (q in [0, 1]) over an unsorted sample; 0 when
-/// the sample is empty.
+/// Nearest-rank percentile over an unsorted sample. NaN when the sample is
+/// empty (there is no such statistic), the lone value for a single-sample
+/// vector, and `q` is clamped to [0, 1] so a bad quantile can't index past
+/// the end.
 inline double percentile(std::vector<double> values, double q) {
-    if (values.empty()) return 0.0;
+    if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+    if (values.size() == 1) return values.front();
+    q = std::clamp(q, 0.0, 1.0);
     std::sort(values.begin(), values.end());
     const auto i = static_cast<std::size_t>(
         q * (static_cast<double>(values.size()) - 1.0));
@@ -76,8 +81,11 @@ inline std::string distribution_json(const stats::Summary& s, double p50,
     return buf;
 }
 
-/// distribution_json with percentiles taken from the sample itself.
+/// distribution_json with percentiles taken from the sample itself. An
+/// empty sample emits all-zero fields with "count":0 (percentile() returns
+/// NaN there, which %.6f would render as non-JSON "nan").
 inline std::string distribution_json(const std::vector<double>& values) {
+    if (values.empty()) return distribution_json(stats::Summary{}, 0.0, 0.0, 0.0);
     return distribution_json(stats::summarize(values), percentile(values, 0.50),
                              percentile(values, 0.90), percentile(values, 0.99));
 }

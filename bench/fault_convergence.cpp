@@ -17,6 +17,7 @@
 // Usage: fault_convergence [--trials N]
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "bench_util.hpp"
 #include "fault/convergence_probe.hpp"
 #include "fault/fault_injector.hpp"
+#include "provenance/provenance.hpp"
 #include "scenario/stacks.hpp"
 #include "topo/segment.hpp"
 #include "unicast/oracle_routing.hpp"
@@ -58,6 +60,7 @@ struct World {
     std::unique_ptr<scenario::PimSmStack> stack;
     std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<fault::ConvergenceProbe> probe;
+    std::unique_ptr<provenance::Recorder> recorder;
 
     World() {
         a = &net.add_router("A");
@@ -81,6 +84,12 @@ struct World {
         routing = std::make_unique<unicast::OracleRouting>(net);
         faults = std::make_unique<fault::FaultInjector>(net);
         probe = std::make_unique<fault::ConvergenceProbe>(net);
+        // Flight recorder: a trial that misses its recovery bound dumps the
+        // last packets' per-hop fate instead of just a number.
+        recorder = std::make_unique<provenance::Recorder>(
+            net.telemetry().registry(), provenance::RecorderConfig{});
+        net.set_provenance(recorder.get());
+        probe->attach_recorder(recorder.get());
 
         scenario::StackConfig cfg;
         cfg.igmp.query_interval = 10 * sim::kSecond;
@@ -112,27 +121,32 @@ struct World {
 
 using Reports = std::vector<fault::ConvergenceProbe::Report>;
 
-/// Sweeps the fault instant across one refresh period starting at 2 s
-/// (well into the steady state), one fresh deterministic world per trial.
-Reports sweep(int trials,
-              const std::function<void(World&, sim::Time)>& inject) {
-    Reports out;
-    for (int i = 0; i < trials; ++i) {
-        World world;
-        const sim::Time fault_at =
-            2 * sim::kSecond + i * (world.refresh() / trials);
-        inject(world, fault_at);
-        out.push_back(world.run(fault_at));
-    }
-    return out;
-}
-
 struct FaultSummary {
     std::string name;
     bool bounded = false; // recovery must respect the 3x-refresh bound
     Reports reports;
     bool within_bound = true;
+    /// Flight-recorder dumps of the trials that missed the bound, captured
+    /// before each trial's world was torn down.
+    std::vector<std::string> postmortems;
 };
+
+/// Sweeps the fault instant across one refresh period starting at 2 s
+/// (well into the steady state), one fresh deterministic world per trial.
+/// `bound` is the recovery bound for post-mortem capture (0 = unbounded:
+/// only an unconverged trial dumps).
+void sweep(FaultSummary& fs, int trials, sim::Time bound,
+           const std::function<void(World&, sim::Time)>& inject) {
+    for (int i = 0; i < trials; ++i) {
+        World world;
+        const sim::Time fault_at =
+            2 * sim::kSecond + i * (world.refresh() / trials);
+        inject(world, fault_at);
+        fs.reports.push_back(world.run(fault_at));
+        std::string pm = world.probe->postmortem(fs.reports.back(), bound);
+        if (!pm.empty()) fs.postmortems.push_back(std::move(pm));
+    }
+}
 
 std::string json_for(const FaultSummary& fs, sim::Time bound,
                      telemetry::Registry& registry) {
@@ -175,52 +189,45 @@ int main(int argc, char** argv) {
     // read back out of the exact series a metrics scraper would see.
     telemetry::Registry registry;
 
+    // The acceptance bound: soft-state holdtime = 3x join/prune refresh.
+    const sim::Time refresh =
+        static_cast<sim::Time>(60 * sim::kSecond * kTimeScale);
+    const sim::Time bound = 3 * refresh;
+
     std::vector<FaultSummary> summaries;
 
     // Link cut: the shared tree's B1--C hop dies; unicast reroutes via B2
     // and §3.8 route-change handling re-homes the tree with a triggered
     // join (recovery should be far inside the 3x bound).
-    summaries.push_back({"link-cut", true,
-                         sweep(trials,
-                               [](World& w, sim::Time at) {
-                                   w.faults->cut_link_at(at, *w.primary);
-                               }),
-                         true});
+    summaries.push_back({"link-cut", true, {}, true, {}});
+    sweep(summaries.back(), trials, bound, [](World& w, sim::Time at) {
+        w.faults->cut_link_at(at, *w.primary);
+    });
 
     // Transit router crash: B1 drops off the network with all its state;
     // same re-homing path as a link cut, but every segment B1 touched dies
     // at once (one batched topology recomputation).
-    summaries.push_back({"transit-crash", true,
-                         sweep(trials,
-                               [](World& w, sim::Time at) {
-                                   w.faults->crash_router_at(at, *w.b1);
-                               }),
-                         true});
+    summaries.push_back({"transit-crash", true, {}, true, {}});
+    sweep(summaries.back(), trials, bound, [](World& w, sim::Time at) {
+        w.faults->crash_router_at(at, *w.b1);
+    });
 
     // RP crash: the primary RP dies losing all its state; receivers' DRs
     // time out RP-reachability (§3.9) and re-join toward the alternate RP.
     // Worst case ~ rp_timeout + one refresh tick, still inside 3x refresh.
-    summaries.push_back({"rp-crash", true,
-                         sweep(trials,
-                               [](World& w, sim::Time at) {
-                                   w.faults->crash_router_at(at, *w.c);
-                               }),
-                         true});
+    summaries.push_back({"rp-crash", true, {}, true, {}});
+    sweep(summaries.back(), trials, bound, [](World& w, sim::Time at) {
+        w.faults->crash_router_at(at, *w.c);
+    });
 
     // Segment loss: 30% of frames on the tree's B1--C hop vanish. Not a
     // topology change — soft-state refresh simply rides it out; reported
-    // for the distribution, no bound asserted.
-    summaries.push_back({"loss-30pct", false,
-                         sweep(trials,
-                               [](World& w, sim::Time at) {
-                                   w.faults->set_loss_at(at, *w.primary, 0.3);
-                               }),
-                         true});
-
-    // The acceptance bound: soft-state holdtime = 3x join/prune refresh.
-    const sim::Time refresh =
-        static_cast<sim::Time>(60 * sim::kSecond * kTimeScale);
-    const sim::Time bound = 3 * refresh;
+    // for the distribution, no bound asserted (post-mortem only if a trial
+    // never converges at all).
+    summaries.push_back({"loss-30pct", false, {}, true, {}});
+    sweep(summaries.back(), trials, /*bound=*/0, [](World& w, sim::Time at) {
+        w.faults->set_loss_at(at, *w.primary, 0.3);
+    });
 
     bool ok = true;
     for (FaultSummary& fs : summaries) {
@@ -247,6 +254,21 @@ int main(int argc, char** argv) {
     std::printf("  ],\n  \"all_within_bound\":%s\n}\n", ok ? "true" : "false");
 
     if (!ok) {
+        // Auto-emit the flight-recorder post-mortems of the failing trials
+        // so the bound miss arrives with per-hop packet fates attached.
+        for (const FaultSummary& fs : summaries) {
+            for (std::size_t i = 0; i < fs.postmortems.size(); ++i) {
+                const std::string path = "fault-convergence-" + fs.name +
+                                         "-postmortem-" + std::to_string(i) +
+                                         ".json";
+                std::ofstream out(path);
+                if (out) {
+                    out << fs.postmortems[i];
+                    std::fprintf(stderr, "fault_convergence: post-mortem %s\n",
+                                 path.c_str());
+                }
+            }
+        }
         std::fprintf(stderr,
                      "fault_convergence: recovery exceeded the 3x-refresh "
                      "bound (see JSON above)\n");

@@ -73,6 +73,9 @@ std::string save_counterexample(const std::string& dir, const std::string& scena
         return {};
     }
     (void)write_file(base + ".trace", ce.trace_dump);
+    if (!ce.provenance_dump.empty()) {
+        (void)write_file(base + ".provenance.json", ce.provenance_dump);
+    }
     return base;
 }
 
@@ -92,11 +95,17 @@ void print_report(const check::ExploreOptions& options,
         for (const check::Violation& v : ce.violations) {
             std::printf("    %s: %s\n", v.oracle.c_str(), v.detail.c_str());
         }
+        if (!ce.provenance_summary.empty()) {
+            std::printf("    drops: %s\n", ce.provenance_summary.c_str());
+        }
         const std::string base =
             save_counterexample(out_dir, options.scenario, options.mutation, i, ce);
         if (!base.empty()) {
             std::printf("    replay script: %s.pimsim  trace: %s.trace\n",
                         base.c_str(), base.c_str());
+            if (!ce.provenance_dump.empty()) {
+                std::printf("    post-mortem: %s.provenance.json\n", base.c_str());
+            }
         }
     }
 }
@@ -113,6 +122,7 @@ int run_replay(const check::ExploreOptions& options, const std::string& spec,
     cfg.mutation = options.mutation;
     cfg.forced_fault = forced_fault;
     cfg.collect_trace = true;
+    cfg.collect_provenance = true;
     cfg.checkpoint_every = options.checkpoint_every;
     const check::RunResult result = check::run_scenario(options.scenario, cfg);
     std::printf("replayed branch [%s]: %zu events to t=%.3fs, %zu state hashes, "
@@ -126,11 +136,20 @@ int run_replay(const check::ExploreOptions& options, const std::string& spec,
         std::printf("  violation %s: %s\n", v.oracle.c_str(), v.detail.c_str());
     }
     if (result.violations.empty()) std::printf("  all oracles passed\n");
+    if (!result.provenance_summary.empty()) {
+        std::printf("  drops: %s\n", result.provenance_summary.c_str());
+    }
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     const std::string trace_path = out_dir + "/pimcheck-replay.trace";
     if (write_file(trace_path, result.trace_dump)) {
         std::printf("  trace: %s\n", trace_path.c_str());
+    }
+    if (!result.provenance_dump.empty()) {
+        const std::string prov_path = out_dir + "/pimcheck-replay.provenance.json";
+        if (write_file(prov_path, result.provenance_dump)) {
+            std::printf("  post-mortem: %s\n", prov_path.c_str());
+        }
     }
     return result.violations.empty() ? 0 : 1;
 }

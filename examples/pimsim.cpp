@@ -43,6 +43,13 @@
 //     at 2s    dump-events              # telemetry: structured event log
 //     at 2s    snapshot                 # telemetry: MRIB snapshot (diffed
 //                                       #   against the previous snapshot)
+//     provenance on                     # per-packet flight recorder (optional
+//                                       #   ring capacity: provenance on 4096)
+//     at 2s    mtrace source receiver 224.1.1.1
+//                                       # provenance: hop path + per-hop
+//                                       #   latency of the last delivered packet
+//     at 2s    dump-provenance          # provenance: merged recorder JSON
+//                                       #   + per-router drop summary
 //     telemetry off                     # disable event/span tracing (default on)
 //     snapshot-every 500ms              # periodic MRIB snapshots
 //     workload churn rate=200 mean=2s groups=8 zipf=1.0 bank=1000
@@ -66,6 +73,7 @@
 #include <sstream>
 
 #include "fault/fault_injector.hpp"
+#include "provenance/provenance.hpp"
 #include "scenario/stacks.hpp"
 #include "telemetry/exporters.hpp"
 #include "topo/builder.hpp"
@@ -132,6 +140,7 @@ struct Scenario {
     std::unique_ptr<unicast::OracleRouting> routing;
     std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<trace::PacketTracer> tracer;
+    std::unique_ptr<provenance::Recorder> recorder;
     std::string protocol = "pim-sm";
     std::unique_ptr<scenario::PimSmStack> pim_sm;
     std::unique_ptr<scenario::PimDmStack> pim_dm;
@@ -224,6 +233,33 @@ struct Scenario {
         hub.store_snapshot(std::move(snap));
     }
 
+    void mtrace(const std::string& src_host, const std::string& dst_host,
+                net::GroupAddress group) {
+        std::printf("--- mtrace %s -> %s group %s at t=%.1fms ---\n",
+                    src_host.c_str(), dst_host.c_str(),
+                    group.to_string().c_str(),
+                    static_cast<double>(net.simulator().now()) / sim::kMillisecond);
+        if (!recorder) {
+            std::printf("  (provenance off; add 'provenance on' to the script)\n");
+            return;
+        }
+        const provenance::Recorder::TraceResult result = recorder->trace(
+            host_ref(src_host).address(), group.address(), dst_host);
+        std::printf("%s", recorder->format_trace(result).c_str());
+    }
+
+    void dump_provenance() {
+        std::printf("--- provenance dump at t=%.1fms ---\n",
+                    static_cast<double>(net.simulator().now()) / sim::kMillisecond);
+        if (!recorder) {
+            std::printf("  (provenance off; add 'provenance on' to the script)\n");
+            return;
+        }
+        std::printf("%s\n", recorder->dump_json().c_str());
+        const std::string drops = recorder->drop_summary();
+        if (!drops.empty()) std::printf("drops: %s\n", drops.c_str());
+    }
+
     void dump_state() {
         std::printf("--- state at t=%.1fms ---\n",
                     static_cast<double>(net.simulator().now()) / sim::kMillisecond);
@@ -289,6 +325,8 @@ void run_scenario(const std::string& text) {
     pim::SptPolicy policy = pim::SptPolicy::immediate();
     bool want_trace = false;
     bool want_telemetry = true;
+    bool want_provenance = false;
+    std::size_t provenance_capacity = provenance::RecorderConfig{}.ring_capacity;
     sim::Time snapshot_every = 0;
     struct Event {
         sim::Time at;
@@ -301,6 +339,13 @@ void run_scenario(const std::string& text) {
         sc.routing = std::make_unique<unicast::OracleRouting>(sc.net);
         sc.faults = std::make_unique<fault::FaultInjector>(sc.net);
         if (want_trace) sc.tracer = std::make_unique<trace::PacketTracer>(sc.net);
+        if (want_provenance) {
+            provenance::RecorderConfig prov_cfg;
+            prov_cfg.ring_capacity = provenance_capacity;
+            sc.recorder = std::make_unique<provenance::Recorder>(
+                sc.net.telemetry().registry(), prov_cfg);
+            sc.net.set_provenance(sc.recorder.get());
+        }
         if (sc.protocol == "pim-sm") {
             sc.pim_sm = std::make_unique<scenario::PimSmStack>(sc.net, config);
             sc.pim_sm->set_spt_policy(policy);
@@ -566,6 +611,15 @@ void run_scenario(const std::string& text) {
             std::string flag;
             ls >> flag;
             want_trace = flag == "on";
+        } else if (word == "provenance") {
+            std::string flag;
+            ls >> flag;
+            want_provenance = flag == "on";
+            long long capacity = 0;
+            if (ls >> capacity) {
+                if (capacity <= 0) fail(line, "provenance capacity must be positive");
+                provenance_capacity = static_cast<std::size_t>(capacity);
+            }
         } else if (word == "telemetry") {
             std::string flag;
             ls >> flag;
@@ -698,6 +752,19 @@ void run_scenario(const std::string& text) {
             } else if (verb == "snapshot") {
                 events.push_back(
                     {at, [](Scenario& sc) { sc.take_snapshot(/*print=*/true); }});
+            } else if (verb == "mtrace") {
+                std::string src;
+                std::string dst;
+                std::string group;
+                ls >> src >> dst >> group;
+                const net::GroupAddress g = parse_group(line, group);
+                (void)s.host_ref(src);
+                (void)s.host_ref(dst);
+                events.push_back({at, [src, dst, g](Scenario& sc) {
+                                      sc.mtrace(src, dst, g);
+                                  }});
+            } else if (verb == "dump-provenance") {
+                events.push_back({at, [](Scenario& sc) { sc.dump_provenance(); }});
             } else {
                 fail(line, "unknown event '" + verb + "'");
             }

@@ -1,5 +1,6 @@
 #include "cbt/cbt.hpp"
 
+#include "provenance/provenance.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -7,6 +8,31 @@ namespace pimlib::cbt {
 
 namespace {
 constexpr std::uint8_t kCbtVersion = 1;
+
+/// CBT forwards outside the shared DataPlane engine, so it appends its own
+/// provenance records. Returns nullptr when nothing should be recorded.
+provenance::Recorder* recorder_for(topo::Router& router, const net::Packet& packet) {
+    provenance::Recorder* rec = router.network().provenance();
+    if (rec == nullptr || !rec->enabled() || packet.pid == 0) return nullptr;
+    return rec;
+}
+
+provenance::HopRecord make_hop(topo::Router& router, const net::Packet& packet, int iif,
+                               provenance::EntryKind kind, provenance::DropReason drop) {
+    provenance::HopRecord hop;
+    hop.pid = packet.pid;
+    hop.at = router.simulator().now();
+    hop.node = router.id();
+    hop.iif = iif;
+    hop.src = packet.src;
+    hop.group = packet.dst;
+    hop.seq = packet.seq;
+    hop.kind = kind;
+    hop.drop = drop;
+    hop.rpf_ok = drop != provenance::DropReason::kRpfFail;
+    hop.ttl = packet.ttl;
+    return hop;
+}
 
 void put_header(net::BufWriter& w, Code code) {
     w.put_u8(kCbtVersion);
@@ -420,6 +446,11 @@ void CbtRouter::flood_tree(net::GroupAddress /*group*/, TreeState& state,
                            int arrival_ifindex, const net::Packet& packet) {
     if (packet.ttl <= 1) {
         router_->network().stats().count_data_dropped_ttl();
+        if (provenance::Recorder* rec = recorder_for(*router_, packet)) {
+            rec->append(make_hop(*router_, packet, arrival_ifindex,
+                                 provenance::EntryKind::kTree,
+                                 provenance::DropReason::kTtl));
+        }
         return;
     }
     net::Packet out = packet;
@@ -428,6 +459,16 @@ void CbtRouter::flood_tree(net::GroupAddress /*group*/, TreeState& state,
     if (state.parent_ifindex >= 0) targets.insert(state.parent_ifindex);
     for (const auto& [ifindex, addrs] : state.children) targets.insert(ifindex);
     for (int ifindex : state.member_ifaces) targets.insert(ifindex);
+    if (provenance::Recorder* rec = recorder_for(*router_, packet)) {
+        provenance::HopRecord hop = make_hop(*router_, packet, arrival_ifindex,
+                                             provenance::EntryKind::kTree,
+                                             provenance::DropReason::kNone);
+        for (int ifindex : targets) {
+            if (ifindex != arrival_ifindex) hop.add_oif(ifindex);
+        }
+        if (hop.oif_count == 0) hop.drop = provenance::DropReason::kNoOif;
+        rec->append(hop);
+    }
     for (int ifindex : targets) {
         if (ifindex == arrival_ifindex) continue;
         router_->send(ifindex, net::Frame{std::nullopt, out});
@@ -450,12 +491,26 @@ void CbtRouter::on_multicast_data(int ifindex, const net::Packet& packet) {
     // Not on the tree (or off-tree arrival): if we are the DR for a directly
     // connected sender, encapsulate toward the core.
     auto core = core_of(group);
-    if (!core.has_value()) return;
+    if (!core.has_value()) {
+        if (provenance::Recorder* rec = recorder_for(*router_, packet)) {
+            rec->append(make_hop(*router_, packet, ifindex, provenance::EntryKind::kNone,
+                                 provenance::DropReason::kNoState));
+        }
+        return;
+    }
     if (ifindex < 0 || ifindex >= router_->interface_count()) return;
     const auto& iface = router_->interface(ifindex);
     if (iface.segment == nullptr || !iface.segment->prefix().contains(packet.src)) {
         router_->network().stats().count_data_dropped_iif();
+        if (provenance::Recorder* rec = recorder_for(*router_, packet)) {
+            rec->append(make_hop(*router_, packet, ifindex, provenance::EntryKind::kNone,
+                                 provenance::DropReason::kRpfFail));
+        }
         return;
+    }
+    if (provenance::Recorder* rec = recorder_for(*router_, packet)) {
+        rec->append(make_hop(*router_, packet, ifindex, provenance::EntryKind::kRegister,
+                             provenance::DropReason::kNone));
     }
     DataEncap encap;
     encap.group = packet.dst;
@@ -468,6 +523,7 @@ void CbtRouter::on_multicast_data(int ifindex, const net::Packet& packet) {
     out.proto = net::IpProto::kUdp; // accounted as data on every link crossed
     out.ttl = 64;
     out.payload = encap.encode();
+    out.pid = packet.pid; // tunnel leg inherits the payload's trace id
     router_->originate_unicast(std::move(out));
 }
 
@@ -484,6 +540,9 @@ void CbtRouter::on_data_encap(const net::Packet& packet) {
     inner.ttl = encap->inner_ttl;
     inner.seq = encap->inner_seq;
     inner.payload = encap->inner_payload;
+    // pid is a pure function of (src, dst, seq): decapsulation restamps the
+    // same id the sender's DR stamped, keeping the trace one packet.
+    inner.pid = provenance::packet_id(inner.src, inner.dst, inner.seq);
     flood_tree(group, it->second, /*arrival_ifindex=*/-1, inner);
 }
 

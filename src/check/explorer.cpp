@@ -114,6 +114,8 @@ ExploreReport explore(const ExploreOptions& options) {
                                                           : replay.violations;
                 ce.script = replay_script(options.scenario, options.mutation, replay);
                 ce.trace_dump = std::move(replay.trace_dump);
+                ce.provenance_dump = std::move(replay.provenance_dump);
+                ce.provenance_summary = std::move(replay.provenance_summary);
                 report.counterexamples.push_back(std::move(ce));
             }
             if (options.stop_at_first_violation) break;

@@ -51,6 +51,11 @@ struct Counterexample {
     std::vector<Violation> violations;
     std::string script;     // pimsim replay (see scenario.hpp)
     std::string trace_dump; // decoded packet trace of the failing run
+    /// Flight-recorder post-mortem of the failing run: merged time-ordered
+    /// per-hop records (JSON) plus a one-line per-router drop summary
+    /// naming who discarded what and why.
+    std::string provenance_dump;
+    std::string provenance_summary;
 };
 
 struct ExploreReport {

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "fault/fault_injector.hpp"
+#include "provenance/provenance.hpp"
 #include "stats/counters.hpp"
 #include "topo/host.hpp"
 #include "topo/network.hpp"
@@ -173,6 +174,7 @@ struct Driver {
     ChoiceRecorder recorder;
     CrossingMap crossings;
     std::unique_ptr<trace::PacketTracer> tracer;
+    std::unique_ptr<provenance::Recorder> flight_recorder;
 
     Driver(topo::Network& n, RunResult& o, const RunConfig& c,
            net::Ipv4Address data_source)
@@ -190,9 +192,26 @@ struct Driver {
             tracer = std::make_unique<trace::PacketTracer>(net);
             tracer->set_group_filter(checker_group());
         }
+        if (cfg.collect_trace || cfg.collect_provenance) {
+            flight_recorder = std::make_unique<provenance::Recorder>(
+                net.telemetry().registry(), provenance::RecorderConfig{});
+            net.set_provenance(flight_recorder.get());
+        }
     }
 
-    ~Driver() { net.simulator().set_choice_source(nullptr); }
+    ~Driver() {
+        net.simulator().set_choice_source(nullptr);
+        if (flight_recorder) net.set_provenance(nullptr);
+    }
+
+    /// Called after the oracles ran: a failing branch with a recorder
+    /// attached emits the merged flight-recorder contents as its post-
+    /// mortem, plus a one-line per-router drop summary.
+    void emit_postmortem() {
+        if (!flight_recorder || out.violations.empty()) return;
+        out.provenance_dump = flight_recorder->dump_json();
+        out.provenance_summary = flight_recorder->drop_summary();
+    }
 
     /// Installs one decision point per fault slot. Alternative 0 is "no
     /// fault"; the rest fire the candidate (which schedules its own repair
@@ -458,6 +477,7 @@ RunResult run_walkthrough(const RunConfig& cfg) {
                               " iif-check drops during the steady-state window");
         }
     }
+    driver.emit_postmortem();
     return out;
 }
 
@@ -549,6 +569,7 @@ RunResult run_rp_failover(const RunConfig& cfg) {
                           r.router + " has no (*,G) at the failover deadline");
         }
     }
+    driver.emit_postmortem();
     return out;
 }
 

@@ -58,6 +58,11 @@ struct RunConfig {
     /// Capture a decoded packet trace of the whole run (expensive; used
     /// when emitting counterexamples).
     bool collect_trace = false;
+    /// Attach a provenance flight recorder to the run; on an oracle failure
+    /// the merged time-ordered recorder contents are emitted as a post-
+    /// mortem JSON dump (RunResult::provenance_dump). Implied by
+    /// collect_trace.
+    bool collect_provenance = false;
     /// Cadence of MRIB state-hash checkpoints.
     sim::Time checkpoint_every = sim::kMillisecond;
 };
@@ -81,6 +86,10 @@ struct RunResult {
     sim::Time end_time = 0;
     std::size_t events = 0;
     std::string trace_dump; // filled when RunConfig::collect_trace
+    /// Post-mortem flight-recorder dump (JSON) and one-line drop summary,
+    /// filled only when a recorder was attached AND an oracle failed.
+    std::string provenance_dump;
+    std::string provenance_summary;
 };
 
 [[nodiscard]] const std::vector<std::string>& scenario_names();

@@ -172,12 +172,20 @@ mcast::ForwardingEntry* DvmrpRouter::build_entry(net::Ipv4Address source,
 void DvmrpRouter::on_no_entry(int ifindex, const net::Packet& packet) {
     const net::GroupAddress group{packet.dst};
     mcast::ForwardingEntry* sg = build_entry(packet.src, group);
-    if (sg == nullptr) return;
+    if (sg == nullptr) {
+        data_plane_.record_hop(ifindex, packet, nullptr, provenance::EntryKind::kNone,
+                               /*rpf_ok=*/false, provenance::DropReason::kNoState);
+        return;
+    }
     if (ifindex != sg->iif()) {
         router_->network().stats().count_data_dropped_iif();
+        data_plane_.record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                               /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
         return;
     }
     const sim::Time now = router_->simulator().now();
+    data_plane_.record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                           /*rpf_ok=*/true, provenance::DropReason::kNone);
     data_plane_.replicate(*sg, ifindex, packet);
     sg->note_data(now);
     if (sg->oif_list_empty(now) && sg->upstream_neighbor().has_value()) {

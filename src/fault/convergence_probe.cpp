@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "provenance/provenance.hpp"
+
 namespace pimlib::fault {
 
 namespace {
@@ -85,6 +87,12 @@ void ConvergenceProbe::record(const Report& report, telemetry::Registry& registr
                    {{"fault", fault_label}},
                    "Control frames transmitted during one recovery")
         .observe(static_cast<double>(report.control_messages));
+}
+
+std::string ConvergenceProbe::postmortem(const Report& report, sim::Time bound) const {
+    if (recorder_ == nullptr) return {};
+    if (report.converged && (bound <= 0 || report.recovery <= bound)) return {};
+    return recorder_->dump_json();
 }
 
 std::string ConvergenceProbe::Report::to_json() const {

@@ -14,6 +14,10 @@
 #include "topo/host.hpp"
 #include "topo/network.hpp"
 
+namespace pimlib::provenance {
+class Recorder;
+}
+
 namespace pimlib::fault {
 
 class ConvergenceProbe {
@@ -67,10 +71,22 @@ public:
         return static_cast<std::uint64_t>(control_times_.size());
     }
 
+    /// Attaches a provenance flight recorder (installed on the same network
+    /// by the caller) so a failed trial can explain itself. The probe does
+    /// not own the recorder.
+    void attach_recorder(provenance::Recorder* recorder) { recorder_ = recorder; }
+
+    /// Post-mortem hook: when `report` missed its recovery bound (did not
+    /// converge, or recovered slower than `bound` > 0) and a recorder is
+    /// attached, returns the merged time-ordered flight-recorder dump
+    /// (JSON). Empty string when the trial was within bound.
+    [[nodiscard]] std::string postmortem(const Report& report, sim::Time bound) const;
+
 private:
     topo::Network* network_;
     int tap_token_ = 0;
     std::vector<sim::Time> control_times_;
+    provenance::Recorder* recorder_ = nullptr;
 };
 
 } // namespace pimlib::fault

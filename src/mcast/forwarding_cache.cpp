@@ -130,8 +130,99 @@ void DataPlane::replicate(const ForwardingEntry& entry, int ifindex,
     for (int oif : entry.live_oifs(now)) {
         if (oif == ifindex) continue; // never back out the arrival interface
         if (oif < 0 || oif >= router_->interface_count()) continue;
+        if (pending_hop_ != nullptr) pending_hop_->add_oif(oif);
         router_->send(oif, net::Frame{std::nullopt, out});
     }
+}
+
+void DataPlane::forward_recorded(const ForwardingEntry& entry, int ifindex,
+                                 const net::Packet& packet,
+                                 provenance::EntryKind kind) {
+    provenance::Recorder* rec = router_->network().provenance();
+    provenance::HopRecord* hop = nullptr;
+    if (rec != nullptr && rec->enabled() && packet.pid != 0 &&
+        packet.proto == net::IpProto::kUdp) {
+        hop = rec->begin(router_->id());
+    }
+    if (hop == nullptr) {
+        replicate(entry, ifindex, packet);
+        return;
+    }
+    hop->pid = packet.pid;
+    hop->at = router_->simulator().now();
+    hop->iif = static_cast<std::int16_t>(ifindex);
+    hop->src = packet.src;
+    hop->group = packet.dst;
+    hop->seq = packet.seq;
+    hop->kind = kind;
+    hop->ttl = packet.ttl;
+    hop->spt_bit = entry.spt_bit();
+    hop->rp_bit = entry.rp_bit();
+    if (packet.ttl <= 1) {
+        hop->drop = provenance::DropReason::kTtl;
+        rec->commit(*hop);
+        replicate(entry, ifindex, packet); // still counts the stats drop
+        return;
+    }
+    pending_hop_ = hop;
+    replicate(entry, ifindex, packet);
+    pending_hop_ = nullptr;
+    if (hop->oif_count == 0) {
+        // An empty oif set discards the packet here: an RP-bit negative
+        // cache does so by design, any other entry is a pruned leaf with no
+        // downstream interest.
+        hop->drop = entry.rp_bit() ? provenance::DropReason::kNegCache
+                                   : provenance::DropReason::kNoOif;
+    }
+    rec->commit(*hop);
+}
+
+void DataPlane::record_hop(int ifindex, const net::Packet& packet,
+                           const ForwardingEntry* entry, provenance::EntryKind kind,
+                           bool rpf_ok, provenance::DropReason drop) {
+    provenance::Recorder* rec = router_->network().provenance();
+    if (rec == nullptr || !rec->enabled() || packet.pid == 0) return;
+    if (packet.proto != net::IpProto::kUdp) return;
+    // Fill the ring slot in place (begin/commit): this runs once per
+    // forwarding decision and is the recorder's only hot path.
+    provenance::HopRecord* hop = rec->begin(router_->id());
+    if (hop == nullptr) return;
+    hop->pid = packet.pid;
+    hop->at = router_->simulator().now();
+    hop->iif = static_cast<std::int16_t>(ifindex);
+    hop->src = packet.src;
+    hop->group = packet.dst;
+    hop->seq = packet.seq;
+    hop->kind = kind;
+    hop->rpf_ok = rpf_ok;
+    hop->ttl = packet.ttl;
+    if (drop == provenance::DropReason::kNone && packet.ttl <= 1 &&
+        kind != provenance::EntryKind::kRegister) {
+        drop = provenance::DropReason::kTtl;
+    }
+    if (entry != nullptr) {
+        hop->spt_bit = entry->spt_bit();
+        hop->rp_bit = entry->rp_bit();
+        if (drop == provenance::DropReason::kNone) {
+            // Iterate the oif map in place: live_oifs() would allocate a
+            // vector per recorded hop.
+            for (const auto& [oif, state] : entry->oifs()) {
+                if (!state.alive(hop->at)) continue;
+                if (oif == ifindex) continue;
+                if (oif < 0 || oif >= router_->interface_count()) continue;
+                hop->add_oif(oif);
+            }
+            if (hop->oif_count == 0 && kind != provenance::EntryKind::kRegister) {
+                // An empty oif set discards the packet here: an RP-bit
+                // negative cache does so by design, any other entry is a
+                // pruned leaf with no downstream interest.
+                drop = entry->rp_bit() ? provenance::DropReason::kNegCache
+                                       : provenance::DropReason::kNoOif;
+            }
+        }
+    }
+    hop->drop = drop;
+    rec->commit(*hop);
 }
 
 void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
@@ -146,7 +237,7 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
         if (sg->spt_bit() || sg->rp_bit()) {
             // Normal path: strict incoming interface check.
             if (ifindex == sg->iif()) {
-                replicate(*sg, ifindex, packet);
+                forward_recorded(*sg, ifindex, packet, provenance::EntryKind::kSg);
                 if (delegate_ != nullptr) {
                     delegate_->on_sg_forward(*sg, ifindex, packet);
                     if (sg->oif_list_empty(router_->simulator().now())) {
@@ -155,6 +246,8 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
                 }
             } else {
                 router_->network().stats().count_data_dropped_iif();
+                record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                           /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
                 if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
             }
             return;
@@ -163,7 +256,7 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
         if (ifindex == sg->iif()) {
             // Second exception: data arrived on the shortest-path iif —
             // forward it and set the SPT bit.
-            replicate(*sg, ifindex, packet);
+            forward_recorded(*sg, ifindex, packet, provenance::EntryKind::kSg);
             sg->set_spt_bit(true);
             if (delegate_ != nullptr) {
                 delegate_->on_spt_bit_set(*sg);
@@ -174,21 +267,27 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
         // First exception: fall back to the (*,G) entry while the SPT
         // branch is still being built.
         if (wc != nullptr && ifindex == wc->iif()) {
-            replicate(*wc, ifindex, packet);
+            forward_recorded(*wc, ifindex, packet,
+                             provenance::EntryKind::kSgFallbackWc);
             if (delegate_ != nullptr) delegate_->on_wildcard_forward(ifindex, packet);
             return;
         }
         router_->network().stats().count_data_dropped_iif();
+        record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                   /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
         if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
         return;
     }
 
     if (wc != nullptr) {
         if (ifindex == wc->iif()) {
-            replicate(*wc, ifindex, packet);
+            forward_recorded(*wc, ifindex, packet,
+                             provenance::EntryKind::kWildcard);
             if (delegate_ != nullptr) delegate_->on_wildcard_forward(ifindex, packet);
         } else {
             router_->network().stats().count_data_dropped_iif();
+            record_hop(ifindex, packet, wc, provenance::EntryKind::kWildcard,
+                       /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
             if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
         }
         return;

@@ -12,6 +12,7 @@
 
 #include "mcast/forwarding_entry.hpp"
 #include "net/packet.hpp"
+#include "provenance/provenance.hpp"
 #include "telemetry/snapshot.hpp"
 #include "topo/router.hpp"
 
@@ -114,13 +115,32 @@ public:
     /// RP forwarding register-encapsulated data down the shared tree).
     void replicate(const ForwardingEntry& entry, int ifindex, const net::Packet& packet);
 
+    /// Appends one provenance HopRecord for a forwarding decision at this
+    /// router: `entry` (may be null) supplies the oif set and SPT/RP bits,
+    /// `kind` names which MRIB entry matched, `drop` the typed discard (a
+    /// forwarded packet passes kNone; an empty oif set or expiring TTL is
+    /// promoted to the right reason here). No-op without an enabled recorder
+    /// or for unstamped packets, so call sites need no guard of their own.
+    void record_hop(int ifindex, const net::Packet& packet, const ForwardingEntry* entry,
+                    provenance::EntryKind kind, bool rpf_ok, provenance::DropReason drop);
+
     [[nodiscard]] ForwardingCache& cache() { return *cache_; }
     [[nodiscard]] topo::Router& router() { return *router_; }
 
 private:
+    /// The hot path for on_multicast_data's forward branches: one recorder
+    /// slot filled while replicate() walks the oif list (the oifs captured
+    /// are exactly the interfaces sent on), instead of record_hop's second
+    /// walk of the map. Falls back to plain replicate() with no recorder.
+    void forward_recorded(const ForwardingEntry& entry, int ifindex,
+                          const net::Packet& packet, provenance::EntryKind kind);
+
     topo::Router* router_;
     ForwardingCache* cache_;
     Delegate* delegate_ = nullptr;
+    /// Non-null only inside forward_recorded's replicate() call; replicate
+    /// appends each oif it sends on to this record.
+    provenance::HopRecord* pending_hop_ = nullptr;
 };
 
 } // namespace pimlib::mcast

@@ -263,11 +263,19 @@ mcast::ForwardingEntry* MospfRouter::compute_entry(net::Ipv4Address source,
 void MospfRouter::on_no_entry(int ifindex, const net::Packet& packet) {
     const net::GroupAddress group{packet.dst};
     mcast::ForwardingEntry* sg = compute_entry(packet.src, group);
-    if (sg == nullptr) return;
-    if (ifindex != sg->iif()) {
-        router_->network().stats().count_data_dropped_iif();
+    if (sg == nullptr) {
+        data_plane_.record_hop(ifindex, packet, nullptr, provenance::EntryKind::kNone,
+                               /*rpf_ok=*/false, provenance::DropReason::kNoState);
         return;
     }
+    if (ifindex != sg->iif()) {
+        router_->network().stats().count_data_dropped_iif();
+        data_plane_.record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                               /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
+        return;
+    }
+    data_plane_.record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                           /*rpf_ok=*/true, provenance::DropReason::kNone);
     data_plane_.replicate(*sg, ifindex, packet);
 }
 

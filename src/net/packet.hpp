@@ -35,6 +35,12 @@ struct Packet {
     /// loss/duplication in tests; 0 for control traffic.
     std::uint64_t seq = 0;
 
+    /// Provenance id (see provenance::packet_id): stamped at origination,
+    /// carried through replication and restamped across register/DataEncap
+    /// encapsulation so one id names one end-to-end data packet. 0 means
+    /// unstamped (control traffic) — the flight recorder skips it.
+    std::uint64_t pid = 0;
+
     [[nodiscard]] bool is_multicast() const { return dst.is_multicast(); }
     [[nodiscard]] std::string describe() const;
 };

@@ -112,12 +112,20 @@ void PimDmRouter::on_no_entry(int ifindex, const net::Packet& packet) {
     const net::GroupAddress group{packet.dst};
     const net::Ipv4Address source = packet.src;
     mcast::ForwardingEntry* sg = build_entry(source, group);
-    if (sg == nullptr) return;
+    if (sg == nullptr) {
+        data_plane_.record_hop(ifindex, packet, nullptr, provenance::EntryKind::kNone,
+                               /*rpf_ok=*/false, provenance::DropReason::kNoState);
+        return;
+    }
     if (ifindex != sg->iif()) {
         router_->network().stats().count_data_dropped_iif();
+        data_plane_.record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                               /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
         return;
     }
     const sim::Time now = router_->simulator().now();
+    data_plane_.record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
+                           /*rpf_ok=*/true, provenance::DropReason::kNone);
     data_plane_.replicate(*sg, ifindex, packet);
     sg->note_data(now);
     // A leaf router with nothing downstream prunes itself off (§1.1).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "igmp/messages.hpp"
+#include "provenance/provenance.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -347,6 +348,36 @@ mcast::ForwardingEntry& PimSmRouter::establish_sg(net::Ipv4Address source,
 
 void PimSmRouter::on_no_entry(int ifindex, const net::Packet& packet) {
     maybe_register(ifindex, packet, /*already_forwarded=*/false);
+    // Provenance: no MRIB entry means the packet goes no further natively.
+    // If maybe_register just created first-hop (S,G) state, the payload
+    // continues encapsulated toward the RP; otherwise classify why this
+    // router had nothing for it.
+    const net::GroupAddress group{packet.dst};
+    const mcast::ForwardingEntry* sg = cache_.find_sg(packet.src, group);
+    if (sg != nullptr && !sg->rp_bit()) {
+        data_plane_.record_hop(ifindex, packet, nullptr, provenance::EntryKind::kRegister,
+                               /*rpf_ok=*/true, provenance::DropReason::kNone);
+        return;
+    }
+    data_plane_.record_hop(ifindex, packet, nullptr, provenance::EntryKind::kNone,
+                           /*rpf_ok=*/false, classify_no_entry_drop(ifindex, packet));
+}
+
+provenance::DropReason PimSmRouter::classify_no_entry_drop(int ifindex,
+                                                           const net::Packet& packet) const {
+    // A non-DR router on the source's own LAN hears every packet but cedes
+    // origination to the DR — the '94 architecture's equivalent of losing
+    // an assert. Everything else is plain missing state.
+    const net::GroupAddress group{packet.dst};
+    if (rp_set_.has_mapping(group) && ifindex >= 0 &&
+        ifindex < router_->interface_count()) {
+        const auto& iface = router_->interface(ifindex);
+        if (iface.segment != nullptr && !dense_ifaces_.contains(ifindex) &&
+            iface.segment->prefix().contains(packet.src) && !is_dr_on(ifindex)) {
+            return provenance::DropReason::kAssertLoser;
+        }
+    }
+    return provenance::DropReason::kNoState;
 }
 
 void PimSmRouter::maybe_register(int ifindex, const net::Packet& packet,
@@ -432,6 +463,7 @@ void PimSmRouter::send_register(const net::Packet& data, net::Ipv4Address rp) {
     packet.proto = net::IpProto::kIgmp;
     packet.ttl = 64;
     packet.payload = reg.encode();
+    packet.pid = data.pid; // the tunnel leg inherits the payload's trace id
     router_->network().stats().count_control_message("pim-register");
     hub_of(*router_).emit(telemetry::EventType::kRegisterSent, router_->name(),
                           "pim", net::GroupAddress{reg.group}.to_string(),
@@ -459,8 +491,18 @@ void PimSmRouter::handle_register(const net::Packet& packet, const Register& reg
     inner.ttl = reg.inner_ttl;
     inner.seq = reg.inner_seq;
     inner.payload = reg.inner_payload;
+    // pid is a pure function of (src, dst, seq), so decapsulation restamps
+    // the identical id the source DR stamped — the trace stays one packet.
+    inner.pid = provenance::packet_id(inner.src, inner.dst, inner.seq);
     if (auto* wc = cache_.find_wc(group)) {
+        data_plane_.record_hop(/*ifindex=*/-1, inner, wc, provenance::EntryKind::kWildcard,
+                               /*rpf_ok=*/true, provenance::DropReason::kNone);
         data_plane_.replicate(*wc, /*ifindex=*/-1, inner);
+    } else {
+        // Decapsulated at the RP but no shared tree exists: the payload
+        // dies here until some receiver joins.
+        data_plane_.record_hop(/*ifindex=*/-1, inner, nullptr, provenance::EntryKind::kNone,
+                               /*rpf_ok=*/true, provenance::DropReason::kNoState);
     }
 
     // "The RP responds by sending a join toward the source" (§3, fig. 3).

@@ -208,6 +208,11 @@ private:
     /// `already_forwarded` says the data plane has delivered this packet
     /// locally (prevents a self-RP from duplicating it).
     void maybe_register(int ifindex, const net::Packet& packet, bool already_forwarded);
+    /// Typed drop for a packet no MRIB entry matched: kAssertLoser when this
+    /// router is a non-DR on the source's own LAN (ceding to the DR),
+    /// kNoState otherwise.
+    [[nodiscard]] provenance::DropReason classify_no_entry_drop(
+        int ifindex, const net::Packet& packet) const;
     [[nodiscard]] AddressEntry join_entry_for(const mcast::ForwardingEntry& entry) const;
 
     // --- periodic machinery ---

@@ -1,0 +1,247 @@
+// Packet provenance: a bounded per-router flight recorder plus typed drop
+// accounting, the causal layer under the aggregate telemetry of PR 2.
+//
+// Every data packet is stamped at origination with a provenance id derived
+// from (src, group, seq) — the id survives replication, register/DataEncap
+// encapsulation (the decapsulator restamps with the same function) and TTL
+// decrements, so one id names one end-to-end packet. Each forwarding
+// decision appends a HopRecord (matched MRIB entry kind, RPF verdict,
+// SPT/RP bits, the oif fan-out actually used, or a typed DropReason) into
+// the router's ring buffer. Post-mortem queries reconstruct paths:
+//
+//   trace(src, group, dst)  the mtrace-style query — hop path and per-hop
+//                           sim-time latency of the last matching packet
+//                           delivered to host `dst`
+//   dump_json()             merged, time-ordered recorder contents plus
+//                           per-router drop aggregates and the packets that
+//                           vanished without reaching any host
+//
+// Cost model: with no Recorder attached to the Network, every hook is a
+// single pointer test (compiled in, idle, ~0). With a Recorder attached,
+// appends are O(1) into preallocated rings (<5% wall-clock; enforced by
+// bench/provenance_overhead --check). Typed drops also increment labeled
+// `pimlib_forward_drops_total{reason=...}` counters in the shared registry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pimlib::provenance {
+
+/// Why a data packet was discarded. kNone marks a forwarding record.
+enum class DropReason : std::uint8_t {
+    kNone = 0,
+    kRpfFail,     // arrived on the wrong incoming interface (§3.5 iif check)
+    kNegCache,    // matched an RP-bit negative-cache entry with nothing downstream (§3.3)
+    kNoOif,       // entry matched on the right iif but its oif list is empty
+    kTtl,         // TTL exhausted
+    kSegmentLoss, // vanished on the wire (injected or checker-forced loss)
+    kNoState,     // no matching entry and the protocol declined to create one
+    kAssertLoser, // a non-DR router on the source LAN suppressing duplicates
+                  // (the '94 architecture's stand-in for an Assert loser)
+    kNoRoute,     // unicast leg (register/encap) had no route to its target
+};
+inline constexpr std::size_t kDropReasonCount = 9;
+
+/// Stable label for metrics and JSON: "rpf-fail", "neg-cache", ...
+[[nodiscard]] const char* drop_reason_label(DropReason reason);
+
+/// What matched (or what stage of the pipeline produced the record).
+enum class EntryKind : std::uint8_t {
+    kNone = 0,     // no MRIB entry involved (e.g. no-state drops)
+    kWildcard,     // (*,G) shared-tree entry
+    kSg,           // (S,G) shortest-path entry
+    kSgFallbackWc, // (S,G) without SPT bit fell back to (*,G) (§3.5 first exception)
+    kNegCache,     // (S,G)RP-bit negative cache
+    kTree,         // CBT bidirectional tree state
+    kUnicast,      // unicast leg of an encapsulated data packet
+    kRegister,     // encapsulated toward the RP / CBT core
+    kOrigin,       // source host put the packet on its LAN
+    kDeliver,      // member host consumed the packet
+};
+[[nodiscard]] const char* entry_kind_label(EntryKind kind);
+
+/// Provenance id stamped into net::Packet::pid at origination (and restamped
+/// after decapsulation). splitmix64 finalizer over (src, dst, seq); never 0
+/// — 0 means "unstamped" (control traffic) and is skipped by the recorder.
+[[nodiscard]] std::uint64_t packet_id(net::Ipv4Address src, net::Ipv4Address dst,
+                                      std::uint64_t seq);
+
+inline constexpr int kMaxRecordedOifs = 8;
+
+/// One forwarding decision (or discard) at one node. Packed into exactly
+/// one cache line on purpose: ring buffers preallocate, appends never
+/// allocate, and each append dirties a single line — the recorder's cost
+/// is bounded by memory traffic, not CPU (see bench/provenance_overhead).
+struct alignas(64) HopRecord {
+    std::uint64_t pid = 0;
+    sim::Time at = 0;
+    /// Recorder-global append index: the merge tiebreaker for same-instant
+    /// records (the sim executes same-time events in a deterministic order;
+    /// this preserves it across per-node rings).
+    std::uint64_t order = 0;
+    std::uint64_t seq = 0;
+    net::Ipv4Address src;
+    net::Ipv4Address group;      // packet.dst
+    std::int32_t node = -1;      // topo node id
+    std::int16_t iif = -1;       // arrival interface; -1 for decap/origination
+    std::int16_t segment = -1;   // segment-loss records: the vanished-on wire
+    EntryKind kind = EntryKind::kNone;
+    DropReason drop = DropReason::kNone;
+    bool rpf_ok = true;
+    bool spt_bit = false;
+    bool rp_bit = false;
+    std::uint8_t ttl = 0;
+    std::uint8_t oif_count = 0; // interfaces actually forwarded on
+    std::array<std::int8_t, kMaxRecordedOifs> oifs{};
+
+    /// Convenience for call sites building the oif set. Interface indexes
+    /// above int8 range are clamped (no router here has >127 interfaces).
+    void add_oif(int ifindex) {
+        if (oif_count < kMaxRecordedOifs) {
+            oifs[oif_count] =
+                static_cast<std::int8_t>(ifindex > 127 ? 127 : ifindex);
+        }
+        ++oif_count;
+    }
+};
+static_assert(sizeof(HopRecord) == 64, "HopRecord must stay one cache line");
+
+struct RecorderConfig {
+    /// HopRecords retained per node (ring overwrites the oldest). The
+    /// default keeps each ring ~40 KB so steady-state appends cycle through
+    /// cache-resident memory; much larger rings never wrap in short runs and
+    /// every append then writes cold lines, which is what pushes the
+    /// recorder past its <5% wall-clock budget (see bench/provenance_overhead
+    /// --ring for the sweep).
+    std::size_t ring_capacity = 512;
+};
+
+/// The flight recorder: per-node bounded rings plus the labeled drop
+/// counters. One Recorder serves one Network (attach via
+/// topo::Network::set_provenance); hooks check the attachment pointer and
+/// enabled() before paying any recording cost.
+class Recorder {
+public:
+    explicit Recorder(telemetry::Registry& registry, RecorderConfig config = {});
+
+    Recorder(const Recorder&) = delete;
+    Recorder& operator=(const Recorder&) = delete;
+
+    /// Idle switch: when false, append() is a no-op after one branch. The
+    /// overhead bench's "compiled-in but idle" mode.
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Name lookup for traces/dumps; hosts are trace endpoints.
+    void register_node(int node_id, std::string name, bool is_host);
+
+    /// Appends into `rec.node`'s ring; a non-kNone drop also increments
+    /// pimlib_forward_drops_total{reason=...}.
+    void append(const HopRecord& rec);
+
+    /// Hot-path variant of append(): returns `node`'s next ring slot —
+    /// reset to defaults with `node` and the merge order already stamped —
+    /// for the caller to fill in place (append() costs one extra 64-byte
+    /// copy per hop). Call commit() after filling so a typed drop lands in
+    /// the counters. nullptr when the recorder is disabled. Defined inline
+    /// so per-hop call sites pay no cross-TU call.
+    [[nodiscard]] HopRecord* begin(int node) {
+        if (!enabled_ || node < 0) return nullptr;
+        const auto id = static_cast<std::size_t>(node);
+        if (rings_.size() <= id) rings_.resize(id + 1);
+        Ring& ring = rings_[id];
+        if (ring.buf.empty()) ring.buf.reserve(config_.ring_capacity);
+        HopRecord* slot;
+        if (ring.buf.size() < config_.ring_capacity) {
+            slot = &ring.buf.emplace_back();
+        } else {
+            slot = &ring.buf[ring.next];
+            *slot = HopRecord{};
+            ring.next = ring.next + 1 == config_.ring_capacity ? 0 : ring.next + 1;
+        }
+        slot->node = node;
+        slot->order = order_++;
+        ++ring.total;
+        return slot;
+    }
+
+    void commit(const HopRecord& slot) {
+        const auto reason = static_cast<std::size_t>(slot.drop);
+        if (reason != 0 && reason < kDropReasonCount) {
+            drop_counters_[reason]->inc();
+            ++drop_totals_[reason];
+        }
+    }
+
+    [[nodiscard]] std::uint64_t total_records() const { return order_; }
+    [[nodiscard]] std::uint64_t drop_count(DropReason reason) const;
+
+    /// Every retained record for `pid`, time-ordered. Post-mortem use.
+    [[nodiscard]] std::vector<HopRecord> records_for(std::uint64_t pid) const;
+
+    struct TraceHop {
+        HopRecord rec;
+        sim::Time latency = 0; // sim-time since the previous hop
+        std::string node_name;
+    };
+    struct TraceResult {
+        bool found = false;
+        std::uint64_t pid = 0;
+        std::uint64_t seq = 0;
+        std::vector<TraceHop> hops;
+    };
+
+    /// The mtrace-style query: finds the last packet from `src` to `group`
+    /// delivered to host `dst_node` (by registered name) and reconstructs
+    /// its full hop path with per-hop sim-time latency.
+    [[nodiscard]] TraceResult trace(net::Ipv4Address src, net::Ipv4Address group,
+                                    const std::string& dst_node) const;
+
+    /// Human-readable rendering of a trace (mtrace-like, one line per hop).
+    [[nodiscard]] std::string format_trace(const TraceResult& result) const;
+
+    /// Merged, time-ordered recorder contents as JSON: {records, drops,
+    /// vanished}. `drops` aggregates per (node, reason); `vanished` lists
+    /// packets whose last retained record is not a host delivery — with the
+    /// node and DropReason (or forwarding oifs) where the trail ends.
+    [[nodiscard]] std::string dump_json() const;
+
+    /// One-line per-router drop aggregate ("A rpf-fail x12, ..."), empty
+    /// when nothing was dropped. The post-mortem headline.
+    [[nodiscard]] std::string drop_summary() const;
+
+    [[nodiscard]] const std::string& node_name(int node_id) const;
+
+private:
+    struct Ring {
+        std::vector<HopRecord> buf; // size() < capacity while filling
+        std::size_t next = 0;       // overwrite cursor once full
+        std::uint64_t total = 0;
+    };
+    struct NodeInfo {
+        std::string name;
+        bool is_host = false;
+    };
+
+    void for_each_record(const std::function<void(const HopRecord&)>& fn) const;
+    [[nodiscard]] std::vector<const HopRecord*> merged_records() const;
+
+    telemetry::Registry* registry_;
+    RecorderConfig config_;
+    bool enabled_ = true;
+    std::uint64_t order_ = 0;
+    std::array<telemetry::Counter*, kDropReasonCount> drop_counters_{};
+    std::array<std::uint64_t, kDropReasonCount> drop_totals_{};
+    std::vector<Ring> rings_;     // indexed by node id
+    std::vector<NodeInfo> nodes_; // indexed by node id
+};
+
+} // namespace pimlib::provenance

@@ -41,21 +41,6 @@ std::string label_block_with(const LabelSet& labels, const std::string& extra_ke
     return out;
 }
 
-std::string json_escape(const std::string& value) {
-    std::string out;
-    out.reserve(value.size());
-    for (char c : value) {
-        switch (c) {
-        case '\\': out += "\\\\"; break;
-        case '"': out += "\\\""; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default: out += c;
-        }
-    }
-    return out;
-}
-
 std::string json_labels(const LabelSet& labels) {
     std::string out = "{";
     bool first = true;
@@ -98,6 +83,21 @@ std::string prometheus_escape(const std::string& value) {
         case '\\': out += "\\\\"; break;
         case '"': out += "\\\""; break;
         case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string json_escape(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
         default: out += c;
         }
     }

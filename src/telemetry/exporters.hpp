@@ -21,6 +21,9 @@ namespace pimlib::telemetry {
 /// Escape a label value for the text format (exposed for tests).
 [[nodiscard]] std::string prometheus_escape(const std::string& value);
 
+/// Escape a string for embedding in a JSON value (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& value);
+
 /// JSON object keyed by metric name; labeled instruments nest an array of
 /// {labels, ...} entries. Histograms carry count/sum/min/max/p50/p90/p99.
 [[nodiscard]] std::string to_json(const Registry& registry);

@@ -1,8 +1,30 @@
 #include "topo/host.hpp"
 
+#include "provenance/provenance.hpp"
 #include "topo/network.hpp"
 
 namespace pimlib::topo {
+namespace {
+
+/// Host-side provenance records bracket every trace: kOrigin when the
+/// source puts the packet on its LAN, kDeliver when a member consumes it.
+void record_endpoint(Network& network, const Host& host, const net::Packet& packet,
+                     provenance::EntryKind kind) {
+    provenance::Recorder* rec = network.provenance();
+    if (rec == nullptr || !rec->enabled() || packet.pid == 0) return;
+    provenance::HopRecord* hop = rec->begin(host.id());
+    if (hop == nullptr) return;
+    hop->pid = packet.pid;
+    hop->at = network.simulator().now();
+    hop->src = packet.src;
+    hop->group = packet.dst;
+    hop->seq = packet.seq;
+    hop->kind = kind;
+    hop->ttl = packet.ttl;
+    rec->commit(*hop);
+}
+
+} // namespace
 
 Host::Host(Network& network, std::string name, int id)
     : Node(network, std::move(name), id) {}
@@ -16,6 +38,7 @@ void Host::receive(int ifindex, const net::Packet& packet) {
                                                network_->simulator().now()});
             network_->stats().count_data_delivered();
             network_->telemetry().on_data_delivered(name(), group.to_string());
+            record_endpoint(*network_, *this, packet, provenance::EntryKind::kDeliver);
             if (data_observer_) data_observer_(received_.back());
         }
         return;
@@ -31,6 +54,8 @@ void Host::send_data(net::GroupAddress group, std::size_t payload_size) {
     packet.ttl = 64;
     packet.payload.assign(payload_size, 0xAB);
     packet.seq = ++next_seq_[group.address().to_uint()];
+    packet.pid = provenance::packet_id(packet.src, packet.dst, packet.seq);
+    record_endpoint(*network_, *this, packet, provenance::EntryKind::kOrigin);
     send(0, net::Frame{std::nullopt, std::move(packet)});
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "provenance/provenance.hpp"
+
 namespace pimlib::topo {
 
 net::Prefix Network::next_segment_prefix() {
@@ -18,6 +20,9 @@ Router& Network::add_router(const std::string& name) {
     const net::Ipv4Address rid(192, 168, static_cast<std::uint8_t>(n / 256),
                                static_cast<std::uint8_t>(n % 256));
     routers_.push_back(std::make_unique<Router>(*this, name, next_node_id_++, rid));
+    if (provenance_ != nullptr) {
+        provenance_->register_node(routers_.back()->id(), name, /*is_host=*/false);
+    }
     return *routers_.back();
 }
 
@@ -55,7 +60,21 @@ Host& Network::add_host(const std::string& name, Segment& lan) {
     hosts_.push_back(std::make_unique<Host>(*this, name, next_node_id_++));
     Host& host = *hosts_.back();
     host.attach(lan, net::Ipv4Address{base + slot});
+    if (provenance_ != nullptr) {
+        provenance_->register_node(host.id(), name, /*is_host=*/true);
+    }
     return host;
+}
+
+void Network::set_provenance(provenance::Recorder* recorder) {
+    provenance_ = recorder;
+    if (recorder == nullptr) return;
+    for (const auto& r : routers_) {
+        recorder->register_node(r->id(), r->name(), /*is_host=*/false);
+    }
+    for (const auto& h : hosts_) {
+        recorder->register_node(h->id(), h->name(), /*is_host=*/true);
+    }
 }
 
 int Network::add_packet_tap(PacketTap tap) {

@@ -17,6 +17,10 @@
 #include "topo/router.hpp"
 #include "topo/segment.hpp"
 
+namespace pimlib::provenance {
+class Recorder;
+}
+
 namespace pimlib::topo {
 
 class Network {
@@ -65,6 +69,13 @@ public:
     /// same registry, so stats() and telemetry() are two views of one sink.
     [[nodiscard]] telemetry::Hub& telemetry() { return telemetry_; }
     [[nodiscard]] const telemetry::Hub& telemetry() const { return telemetry_; }
+
+    /// Attaches (or detaches, with nullptr) a provenance flight recorder.
+    /// Registers every existing node's name with it; nodes added later
+    /// register as they are created. With no recorder attached every
+    /// provenance hook in the stack is a single pointer test.
+    void set_provenance(provenance::Recorder* recorder);
+    [[nodiscard]] provenance::Recorder* provenance() const { return provenance_; }
 
     /// Wiretaps: called for every frame a segment transmits (before delivery,
     /// including frames lost to injected segment loss). Several taps can
@@ -140,6 +151,7 @@ private:
     // into the hub's registry.
     telemetry::Hub telemetry_{sim_};
     stats::NetworkStats stats_{telemetry_.registry()};
+    provenance::Recorder* provenance_ = nullptr;
     std::map<int, PacketTap> taps_;
     int next_tap_token_ = 1;
     std::map<int, TopologyObserver> topo_observers_;

@@ -1,9 +1,35 @@
 #include "topo/router.hpp"
 
+#include "provenance/provenance.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
 namespace pimlib::topo {
+namespace {
+
+/// Unicast legs matter to provenance only when the packet carries a pid —
+/// i.e. it is (or encapsulates) a traced data packet, like a PIM Register
+/// tunnelling toward the RP.
+void record_unicast_leg(Network& network, const Router& router, const net::Packet& packet,
+                        int oif, provenance::DropReason drop) {
+    provenance::Recorder* rec = network.provenance();
+    if (rec == nullptr || !rec->enabled() || packet.pid == 0) return;
+    provenance::HopRecord hop;
+    hop.pid = packet.pid;
+    hop.at = network.simulator().now();
+    hop.node = router.id();
+    hop.iif = -1;
+    hop.src = packet.src;
+    hop.group = packet.dst;
+    hop.seq = packet.seq;
+    hop.kind = provenance::EntryKind::kUnicast;
+    hop.drop = drop;
+    hop.ttl = packet.ttl;
+    if (drop == provenance::DropReason::kNone && oif >= 0) hop.add_oif(oif);
+    rec->append(hop);
+}
+
+} // namespace
 
 Router::Router(Network& network, std::string name, int id, net::Ipv4Address router_id)
     : Node(network, std::move(name), id), router_id_(router_id) {}
@@ -74,14 +100,18 @@ void Router::deliver_local(int ifindex, const net::Packet& packet) {
 void Router::forward_unicast(net::Packet packet) {
     if (packet.ttl <= 1) {
         network_->stats().count_data_dropped_ttl();
+        record_unicast_leg(*network_, *this, packet, -1, provenance::DropReason::kTtl);
         return;
     }
     packet.ttl -= 1;
     auto route = route_to(packet.dst);
     if (!route) {
         network_->stats().count_data_dropped_no_route();
+        record_unicast_leg(*network_, *this, packet, -1, provenance::DropReason::kNoRoute);
         return;
     }
+    record_unicast_leg(*network_, *this, packet, route->ifindex,
+                       provenance::DropReason::kNone);
     const net::Ipv4Address hop = route->next_hop.is_unspecified() ? packet.dst : route->next_hop;
     send(route->ifindex, net::Frame{hop, std::move(packet)});
 }
@@ -95,6 +125,7 @@ void Router::originate_unicast(net::Packet packet) {
     auto route = route_to(packet.dst);
     if (!route) {
         network_->stats().count_data_dropped_no_route();
+        record_unicast_leg(*network_, *this, packet, -1, provenance::DropReason::kNoRoute);
         return;
     }
     if (packet.src.is_unspecified()) packet.src = interface(route->ifindex).address;

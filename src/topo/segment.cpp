@@ -1,9 +1,32 @@
 #include "topo/segment.hpp"
 
+#include "provenance/provenance.hpp"
 #include "topo/network.hpp"
 #include "topo/node.hpp"
 
 namespace pimlib::topo {
+namespace {
+
+/// Both loss paths (checker-forced and injected) destroy the frame on the
+/// wire: record the drop against the sender, naming the segment.
+void record_segment_loss(Network& network, const Node& sender, int segment_id,
+                         const net::Packet& packet) {
+    provenance::Recorder* rec = network.provenance();
+    if (rec == nullptr || !rec->enabled() || packet.pid == 0) return;
+    provenance::HopRecord hop;
+    hop.pid = packet.pid;
+    hop.at = network.simulator().now();
+    hop.node = sender.id();
+    hop.segment = segment_id;
+    hop.src = packet.src;
+    hop.group = packet.dst;
+    hop.seq = packet.seq;
+    hop.drop = provenance::DropReason::kSegmentLoss;
+    hop.ttl = packet.ttl;
+    rec->append(hop);
+}
+
+} // namespace
 
 Segment::Segment(Network& network, int id, net::Prefix prefix, sim::Time delay, int metric)
     : network_(&network), id_(id), prefix_(prefix), delay_(delay), metric_(metric),
@@ -59,6 +82,7 @@ void Segment::transmit(const Node& sender, const net::Frame& frame) {
                 2, sim::ChoicePoint{sim::ChoicePoint::Kind::kFrameLoss, id_}) == 1) {
             ++frames_lost_;
             network_->stats().count_dropped_loss();
+            record_segment_loss(*network_, sender, id_, frame.packet);
             return;
         }
     }
@@ -70,6 +94,7 @@ void Segment::transmit(const Node& sender, const net::Frame& frame) {
         if (coin(loss_rng_) < loss_rate_) {
             ++frames_lost_;
             network_->stats().count_dropped_loss();
+            record_segment_loss(*network_, sender, id_, frame.packet);
             return;
         }
     }

@@ -1,0 +1,395 @@
+// Flight-recorder and typed-drop-accounting tests: one scenario per
+// DropReason asserting that (a) the labeled pimlib_forward_drops_total
+// counter increments and (b) the recorded HopRecord carries the reason —
+// plus the mtrace-style path attribution on the walkthrough pentagon,
+// covering both the shared-tree and the post-switchover SPT phase.
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+#include "mcast/forwarding_cache.hpp"
+#include "provenance/provenance.hpp"
+#include "test_util.hpp"
+#include "topo/segment.hpp"
+
+namespace pimlib::test {
+namespace {
+
+using provenance::DropReason;
+using provenance::EntryKind;
+using provenance::Recorder;
+
+std::uint64_t drops_counter(telemetry::Registry& reg, DropReason reason) {
+    return reg
+        .counter("pimlib_forward_drops_total",
+                 {{"reason", provenance::drop_reason_label(reason)}})
+        .value();
+}
+
+/// The dump names the reason on a per-record basis; asserting on the JSON
+/// checks the record itself, not just the aggregate counter.
+bool dump_names_reason(const Recorder& rec, DropReason reason) {
+    const std::string needle =
+        std::string("\"drop\":\"") + provenance::drop_reason_label(reason) + "\"";
+    return rec.dump_json().find(needle) != std::string::npos;
+}
+
+// --- data-plane drops on a one-router topology ----------------------------
+
+class DropRecorderTest : public ::testing::Test, public mcast::DataPlane::Delegate {
+protected:
+    DropRecorderTest() : recorder(net.telemetry().registry()) {
+        r = &net.add_router("r");
+        lan_in = &net.add_lan({r});  // ifindex 0
+        lan_out = &net.add_lan({r}); // ifindex 1
+        source = &net.add_host("src", *lan_in);
+        member = &net.add_host("m", *lan_out);
+        member->join_group(kGroup);
+        net.set_provenance(&recorder);
+        plane = std::make_unique<mcast::DataPlane>(*r, cache);
+        plane->set_delegate(this);
+    }
+
+    void send_from_source() {
+        source->send_data(kGroup);
+        net.run_for(10 * sim::kMillisecond);
+    }
+
+    [[nodiscard]] telemetry::Registry& registry() {
+        return net.telemetry().registry();
+    }
+
+    topo::Network net;
+    Recorder recorder;
+    topo::Router* r;
+    topo::Segment* lan_in;
+    topo::Segment* lan_out;
+    topo::Host* source;
+    topo::Host* member;
+    mcast::ForwardingCache cache;
+    std::unique_ptr<mcast::DataPlane> plane;
+};
+
+TEST_F(DropRecorderTest, RpfFailIsCountedAndRecorded) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(1); // wrong on purpose: data arrives on 0
+    sg.set_spt_bit(true);
+    sg.pin_oif(1);
+    send_from_source();
+    EXPECT_EQ(recorder.drop_count(DropReason::kRpfFail), 1u);
+    EXPECT_EQ(drops_counter(registry(), DropReason::kRpfFail), 1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kRpfFail));
+    EXPECT_EQ(member->received_count(kGroup), 0u);
+}
+
+TEST_F(DropRecorderTest, NegCacheIsCountedAndRecorded) {
+    // An RP-bit entry whose every oif has been pruned away discards by
+    // design (§3.3): the drop must read "neg-cache", not "no-oif".
+    auto& wc = cache.ensure_wc(net::Ipv4Address(192, 168, 0, 9), kGroup);
+    wc.set_iif(0);
+    send_from_source();
+    EXPECT_EQ(recorder.drop_count(DropReason::kNegCache), 1u);
+    EXPECT_EQ(drops_counter(registry(), DropReason::kNegCache), 1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kNegCache));
+    EXPECT_EQ(recorder.drop_count(DropReason::kNoOif), 0u);
+}
+
+TEST_F(DropRecorderTest, NoOifIsCountedAndRecorded) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.set_spt_bit(true); // no live oifs, not an RP-bit entry
+    send_from_source();
+    EXPECT_EQ(recorder.drop_count(DropReason::kNoOif), 1u);
+    EXPECT_EQ(drops_counter(registry(), DropReason::kNoOif), 1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kNoOif));
+    EXPECT_EQ(recorder.drop_count(DropReason::kNegCache), 0u);
+}
+
+TEST_F(DropRecorderTest, TtlExpiryIsCountedAndRecorded) {
+    auto& sg = cache.ensure_sg(source->address(), kGroup);
+    sg.set_iif(0);
+    sg.set_spt_bit(true);
+    sg.pin_oif(1);
+    net::Packet packet;
+    packet.src = source->address();
+    packet.dst = kGroup.address();
+    packet.ttl = 1; // the router would decrement to zero: not forwardable
+    packet.seq = 7;
+    packet.pid = provenance::packet_id(packet.src, packet.dst, packet.seq);
+    plane->on_multicast_data(0, packet);
+    EXPECT_EQ(recorder.drop_count(DropReason::kTtl), 1u);
+    EXPECT_EQ(drops_counter(registry(), DropReason::kTtl), 1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kTtl));
+}
+
+TEST_F(DropRecorderTest, SegmentLossIsCountedAndRecorded) {
+    fault::FaultInjector faults(net);
+    faults.set_loss(*lan_in, 1.0); // every frame on the source LAN vanishes
+    send_from_source();
+    EXPECT_GE(recorder.drop_count(DropReason::kSegmentLoss), 1u);
+    EXPECT_GE(drops_counter(registry(), DropReason::kSegmentLoss), 1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kSegmentLoss));
+    EXPECT_EQ(member->received_count(kGroup), 0u);
+}
+
+// --- protocol-level drops (PIM-SM classification) -------------------------
+
+TEST(ProvenanceProtocolDrops, NoStateWhenGroupHasNoRpMapping) {
+    Fig3Topology topo;
+    Recorder recorder(topo.net.telemetry().registry());
+    topo.net.set_provenance(&recorder);
+    scenario::PimSmStack stack(topo.net, fast_config());
+    // No set_rp: the source's DR can neither register nor build state.
+    topo.net.run_for(500 * sim::kMillisecond);
+    topo.source->send_data(kGroup);
+    topo.net.run_for(50 * sim::kMillisecond);
+    EXPECT_GE(recorder.drop_count(DropReason::kNoState), 1u);
+    EXPECT_GE(drops_counter(topo.net.telemetry().registry(), DropReason::kNoState),
+              1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kNoState));
+}
+
+TEST(ProvenanceProtocolDrops, AssertLoserOnSharedSourceLan) {
+    // Two routers on the source LAN, neither of them on the shared tree:
+    // the non-DR one must cede origination to the DR and account its
+    // discard as "assert-loser" (the '94 architecture's duplicate
+    // suppression), not as a generic no-state drop.
+    topo::Network net;
+    topo::Router& a = net.add_router("A");
+    topo::Router& b = net.add_router("B");
+    topo::Router& c = net.add_router("C"); // RP, off the source LAN
+    topo::Router& d = net.add_router("D");
+    topo::Router& x = net.add_router("X"); // second router on the source LAN
+    auto& lan0 = net.add_lan({&a});
+    topo::Host& receiver = net.add_host("receiver", lan0);
+    net.add_link(a, b);
+    net.add_link(b, c);
+    net.add_link(b, d);
+    auto& lan1 = net.add_lan({&d, &x});
+    topo::Host& source = net.add_host("source", lan1);
+    unicast::OracleRouting routing(net);
+    Recorder recorder(net.telemetry().registry());
+    net.set_provenance(&recorder);
+    scenario::PimSmStack stack(net, fast_config());
+    stack.set_rp(kGroup, {c.router_id()});
+    net.run_for(800 * sim::kMillisecond); // hellos elect the LAN's DR
+    stack.host_agent(receiver).join(kGroup);
+    net.run_for(200 * sim::kMillisecond);
+    source.send_stream(kGroup, 5, 10 * sim::kMillisecond);
+    net.run_for(200 * sim::kMillisecond);
+    EXPECT_GE(recorder.drop_count(DropReason::kAssertLoser), 1u);
+    EXPECT_GE(drops_counter(net.telemetry().registry(), DropReason::kAssertLoser),
+              1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kAssertLoser));
+    EXPECT_GE(receiver.received_count(kGroup), 1u); // the DR still delivers
+}
+
+TEST(ProvenanceProtocolDrops, NoRouteWhenRegisterTargetUnreachable) {
+    Fig3Topology topo;
+    Recorder recorder(topo.net.telemetry().registry());
+    topo.net.set_provenance(&recorder);
+    scenario::PimSmStack stack(topo.net, fast_config());
+    stack.set_rp(kGroup, {topo.c->router_id()});
+    fault::FaultInjector faults(topo.net);
+    stack.wire_faults(faults);
+    topo.net.run_for(500 * sim::kMillisecond);
+    faults.crash_router(*topo.c); // the RP vanishes; no alternate exists
+    topo.net.run_for(100 * sim::kMillisecond);
+    topo.source->send_data(kGroup);
+    topo.net.run_for(100 * sim::kMillisecond);
+    EXPECT_GE(recorder.drop_count(DropReason::kNoRoute), 1u);
+    EXPECT_GE(drops_counter(topo.net.telemetry().registry(), DropReason::kNoRoute),
+              1u);
+    EXPECT_TRUE(dump_names_reason(recorder, DropReason::kNoRoute));
+}
+
+// --- mtrace path attribution on the walkthrough pentagon ------------------
+
+/// The five-router pentagon of check/scenario.cpp's walkthrough: receiver
+/// behind A, source behind B, RP at C, viewer behind D. A's unicast route
+/// to the source runs A-E-B (metric 2), so the immediate SPT switchover
+/// moves the receiver's delivery path off the RP.
+struct Pentagon {
+    topo::Network net;
+    topo::Router* a;
+    topo::Router* b;
+    topo::Router* c;
+    topo::Router* d;
+    topo::Router* e;
+    topo::Host* receiver;
+    topo::Host* source;
+    topo::Host* viewer;
+    std::unique_ptr<unicast::OracleRouting> routing;
+
+    Pentagon() {
+        constexpr sim::Time kMs = sim::kMillisecond;
+        a = &net.add_router("A");
+        b = &net.add_router("B");
+        c = &net.add_router("C");
+        d = &net.add_router("D");
+        e = &net.add_router("E");
+        net.add_link(*a, *e, 1 * kMs, 1);
+        net.add_link(*e, *b, 20 * kMs, 1);
+        net.add_link(*a, *c, 1 * kMs, 1);
+        net.add_link(*b, *c, 1 * kMs, 2);
+        net.add_link(*c, *d, 1 * kMs, 1);
+        auto& lan0 = net.add_lan({a});
+        auto& lan1 = net.add_lan({b});
+        auto& lan2 = net.add_lan({d});
+        receiver = &net.add_host("receiver", lan0);
+        source = &net.add_host("source", lan1);
+        viewer = &net.add_host("viewer", lan2);
+        routing = std::make_unique<unicast::OracleRouting>(net);
+    }
+};
+
+std::vector<std::string> hop_nodes(const Recorder::TraceResult& result) {
+    std::vector<std::string> nodes;
+    for (const auto& hop : result.hops) nodes.push_back(hop.node_name);
+    return nodes;
+}
+
+bool ordered_subpath(const std::vector<std::string>& nodes,
+                     const std::vector<std::string>& expect) {
+    std::size_t at = 0;
+    for (const std::string& want : expect) {
+        while (at < nodes.size() && nodes[at] != want) ++at;
+        if (at == nodes.size()) return false;
+        ++at;
+    }
+    return true;
+}
+
+TEST(ProvenancePentagon, TraceShowsSharedTreeThenSptPath) {
+    constexpr sim::Time kMs = sim::kMillisecond;
+    Pentagon topo;
+    Recorder recorder(topo.net.telemetry().registry());
+    topo.net.set_provenance(&recorder);
+    scenario::PimSmStack stack(topo.net, fast_config());
+    stack.set_rp(kGroup, {topo.c->router_id()});
+    stack.set_spt_policy(pim::SptPolicy::immediate());
+
+    topo.net.simulator().schedule_at(
+        120 * kMs, [&] { stack.host_agent(*topo.receiver).join(kGroup); });
+    topo.net.simulator().schedule_at(
+        130 * kMs, [&] { stack.host_agent(*topo.viewer).join(kGroup); });
+    topo.source->send_stream(kGroup, 30, 10 * kMs, 250 * kMs);
+
+    // Phase 1 — the first packet travels the shared tree while the
+    // triggered (S,G) joins are still propagating: register at the source
+    // DR, decapsulation at the RP, (*,G) down to the receiver.
+    topo.net.run_for(259 * kMs);
+    const Recorder::TraceResult shared =
+        recorder.trace(topo.source->address(), kGroup.address(), "receiver");
+    ASSERT_TRUE(shared.found);
+    EXPECT_EQ(shared.seq, 1u);
+    EXPECT_TRUE(ordered_subpath(hop_nodes(shared),
+                                {"source", "B", "C", "A", "receiver"}))
+        << recorder.format_trace(shared);
+    bool saw_register = false;
+    bool saw_wildcard_at_rp = false;
+    for (const auto& hop : shared.hops) {
+        if (hop.node_name == "B" && hop.rec.kind == EntryKind::kRegister) {
+            saw_register = true;
+        }
+        if (hop.node_name == "C" && hop.rec.kind == EntryKind::kWildcard) {
+            saw_wildcard_at_rp = true;
+        }
+    }
+    EXPECT_TRUE(saw_register) << recorder.format_trace(shared);
+    EXPECT_TRUE(saw_wildcard_at_rp) << recorder.format_trace(shared);
+
+    // Phase 2 — steady state on the SPT: the receiver's path now runs
+    // source → B → E → A, native (S,G) forwarding with the SPT bit set,
+    // and no register hop anywhere.
+    topo.net.run_for(1241 * kMs); // to t = 1.5 s
+    const Recorder::TraceResult spt =
+        recorder.trace(topo.source->address(), kGroup.address(), "receiver");
+    ASSERT_TRUE(spt.found);
+    EXPECT_EQ(spt.seq, 30u);
+    EXPECT_TRUE(ordered_subpath(hop_nodes(spt),
+                                {"source", "B", "E", "A", "receiver"}))
+        << recorder.format_trace(spt);
+    for (const auto& hop : spt.hops) {
+        EXPECT_NE(hop.rec.kind, EntryKind::kRegister)
+            << recorder.format_trace(spt);
+        if (hop.node_name == "E" || hop.node_name == "A") {
+            EXPECT_EQ(hop.rec.kind, EntryKind::kSg);
+            EXPECT_TRUE(hop.rec.spt_bit);
+        }
+    }
+    // Per-hop latency attribution: the E hop sits behind the 20 ms link.
+    for (std::size_t i = 1; i < spt.hops.size(); ++i) {
+        if (spt.hops[i].node_name == "E") {
+            EXPECT_GE(spt.hops[i].latency, 15 * kMs);
+        }
+    }
+}
+
+TEST(ProvenancePentagon, DropSummaryNamesRouterAndReason) {
+    // The SPT switchover's transition window drops straggler shared-tree
+    // copies at A with an rpf-fail: the one-line summary must name both.
+    Pentagon topo;
+    Recorder recorder(topo.net.telemetry().registry());
+    topo.net.set_provenance(&recorder);
+    scenario::PimSmStack stack(topo.net, fast_config());
+    stack.set_rp(kGroup, {topo.c->router_id()});
+    stack.set_spt_policy(pim::SptPolicy::immediate());
+    topo.net.simulator().schedule_at(120 * sim::kMillisecond, [&] {
+        stack.host_agent(*topo.receiver).join(kGroup);
+    });
+    topo.net.simulator().schedule_at(130 * sim::kMillisecond, [&] {
+        stack.host_agent(*topo.viewer).join(kGroup);
+    });
+    topo.source->send_stream(kGroup, 30, 10 * sim::kMillisecond,
+                             250 * sim::kMillisecond);
+    topo.net.run_for(1500 * sim::kMillisecond);
+    ASSERT_GT(recorder.drop_count(DropReason::kRpfFail), 0u);
+    const std::string summary = recorder.drop_summary();
+    EXPECT_NE(summary.find("A"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("rpf-fail"), std::string::npos) << summary;
+}
+
+// --- recorder mechanics ---------------------------------------------------
+
+TEST(ProvenanceRecorder, RingStaysBounded) {
+    telemetry::Registry reg;
+    Recorder rec(reg, {.ring_capacity = 4});
+    rec.register_node(0, "r", false);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        provenance::HopRecord hop;
+        hop.pid = 1000 + i;
+        hop.node = 0;
+        hop.at = static_cast<sim::Time>(i);
+        rec.append(hop);
+    }
+    EXPECT_EQ(rec.total_records(), 100u);
+    // Only the 4 newest survive.
+    EXPECT_TRUE(rec.records_for(1099).size() == 1 &&
+                rec.records_for(1095).empty());
+}
+
+TEST(ProvenanceRecorder, DisabledRecorderAppendsNothing) {
+    telemetry::Registry reg;
+    Recorder rec(reg);
+    rec.set_enabled(false);
+    provenance::HopRecord hop;
+    hop.pid = 1;
+    hop.node = 0;
+    hop.drop = DropReason::kRpfFail;
+    rec.append(hop);
+    EXPECT_EQ(rec.total_records(), 0u);
+    EXPECT_EQ(rec.drop_count(DropReason::kRpfFail), 0u);
+}
+
+TEST(ProvenanceRecorder, PacketIdIsDeterministicAndNeverZero) {
+    const net::Ipv4Address s(10, 0, 0, 1);
+    const net::Ipv4Address g(224, 1, 1, 1);
+    EXPECT_EQ(provenance::packet_id(s, g, 1), provenance::packet_id(s, g, 1));
+    EXPECT_NE(provenance::packet_id(s, g, 1), provenance::packet_id(s, g, 2));
+    for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+        EXPECT_NE(provenance::packet_id(s, g, seq), 0u);
+    }
+}
+
+} // namespace
+} // namespace pimlib::test

@@ -285,6 +285,38 @@ TEST(Exporters, PrometheusEscapesLabelValues) {
     EXPECT_EQ(text.find("help\ntext"), std::string::npos); // help newline escaped
 }
 
+TEST(Exporters, PrometheusSurvivesHostileLabelValues) {
+    // Regression guard for the drop-reason labels and any future
+    // user-supplied label (scenario names, interface names): values that
+    // are nothing but escapes, end in a backslash, or embed the exposition
+    // format's own structural characters must round-trip unambiguously.
+    EXPECT_EQ(telemetry::prometheus_escape("trailing\\"), "trailing\\\\");
+    EXPECT_EQ(telemetry::prometheus_escape("\\\"\n"), "\\\\\\\"\\n");
+    EXPECT_EQ(telemetry::prometheus_escape(""), "");
+    // Braces, equals and commas are structural in the exposition format but
+    // legal inside a quoted value — they must pass through unescaped.
+    EXPECT_EQ(telemetry::prometheus_escape("a{b=\"c\",d}"), "a{b=\\\"c\\\",d}");
+
+    Registry reg;
+    reg.counter("pimlib_hostile_total", {{"reason", "end\\"}}).inc();
+    reg.counter("pimlib_hostile_total", {{"reason", "a{b=c},d"}}).inc();
+    const std::string text = telemetry::to_prometheus(reg);
+    EXPECT_NE(text.find("reason=\"end\\\\\""), std::string::npos) << text;
+    EXPECT_NE(text.find("reason=\"a{b=c},d\""), std::string::npos) << text;
+}
+
+TEST(Exporters, JsonEscapesControlAndQuoteCharacters) {
+    EXPECT_EQ(telemetry::json_escape("tab\there"), "tab\\there");
+    EXPECT_EQ(telemetry::json_escape("q\"q"), "q\\\"q");
+    EXPECT_EQ(telemetry::json_escape("b\\s"), "b\\\\s");
+    EXPECT_EQ(telemetry::json_escape("nl\n"), "nl\\n");
+
+    Registry reg;
+    reg.counter("pimlib_hostile_total", {{"k", "v\"w\\x\ty"}}).inc();
+    const std::string text = telemetry::to_json(reg);
+    EXPECT_NE(text.find("v\\\"w\\\\x\\ty"), std::string::npos) << text;
+}
+
 TEST(Exporters, PrometheusHistogramIsCumulativeWithInfBucket) {
     Registry reg;
     telemetry::Histogram& h =
