@@ -7,65 +7,84 @@ namespace pimlib::mcast {
 
 ForwardingEntry* ForwardingCache::find_sg(net::Ipv4Address source, net::GroupAddress group) {
     auto it = sg_.find(SgKey{source, group});
-    return it == sg_.end() ? nullptr : &it->second;
+    return it == sg_.end() ? nullptr : it->second;
 }
 
 const ForwardingEntry* ForwardingCache::find_sg(net::Ipv4Address source,
                                                 net::GroupAddress group) const {
     auto it = sg_.find(SgKey{source, group});
-    return it == sg_.end() ? nullptr : &it->second;
+    return it == sg_.end() ? nullptr : it->second;
 }
 
 ForwardingEntry* ForwardingCache::find_wc(net::GroupAddress group) {
     auto it = wc_.find(group);
-    return it == wc_.end() ? nullptr : &it->second;
+    return it == wc_.end() ? nullptr : it->second;
 }
 
 const ForwardingEntry* ForwardingCache::find_wc(net::GroupAddress group) const {
     auto it = wc_.find(group);
-    return it == wc_.end() ? nullptr : &it->second;
+    return it == wc_.end() ? nullptr : it->second;
 }
 
 ForwardingEntry& ForwardingCache::ensure_sg(net::Ipv4Address source, net::GroupAddress group) {
     auto it = sg_.find(SgKey{source, group});
-    if (it != sg_.end()) return it->second;
-    return sg_.emplace(SgKey{source, group}, ForwardingEntry::make_sg(source, group))
-        .first->second;
+    if (it != sg_.end()) return *it->second;
+    ForwardingEntry* entry = arena_.create(ForwardingEntry::make_sg(source, group));
+    sg_.emplace(SgKey{source, group}, entry);
+    return *entry;
 }
 
 ForwardingEntry& ForwardingCache::ensure_wc(net::Ipv4Address rp, net::GroupAddress group) {
     auto it = wc_.find(group);
-    if (it != wc_.end()) return it->second;
-    return wc_.emplace(group, ForwardingEntry::make_wc(rp, group)).first->second;
+    if (it != wc_.end()) return *it->second;
+    ForwardingEntry* entry = arena_.create(ForwardingEntry::make_wc(rp, group));
+    wc_.emplace(group, entry);
+    return *entry;
 }
 
 void ForwardingCache::remove_sg(net::Ipv4Address source, net::GroupAddress group) {
-    sg_.erase(SgKey{source, group});
+    auto it = sg_.find(SgKey{source, group});
+    if (it == sg_.end()) return;
+    arena_.destroy(it->second);
+    sg_.erase(it);
 }
 
-void ForwardingCache::remove_wc(net::GroupAddress group) { wc_.erase(group); }
+void ForwardingCache::remove_wc(net::GroupAddress group) {
+    auto it = wc_.find(group);
+    if (it == wc_.end()) return;
+    arena_.destroy(it->second);
+    wc_.erase(it);
+}
+
+void ForwardingCache::clear() {
+    for (auto& [key, entry] : sg_) arena_.destroy(entry);
+    for (auto& [group, entry] : wc_) arena_.destroy(entry);
+    sg_.clear();
+    wc_.clear();
+}
 
 void ForwardingCache::for_each_sg(const std::function<void(ForwardingEntry&)>& fn) {
-    for (auto& [key, entry] : sg_) fn(entry);
+    for (auto& [key, entry] : sg_) fn(*entry);
 }
 
 void ForwardingCache::for_each_wc(const std::function<void(ForwardingEntry&)>& fn) {
-    for (auto& [key, entry] : wc_) fn(entry);
+    for (auto& [key, entry] : wc_) fn(*entry);
 }
 
 void ForwardingCache::for_each_sg_of(net::GroupAddress group,
                                      const std::function<void(ForwardingEntry&)>& fn) {
     for (auto& [key, entry] : sg_) {
-        if (key.second == group) fn(entry);
+        if (key.second == group) fn(*entry);
     }
 }
 
 std::vector<ForwardingCache::SgKey> ForwardingCache::reap_expired_entries(sim::Time now) {
     std::vector<SgKey> removed;
     for (auto it = sg_.begin(); it != sg_.end();) {
-        const sim::Time at = it->second.delete_at();
+        const sim::Time at = it->second->delete_at();
         if (at != 0 && now >= at) {
             removed.push_back(it->first);
+            arena_.destroy(it->second);
             it = sg_.erase(it);
         } else {
             ++it;
@@ -105,10 +124,10 @@ telemetry::RouterMrib ForwardingCache::snapshot(const std::string& router_name,
     out.router = router_name;
     out.entries.reserve(wc_.size() + sg_.size());
     for (const auto& [group, entry] : wc_) {
-        out.entries.push_back(snapshot_entry(entry, now));
+        out.entries.push_back(snapshot_entry(*entry, now));
     }
     for (const auto& [key, entry] : sg_) {
-        out.entries.push_back(snapshot_entry(entry, now));
+        out.entries.push_back(snapshot_entry(*entry, now));
     }
     return out;
 }
@@ -127,12 +146,14 @@ void DataPlane::replicate(const ForwardingEntry& entry, int ifindex,
     net::Packet out = packet;
     out.ttl -= 1;
     const sim::Time now = router_->simulator().now();
-    for (int oif : entry.live_oifs(now)) {
-        if (oif == ifindex) continue; // never back out the arrival interface
-        if (oif < 0 || oif >= router_->interface_count()) continue;
+    // Allocation-free walk of the flat oif list — this is the per-packet
+    // replication path.
+    entry.for_each_live_oif(now, [&](int oif) {
+        if (oif == ifindex) return; // never back out the arrival interface
+        if (oif < 0 || oif >= router_->interface_count()) return;
         if (pending_hop_ != nullptr) pending_hop_->add_oif(oif);
         router_->send(oif, net::Frame{std::nullopt, out});
-    }
+    });
 }
 
 void DataPlane::forward_recorded(const ForwardingEntry& entry, int ifindex,
@@ -204,8 +225,8 @@ void DataPlane::record_hop(int ifindex, const net::Packet& packet,
         hop->spt_bit = entry->spt_bit();
         hop->rp_bit = entry->rp_bit();
         if (drop == provenance::DropReason::kNone) {
-            // Iterate the oif map in place: live_oifs() would allocate a
-            // vector per recorded hop.
+            // Iterate the flat oif list in place: live_oifs() would allocate
+            // a vector per recorded hop.
             for (const auto& [oif, state] : entry->oifs()) {
                 if (!state.alive(hop->at)) continue;
                 if (oif == ifindex) continue;

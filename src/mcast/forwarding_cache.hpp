@@ -13,6 +13,7 @@
 #include "mcast/forwarding_entry.hpp"
 #include "net/packet.hpp"
 #include "provenance/provenance.hpp"
+#include "sim/arena.hpp"
 #include "telemetry/snapshot.hpp"
 #include "topo/router.hpp"
 
@@ -35,7 +36,7 @@ public:
     void remove_sg(net::Ipv4Address source, net::GroupAddress group);
     void remove_wc(net::GroupAddress group);
     /// Drops every entry — what a router crash does to its MFC.
-    void clear() { sg_.clear(); wc_.clear(); }
+    void clear();
 
     [[nodiscard]] std::size_t size() const { return sg_.size() + wc_.size(); }
     [[nodiscard]] std::size_t sg_count() const { return sg_.size(); }
@@ -59,8 +60,13 @@ public:
                                                  sim::Time now) const;
 
 private:
-    std::map<SgKey, ForwardingEntry> sg_;
-    std::map<net::GroupAddress, ForwardingEntry> wc_;
+    // Entries live in a slab arena (stable addresses, recycled slots, no
+    // per-entry heap churn at million-entry scale); the maps are sorted
+    // *indexes* over the arena, which keeps snapshot()/for_each iteration
+    // order deterministic for pimcheck replay hashing.
+    sim::Arena<ForwardingEntry> arena_;
+    std::map<SgKey, ForwardingEntry*> sg_;
+    std::map<net::GroupAddress, ForwardingEntry*> wc_;
 };
 
 /// Data-plane engine: receives every non-link-local multicast packet the

@@ -21,35 +21,70 @@ ForwardingEntry ForwardingEntry::make_wc(net::Ipv4Address rp, net::GroupAddress 
     return e;
 }
 
+ForwardingEntry::OifList::iterator ForwardingEntry::lower_bound_oif(int ifindex) {
+    return std::lower_bound(
+        oifs_.begin(), oifs_.end(), ifindex,
+        [](const std::pair<int, OifState>& a, int b) { return a.first < b; });
+}
+
+OifState& ForwardingEntry::ensure_oif(int ifindex) {
+    auto it = lower_bound_oif(ifindex);
+    if (it == oifs_.end() || it->first != ifindex) {
+        it = oifs_.insert(it, {ifindex, OifState{}});
+    }
+    return it->second;
+}
+
+const OifState* ForwardingEntry::find_oif(int ifindex) const {
+    auto it = std::lower_bound(
+        oifs_.begin(), oifs_.end(), ifindex,
+        [](const std::pair<int, OifState>& a, int b) { return a.first < b; });
+    if (it == oifs_.end() || it->first != ifindex) return nullptr;
+    return &it->second;
+}
+
 void ForwardingEntry::add_oif(int ifindex, sim::Time expires) {
-    auto& state = oifs_[ifindex];
+    OifState& state = ensure_oif(ifindex);
     state.expires = std::max(state.expires, expires);
     delete_at_ = 0; // oif list non-null again
 }
 
 void ForwardingEntry::pin_oif(int ifindex) {
-    oifs_[ifindex].pinned = true;
+    ensure_oif(ifindex).pinned = true;
     delete_at_ = 0;
 }
 
 void ForwardingEntry::unpin_oif(int ifindex) {
-    auto it = oifs_.find(ifindex);
-    if (it == oifs_.end()) return;
+    auto it = lower_bound_oif(ifindex);
+    if (it == oifs_.end() || it->first != ifindex) return;
     it->second.pinned = false;
     if (it->second.expires == 0) oifs_.erase(it);
 }
 
 void ForwardingEntry::refresh_oif(int ifindex, sim::Time expires) {
-    auto it = oifs_.find(ifindex);
-    if (it == oifs_.end()) return;
+    auto it = lower_bound_oif(ifindex);
+    if (it == oifs_.end() || it->first != ifindex) return;
     it->second.expires = std::max(it->second.expires, expires);
 }
 
-void ForwardingEntry::remove_oif(int ifindex) { oifs_.erase(ifindex); }
+void ForwardingEntry::remove_oif(int ifindex) {
+    auto it = lower_bound_oif(ifindex);
+    if (it != oifs_.end() && it->first == ifindex) oifs_.erase(it);
+}
 
 void ForwardingEntry::mark_pruned(int ifindex) {
-    pruned_oifs_.insert(ifindex);
-    oifs_.erase(ifindex);
+    auto it = std::lower_bound(pruned_oifs_.begin(), pruned_oifs_.end(), ifindex);
+    if (it == pruned_oifs_.end() || *it != ifindex) pruned_oifs_.insert(it, ifindex);
+    remove_oif(ifindex);
+}
+
+void ForwardingEntry::clear_pruned(int ifindex) {
+    auto it = std::lower_bound(pruned_oifs_.begin(), pruned_oifs_.end(), ifindex);
+    if (it != pruned_oifs_.end() && *it == ifindex) pruned_oifs_.erase(it);
+}
+
+bool ForwardingEntry::is_pruned(int ifindex) const {
+    return std::binary_search(pruned_oifs_.begin(), pruned_oifs_.end(), ifindex);
 }
 
 std::vector<int> ForwardingEntry::live_oifs(sim::Time now) const {
@@ -63,14 +98,15 @@ std::vector<int> ForwardingEntry::live_oifs(sim::Time now) const {
 
 std::vector<int> ForwardingEntry::expire_oifs(sim::Time now) {
     std::vector<int> removed;
-    for (auto it = oifs_.begin(); it != oifs_.end();) {
-        if (!it->second.alive(now)) {
-            removed.push_back(it->first);
-            it = oifs_.erase(it);
+    auto keep = oifs_.begin();
+    for (auto& oif : oifs_) {
+        if (oif.second.alive(now)) {
+            *keep++ = oif;
         } else {
-            ++it;
+            removed.push_back(oif.first);
         }
     }
+    oifs_.erase(keep, oifs_.end());
     return removed;
 }
 

@@ -2,12 +2,18 @@
 // (S,G) entries with incoming interface, outgoing interface list with
 // per-interface timers, and the WC (wildcard), RP and SPT bits. A (*,G)
 // entry stores the RP address in place of the source and has the WC bit set.
+//
+// Layout is deliberately flat: the oif list and the pruned-oif set are small
+// sorted vectors (routers have a handful of interfaces), so the per-packet
+// walk in DataPlane::replicate touches one contiguous run of memory instead
+// of chasing red-black tree nodes, and entries arena-allocate cleanly
+// (see ForwardingCache). docs/TIMERS.md quantifies why this matters at
+// million-entry scale.
 #pragma once
 
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/ipv4.hpp"
@@ -28,6 +34,10 @@ struct OifState {
 
 class ForwardingEntry {
 public:
+    /// Sorted by ifindex; iteration yields (ifindex, state) pairs just like
+    /// the std::map this replaced.
+    using OifList = std::vector<std::pair<int, OifState>>;
+
     /// Makes an (S,G) shortest-path-tree entry.
     static ForwardingEntry make_sg(net::Ipv4Address source, net::GroupAddress group);
     /// Makes a (*,G) shared-tree entry; `rp` is stored in the source slot
@@ -67,22 +77,38 @@ public:
     void refresh_oif(int ifindex, sim::Time expires);
     /// Removes outright (prune or timer expiry).
     void remove_oif(int ifindex);
-    [[nodiscard]] bool has_oif(int ifindex) const { return oifs_.contains(ifindex); }
-    [[nodiscard]] const std::map<int, OifState>& oifs() const { return oifs_; }
-    /// Interfaces alive at `now` (pinned or unexpired).
+    [[nodiscard]] bool has_oif(int ifindex) const { return find_oif(ifindex) != nullptr; }
+    /// The interface's state, or null when absent.
+    [[nodiscard]] const OifState* find_oif(int ifindex) const;
+    [[nodiscard]] const OifList& oifs() const { return oifs_; }
+    /// Calls `fn(ifindex)` for every interface alive at `now`, allocation
+    /// free — this is the data plane's per-packet path.
+    template <typename Fn>
+    void for_each_live_oif(sim::Time now, Fn&& fn) const {
+        for (const auto& [ifindex, state] : oifs_) {
+            if (state.alive(now)) fn(ifindex);
+        }
+    }
+    /// Interfaces alive at `now` (pinned or unexpired). Allocates; tests and
+    /// slow paths only — the data plane uses for_each_live_oif.
     [[nodiscard]] std::vector<int> live_oifs(sim::Time now) const;
     /// Drops oifs whose timers have expired; returns the removed interfaces.
     [[nodiscard]] std::vector<int> expire_oifs(sim::Time now);
-    [[nodiscard]] bool oif_list_empty(sim::Time now) const { return live_oifs(now).empty(); }
+    [[nodiscard]] bool oif_list_empty(sim::Time now) const {
+        for (const auto& [ifindex, state] : oifs_) {
+            if (state.alive(now)) return false;
+        }
+        return true;
+    }
 
     // --- negative-cache prune state (for (S,G)RP-bit entries, §3.3) ---
     /// Marks `ifindex` pruned for this source on the shared tree: the oif is
     /// removed and remembered so that future (*,G) oif additions skip it.
     void mark_pruned(int ifindex);
     /// A (*,G) join on the interface cancels the prune.
-    void clear_pruned(int ifindex) { pruned_oifs_.erase(ifindex); }
-    [[nodiscard]] bool is_pruned(int ifindex) const { return pruned_oifs_.contains(ifindex); }
-    [[nodiscard]] const std::set<int>& pruned_oifs() const { return pruned_oifs_; }
+    void clear_pruned(int ifindex);
+    [[nodiscard]] bool is_pruned(int ifindex) const;
+    [[nodiscard]] const std::vector<int>& pruned_oifs() const { return pruned_oifs_; }
 
     // --- entry-level soft state ---
     /// Deletion deadline once the oif list went null (3 × refresh, §3.6);
@@ -102,6 +128,10 @@ public:
     [[nodiscard]] std::string describe() const;
 
 private:
+    [[nodiscard]] OifList::iterator lower_bound_oif(int ifindex);
+    /// Existing state or a fresh default-constructed one, kept sorted.
+    OifState& ensure_oif(int ifindex);
+
     net::GroupAddress group_;
     net::Ipv4Address source_or_rp_;
     bool wc_bit_ = false;
@@ -109,8 +139,8 @@ private:
     bool spt_bit_ = false;
     int iif_ = -1;
     std::optional<net::Ipv4Address> upstream_neighbor_;
-    std::map<int, OifState> oifs_;
-    std::set<int> pruned_oifs_;
+    OifList oifs_;
+    std::vector<int> pruned_oifs_; // sorted
     sim::Time delete_at_ = 0;
     sim::Time rp_timer_deadline_ = 0;
     sim::Time last_data_ = 0;

@@ -37,7 +37,7 @@ EntryFlags decode_flags(std::uint8_t bits) {
 
 std::optional<Code> peek_code(std::span<const std::uint8_t> bytes) {
     if (bytes.size() < 2 || bytes[0] != igmp::kTypePim) return std::nullopt;
-    if (bytes[1] > static_cast<std::uint8_t>(Code::kRpReachability)) return std::nullopt;
+    if (bytes[1] > static_cast<std::uint8_t>(Code::kJoinPruneBundle)) return std::nullopt;
     return static_cast<Code>(bytes[1]);
 }
 
@@ -131,6 +131,66 @@ std::optional<JoinPrune> JoinPrune::decode(std::span<const std::uint8_t> bytes) 
         auto flags = r.get_u8();
         if (!addr || !flags.has_value()) return std::nullopt;
         msg.prunes.push_back(AddressEntry{*addr, decode_flags(*flags)});
+    }
+    if (!r.at_end()) return std::nullopt;
+    return msg;
+}
+
+std::vector<std::uint8_t> JoinPruneBundle::encode() const {
+    std::size_t entries = 0;
+    for (const GroupRecord& rec : groups) entries += rec.joins.size() + rec.prunes.size();
+    net::BufWriter w(12 + groups.size() * 8 + entries * 5);
+    put_header(w, Code::kJoinPruneBundle);
+    w.put_addr(upstream_neighbor);
+    w.put_u32(holdtime_ms);
+    w.put_u16(static_cast<std::uint16_t>(groups.size()));
+    for (const GroupRecord& rec : groups) {
+        w.put_addr(rec.group);
+        w.put_u16(static_cast<std::uint16_t>(rec.joins.size()));
+        w.put_u16(static_cast<std::uint16_t>(rec.prunes.size()));
+        for (const AddressEntry& e : rec.joins) {
+            w.put_addr(e.address);
+            w.put_u8(encode_flags(e.flags));
+        }
+        for (const AddressEntry& e : rec.prunes) {
+            w.put_addr(e.address);
+            w.put_u8(encode_flags(e.flags));
+        }
+    }
+    return w.take();
+}
+
+std::optional<JoinPruneBundle> JoinPruneBundle::decode(
+    std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kJoinPruneBundle)) return std::nullopt;
+    JoinPruneBundle msg;
+    auto upstream = r.get_addr();
+    auto holdtime = r.get_u32();
+    auto ngroups = r.get_u16();
+    if (!upstream || !holdtime || !ngroups) return std::nullopt;
+    msg.upstream_neighbor = *upstream;
+    msg.holdtime_ms = *holdtime;
+    for (std::uint16_t g = 0; g < *ngroups; ++g) {
+        GroupRecord rec;
+        auto group = r.get_addr();
+        auto njoin = r.get_u16();
+        auto nprune = r.get_u16();
+        if (!group || !njoin || !nprune) return std::nullopt;
+        rec.group = *group;
+        for (std::uint16_t i = 0; i < *njoin; ++i) {
+            auto addr = r.get_addr();
+            auto flags = r.get_u8();
+            if (!addr || !flags.has_value()) return std::nullopt;
+            rec.joins.push_back(AddressEntry{*addr, decode_flags(*flags)});
+        }
+        for (std::uint16_t i = 0; i < *nprune; ++i) {
+            auto addr = r.get_addr();
+            auto flags = r.get_u8();
+            if (!addr || !flags.has_value()) return std::nullopt;
+            rec.prunes.push_back(AddressEntry{*addr, decode_flags(*flags)});
+        }
+        msg.groups.push_back(std::move(rec));
     }
     if (!r.at_end()) return std::nullopt;
     return msg;

@@ -652,6 +652,24 @@ void PimSmRouter::on_pim_message(int ifindex, const net::Packet& packet) {
             handle_rp_reachability(ifindex, *msg);
         }
         break;
+    case Code::kJoinPruneBundle:
+        if (auto msg = JoinPruneBundle::decode(packet.payload)) {
+            handle_join_prune_bundle(ifindex, packet, *msg);
+        }
+        break;
+    }
+}
+
+void PimSmRouter::handle_join_prune_bundle(int ifindex, const net::Packet& packet,
+                                           const JoinPruneBundle& msg) {
+    for (const JoinPruneBundle::GroupRecord& rec : msg.groups) {
+        JoinPrune one;
+        one.upstream_neighbor = msg.upstream_neighbor;
+        one.holdtime_ms = msg.holdtime_ms;
+        one.group = rec.group;
+        one.joins = rec.joins;
+        one.prunes = rec.prunes;
+        handle_join_prune(ifindex, packet, one);
     }
 }
 
@@ -1216,11 +1234,48 @@ void PimSmRouter::send_periodic_join_prune() {
         batch.joins.push_back(join_entry_for(sg));
     });
 
+    if (!config_.aggregate_refresh) {
+        for (auto& [key, batch] : batches) {
+            if (batch.joins.empty() && batch.prunes.empty()) continue;
+            send_join_prune(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                            std::move(batch.joins), std::move(batch.prunes));
+        }
+        return;
+    }
+
+    // Regroup per (ifindex, upstream neighbor): the map above is sorted, so
+    // every group headed to the same neighbor is contiguous. One shared
+    // group stays a classic JoinPrune; two or more fold into a single
+    // JoinPruneBundle so the per-tick message count tracks neighbors, not
+    // groups (docs/TIMERS.md).
+    std::vector<JoinPruneBundle::GroupRecord> pending;
+    int pending_if = -1;
+    net::Ipv4Address pending_upstream;
+    auto flush = [&] {
+        if (pending.empty()) return;
+        if (pending.size() == 1) {
+            send_join_prune(pending_if, pending_upstream,
+                            net::GroupAddress{pending.front().group},
+                            std::move(pending.front().joins),
+                            std::move(pending.front().prunes));
+        } else {
+            send_join_prune_bundle(pending_if, pending_upstream, std::move(pending));
+        }
+        pending.clear();
+    };
     for (auto& [key, batch] : batches) {
         if (batch.joins.empty() && batch.prunes.empty()) continue;
-        send_join_prune(std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                        std::move(batch.joins), std::move(batch.prunes));
+        const int ifindex = std::get<0>(key);
+        const net::Ipv4Address upstream = std::get<1>(key);
+        if (ifindex != pending_if || !(upstream == pending_upstream)) {
+            flush();
+            pending_if = ifindex;
+            pending_upstream = upstream;
+        }
+        pending.push_back(JoinPruneBundle::GroupRecord{
+            std::get<2>(key).address(), std::move(batch.joins), std::move(batch.prunes)});
     }
+    flush();
 }
 
 void PimSmRouter::send_triggered_join(const mcast::ForwardingEntry& entry) {
@@ -1269,6 +1324,45 @@ void PimSmRouter::send_join_prune(int ifindex, std::optional<net::Ipv4Address> u
                      group.to_string(),
                      "if=" + std::to_string(ifindex) +
                          " entries=" + std::to_string(msg.prunes.size()));
+        }
+    }
+    router_->send(ifindex, net::Frame{std::nullopt, std::move(packet)});
+}
+
+void PimSmRouter::send_join_prune_bundle(
+    int ifindex, net::Ipv4Address upstream,
+    std::vector<JoinPruneBundle::GroupRecord> groups) {
+    if (ifindex < 0 || ifindex >= router_->interface_count()) return;
+    JoinPruneBundle msg;
+    msg.upstream_neighbor = upstream;
+    msg.holdtime_ms = holdtime_ms();
+    msg.groups = std::move(groups);
+
+    net::Packet packet;
+    packet.src = router_->interface(ifindex).address;
+    packet.dst = net::kAllRouters;
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = msg.encode();
+    ++join_prune_sent_;
+    router_->network().stats().count_control_message("pim");
+    {
+        // Per-group telemetry, exactly as if each record went out alone —
+        // observers should not care about the wire packing.
+        telemetry::Hub& hub = hub_of(*router_);
+        for (const JoinPruneBundle::GroupRecord& rec : msg.groups) {
+            if (!rec.joins.empty()) {
+                hub.emit(telemetry::EventType::kJoinSent, router_->name(), "pim",
+                         rec.group.to_string(),
+                         "if=" + std::to_string(ifindex) +
+                             " entries=" + std::to_string(rec.joins.size()));
+            }
+            if (!rec.prunes.empty()) {
+                hub.emit(telemetry::EventType::kPruneSent, router_->name(), "pim",
+                         rec.group.to_string(),
+                         "if=" + std::to_string(ifindex) +
+                             " entries=" + std::to_string(rec.prunes.size()));
+            }
         }
     }
     router_->send(ifindex, net::Frame{std::nullopt, std::move(packet)});

@@ -72,6 +72,13 @@ struct PimConfig {
     sim::Time join_suppression = 90 * sim::kSecond;
     sim::Time override_delay = 500 * sim::kMillisecond;
 
+    /// Aggregate the periodic refresh into one JoinPruneBundle per
+    /// (interface, upstream neighbor) whenever more than one group shares
+    /// the pair; singletons keep the classic one-group JoinPrune wire form.
+    /// Turns the per-tick message count from O(groups) into O(neighbors)
+    /// (docs/TIMERS.md). Off restores per-group messages throughout.
+    bool aggregate_refresh = true;
+
     /// Seeded-bug switches for the model checker's mutation gate (pimcheck
     /// --mutate …). Both default off; production behavior is unmodified.
     /// skip-spt-bit-handshake prunes the source off the shared tree the
@@ -179,6 +186,10 @@ private:
     void handle_query(int ifindex, const net::Packet& packet, const Query& query);
     void handle_register(const net::Packet& packet, const Register& reg);
     void handle_join_prune(int ifindex, const net::Packet& packet, const JoinPrune& msg);
+    /// Unbundles each group record through handle_join_prune, so aggregated
+    /// refreshes hit the exact same join/prune/suppression logic.
+    void handle_join_prune_bundle(int ifindex, const net::Packet& packet,
+                                  const JoinPruneBundle& msg);
     void handle_rp_reachability(int ifindex, const RpReachability& msg);
 
     void process_targeted_join(int ifindex, net::GroupAddress group,
@@ -202,6 +213,10 @@ private:
     void send_join_prune(int ifindex, std::optional<net::Ipv4Address> upstream,
                          net::GroupAddress group, std::vector<AddressEntry> joins,
                          std::vector<AddressEntry> prunes);
+    /// One wire message carrying every group's refresh for (ifindex,
+    /// upstream); emits the same per-group telemetry as individual sends.
+    void send_join_prune_bundle(int ifindex, net::Ipv4Address upstream,
+                                std::vector<JoinPruneBundle::GroupRecord> groups);
     void send_register(const net::Packet& data, net::Ipv4Address rp);
     /// Registers `packet` with the group's RPs if we are the DR of its
     /// directly-connected source and no native (S,G) path exists yet.

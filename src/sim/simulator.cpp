@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <iterator>
 
 namespace pimlib::sim {
 
@@ -12,64 +11,56 @@ EventId Simulator::schedule(Time delay, Action action) {
 
 EventId Simulator::schedule_at(Time when, Action action) {
     assert(when >= now_ && "cannot schedule into the past");
-    const Key key{when, next_seq_++};
-    queue_.emplace(key, std::move(action));
-    return EventId{key.at, key.seq};
+    if (when < now_) when = now_;
+    const std::uint64_t seq = next_seq_++;
+    TimerWheel::Node* node = wheel_.schedule(when, seq, std::move(action));
+    return EventId{when, seq, node};
 }
 
 bool Simulator::cancel(EventId id) {
     if (!id.valid()) return false;
-    return queue_.erase(Key{id.at_, id.seq_}) > 0;
+    return wheel_.cancel(id.node_, id.seq_);
 }
 
-std::map<Simulator::Key, Simulator::Action>::iterator Simulator::pick_next() {
-    auto it = queue_.begin();
-    if (choices_ == nullptr) return it;
-    // Count the events tied for the earliest time; with >1 the order they
-    // fire in is genuine nondeterminism (message arrivals racing each other
-    // and racing timers), so let the choice source pick. The non-chosen
-    // events stay queued and are re-chosen on the next iterations, which
-    // covers every permutation of the batch.
-    const Time at = it->first.at;
-    std::size_t n = 0;
-    for (auto scan = it; scan != queue_.end() && scan->first.at == at; ++scan) ++n;
-    if (n < 2) return it;
-    std::size_t pick = choices_->choose(n, ChoicePoint{ChoicePoint::Kind::kEventOrder, 0});
-    if (pick >= n) pick = 0;
-    std::advance(it, static_cast<std::ptrdiff_t>(pick));
-    return it;
+std::size_t Simulator::run_loop(Time deadline, bool bounded) {
+    std::size_t count = 0;
+    Time at = 0;
+    const Time limit = bounded ? deadline : TimerWheel::kNoLimit;
+    // The limit keeps the wheel position at or below the deadline even when
+    // the next pending event is far beyond it, so events scheduled after a
+    // bounded run (at times the wheel has not yet reached) file correctly.
+    while (wheel_.next_time(&at, limit)) {
+        wheel_.open_batch(at);
+        now_ = at;
+        // Drain the whole instant before looking at the clock again. Events
+        // scheduled *for this instant* by actions below join the batch, so
+        // the choice source sees every same-time contender each round —
+        // exactly the semantics the ordered-map queue had.
+        while (wheel_.batch_live() > 0) {
+            std::size_t pick = 0;
+            const std::size_t n = wheel_.batch_live();
+            if (choices_ != nullptr && n >= 2) {
+                pick = choices_->choose(
+                    n, ChoicePoint{ChoicePoint::Kind::kEventOrder, 0});
+                if (pick >= n) pick = 0;
+            }
+            Action action = wheel_.take(pick);
+            action();
+            ++executed_;
+            ++count;
+        }
+    }
+    return count;
 }
 
 std::size_t Simulator::run_until(Time deadline) {
-    std::size_t count = 0;
-    while (!queue_.empty()) {
-        if (queue_.begin()->first.at > deadline) break;
-        auto it = pick_next();
-        now_ = it->first.at;
-        // Move the action out before erasing so the action may safely
-        // schedule/cancel other events (including re-entrantly).
-        Action action = std::move(it->second);
-        queue_.erase(it);
-        action();
-        ++executed_;
-        ++count;
-    }
+    const std::size_t count = run_loop(deadline, /*bounded=*/true);
     if (now_ < deadline) now_ = deadline;
     return count;
 }
 
 std::size_t Simulator::run() {
-    std::size_t count = 0;
-    while (!queue_.empty()) {
-        auto it = pick_next();
-        now_ = it->first.at;
-        Action action = std::move(it->second);
-        queue_.erase(it);
-        action();
-        ++executed_;
-        ++count;
-    }
-    return count;
+    return run_loop(/*deadline=*/0, /*bounded=*/false);
 }
 
 void PeriodicTimer::start(Time period) {

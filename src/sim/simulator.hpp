@@ -1,22 +1,18 @@
-// Discrete-event simulation kernel: a virtual clock, an ordered event queue,
-// and cancellable timers. Deterministic: events at equal times fire in
-// scheduling order.
+// Discrete-event simulation kernel: a virtual clock, a hierarchical
+// timing-wheel event store, and cancellable timers. Deterministic: events at
+// equal times fire in scheduling order. See docs/TIMERS.md for the wheel's
+// performance model and the determinism contract.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <utility>
 
+#include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
+
 namespace pimlib::sim {
-
-/// Simulated time in microseconds since simulation start.
-using Time = std::int64_t;
-
-constexpr Time kMicrosecond = 1;
-constexpr Time kMillisecond = 1000 * kMicrosecond;
-constexpr Time kSecond = 1000 * kMillisecond;
 
 /// A labeled nondeterministic decision point. The kernel exposes the places
 /// where a real network is free to behave differently from run to run —
@@ -46,18 +42,27 @@ public:
 };
 
 /// Identifies a scheduled event so it can be cancelled. Default-constructed
-/// ids are "null" and safe to cancel (no-op).
+/// ids are "null" and safe to cancel (no-op). An id names exactly one event
+/// forever: once that event fires or is cancelled the id goes dead, and it
+/// can never alias a later event — the (time, seq) pair is globally unique
+/// and the wheel validates the embedded node handle against it.
 class EventId {
 public:
     constexpr EventId() = default;
     [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
-    friend constexpr auto operator<=>(EventId, EventId) = default;
+    /// Identity is the (time, seq) pair; the node handle is a cache and
+    /// deliberately excluded so comparisons stay run-to-run deterministic.
+    friend constexpr bool operator==(EventId a, EventId b) {
+        return a.at_ == b.at_ && a.seq_ == b.seq_;
+    }
 
 private:
     friend class Simulator;
-    constexpr EventId(Time at, std::uint64_t seq) : at_(at), seq_(seq) {}
+    constexpr EventId(Time at, std::uint64_t seq, TimerWheel::Node* node)
+        : at_(at), seq_(seq), node_(node) {}
     Time at_ = 0;
     std::uint64_t seq_ = 0;
+    TimerWheel::Node* node_ = nullptr;
 };
 
 /// The simulation kernel. Not thread-safe; one simulator per scenario.
@@ -86,7 +91,7 @@ public:
     std::size_t run();
 
     [[nodiscard]] Time now() const { return now_; }
-    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+    [[nodiscard]] std::size_t pending() const { return wheel_.size(); }
     [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
     /// Installs (or, with nullptr, removes) the decision source consulted at
@@ -96,19 +101,15 @@ public:
     [[nodiscard]] ChoiceSource* choice_source() const { return choices_; }
 
 private:
-    struct Key {
-        Time at;
-        std::uint64_t seq;
-        friend auto operator<=>(const Key&, const Key&) = default;
-    };
-    /// The next event to run: the earliest by (time, seq), unless a choice
-    /// source picks another event scheduled for the same instant.
-    std::map<Key, Action>::iterator pick_next();
+    /// Shared body of run()/run_until(): drains same-instant batches off the
+    /// wheel, letting the choice source pick among >= 2 events tied for an
+    /// instant (otherwise they fire in scheduling order).
+    std::size_t run_loop(Time deadline, bool bounded);
 
     Time now_ = 0;
     std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
-    std::map<Key, Action> queue_;
+    TimerWheel wheel_;
     ChoiceSource* choices_ = nullptr;
 };
 

@@ -1,0 +1,17 @@
+// Simulated-time base types, split out of simulator.hpp so the timer wheel
+// (and anything else that only needs a clock type) can avoid the full kernel
+// header. simulator.hpp re-exports everything here.
+#pragma once
+
+#include <cstdint>
+
+namespace pimlib::sim {
+
+/// Simulated time in microseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+} // namespace pimlib::sim

@@ -1,0 +1,166 @@
+// Hierarchical timing wheel: the event store behind sim::Simulator.
+//
+// The soft-state design of the paper means every (S,G)/(*,G) entry carries
+// refresh and expiry timers, so at million-entry scale the scheduler *is*
+// the hot path. A balanced-tree queue (the original std::map implementation)
+// costs O(log n) pointer-chasing plus a node allocation per schedule/cancel;
+// the wheel costs O(1) for both, with events stored in pooled, reusable
+// nodes. docs/TIMERS.md is the written performance model for this file:
+// data layout, tick/cascade math, overflow handling and the determinism
+// contract are all specified there.
+//
+// Shape: kLevels wheels of kSlots slots each. Level L slots are 256^L ticks
+// wide (one tick = one microsecond — times are exact, never quantized), so
+// level 0 resolves single instants and the hierarchy spans 256^kLevels
+// ticks (~2^40 us ~ 12.7 days at kLevels = 5). Deadlines beyond the horizon
+// sit in a sorted overflow map and migrate into the wheels as the base
+// advances. Each slot is an intrusive doubly-linked list with a 256-bit
+// occupancy bitmap per level, so "find next event" is a handful of word
+// scans and the discrete-event clock can jump over empty regions without
+// walking them tick by tick.
+//
+// Determinism contract (relied on by src/check):
+//   - all events due at one instant are surfaced as a single batch, ordered
+//     by schedule sequence number, so the simulator's ChoiceSource can
+//     enumerate every interleaving exactly as it did over the map queue;
+//   - cancellation is keyed on (node, seq): an id goes dead the moment its
+//     event fires or is cancelled and can never alias a later event, even
+//     one scheduled for the same instant into a reused node.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pimlib::sim {
+
+class TimerWheel {
+public:
+    using Action = std::function<void()>;
+
+    static constexpr int kSlotBits = 8;
+    static constexpr int kSlots = 1 << kSlotBits; // 256 slots per level
+    static constexpr int kLevels = 5;             // horizon: 2^40 ticks
+
+    /// Where a node currently lives; values >= 0 are wheel levels.
+    static constexpr std::int16_t kFree = -1;     // on the free list
+    static constexpr std::int16_t kBatch = -2;    // in the open batch
+    static constexpr std::int16_t kOverflow = -3; // beyond the wheel horizon
+
+    /// One scheduled event. Nodes are pool-allocated and reused; `seq == 0`
+    /// marks a node that holds no live event (free or cancelled), which is
+    /// what makes stale handles safe to probe.
+    struct Node {
+        Node* prev = nullptr;
+        Node* next = nullptr;
+        Time at = 0;
+        std::uint64_t seq = 0;
+        std::int16_t level = kFree;
+        std::uint16_t slot = 0;
+        Action action;
+    };
+
+    TimerWheel() = default;
+    TimerWheel(const TimerWheel&) = delete;
+    TimerWheel& operator=(const TimerWheel&) = delete;
+
+    /// Files an event; `at` must be >= the time of the last opened batch.
+    /// `seq` must be unique and increasing (the simulator's event counter).
+    /// The returned node stays owned by the wheel.
+    Node* schedule(Time at, std::uint64_t seq, Action action);
+
+    /// Cancels the event iff `node` still holds exactly sequence `seq`.
+    /// Returns true when an event was actually removed — false for null,
+    /// already-fired, already-cancelled, or reused nodes.
+    bool cancel(Node* node, std::uint64_t seq);
+
+    /// Live events (pending, including any still in the open batch).
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    /// Sentinel limit for next_time: seek with no time bound.
+    static constexpr Time kNoLimit = std::numeric_limits<Time>::max();
+
+    /// Finds the earliest pending instant, cascading/advancing the wheel
+    /// position as needed, but never past `limit`: when every pending event
+    /// is later than `limit`, returns false with the wheel position <=
+    /// `limit`. The cap is what makes bounded drains (run_until) safe — the
+    /// caller may schedule between its deadline and the next event
+    /// afterwards, which requires the position not to have jumped ahead.
+    /// Returns false when no event is pending at or before `limit`.
+    [[nodiscard]] bool next_time(Time* at, Time limit = kNoLimit);
+
+    /// Detaches every event due at `at` (which must be the value just
+    /// returned by next_time) into the execution batch, ordered by seq.
+    void open_batch(Time at);
+
+    /// Live events in the open batch. Events scheduled *for the batch
+    /// instant while it drains* join it; cancellations leave it.
+    [[nodiscard]] std::size_t batch_live() const { return batch_live_; }
+    [[nodiscard]] Time batch_time() const { return batch_time_; }
+
+    /// Removes the k-th live batch event in seq order (k < batch_live())
+    /// and returns its action.
+    Action take(std::size_t k);
+
+private:
+    struct Level {
+        std::array<Node*, kSlots> head{};
+        std::array<std::uint64_t, kSlots / 64> bitmap{};
+        std::size_t count = 0;
+    };
+
+    /// Width of one slot at `level`, in ticks.
+    [[nodiscard]] static constexpr Time span(int level) {
+        return Time{1} << (kSlotBits * level);
+    }
+    [[nodiscard]] int index_at(int level) const {
+        return static_cast<int>((base_ >> (kSlotBits * level)) & (kSlots - 1));
+    }
+    /// First occupied slot >= `from` in this level's current rotation, or -1.
+    [[nodiscard]] static int scan_from(const Level& level, int from);
+
+    void place(Node* node);
+    void unlink(Node* node);
+    void release(Node* node);
+    Node* acquire();
+
+    /// Re-homes every node in the current slot of levels >= 1 after base_
+    /// moved to an aligned boundary; nodes always land strictly below their
+    /// old level, so one top-down pass settles everything.
+    void cascade_current();
+    /// Moves overflow events whose deadline now falls inside the horizon
+    /// into the wheels.
+    void migrate_overflow();
+    /// Advances base_ to the next multiple of span(level) and re-homes.
+    void roll(int level);
+    /// Frees tombstoned leftovers of a fully drained batch.
+    void sweep_batch();
+
+    [[nodiscard]] std::size_t wheel_count() const {
+        std::size_t n = 0;
+        for (const Level& level : levels_) n += level.count;
+        return n;
+    }
+
+    Time base_ = 0; // wheel position; all wheel/overflow nodes have at >= base_
+    std::array<Level, kLevels> levels_{};
+    std::map<std::pair<Time, std::uint64_t>, Node*> overflow_;
+    std::size_t size_ = 0;
+
+    std::vector<Node*> batch_; // seq-sorted; seq==0 entries are tombstones
+    std::size_t batch_cursor_ = 0; // batch_ entries below this are consumed
+    std::size_t batch_live_ = 0;
+    Time batch_time_ = 0;
+
+    std::deque<Node> pool_; // stable addresses; nodes live for the wheel's life
+    std::vector<Node*> free_;
+};
+
+} // namespace pimlib::sim

@@ -58,6 +58,19 @@ std::string describe_pim(const net::Packet& packet) {
         return "PIM RP-Reachability grp=" + msg->group.to_string() +
                " rp=" + msg->rp.to_string();
     }
+    case pim::Code::kJoinPruneBundle: {
+        auto msg = pim::JoinPruneBundle::decode(packet.payload);
+        if (!msg) return "PIM Join/Prune bundle (malformed)";
+        std::string out = "PIM Join/Prune bundle to=" +
+                          msg->upstream_neighbor.to_string() +
+                          " groups=" + std::to_string(msg->groups.size());
+        for (const auto& rec : msg->groups) {
+            out += " [grp=" + rec.group.to_string() +
+                   " join=" + entry_list(rec.joins) +
+                   " prune=" + entry_list(rec.prunes) + "]";
+        }
+        return out;
+    }
     }
     return "PIM (unknown)";
 }

@@ -39,7 +39,8 @@ TEST(ForwardingEntry, OifTimersExpireAndRefresh) {
     EXPECT_EQ(e.live_oifs(150).size(), 2u);
     // refresh never shortens a timer
     e.refresh_oif(1, 120);
-    EXPECT_TRUE(e.oifs().at(1).expires == 300);
+    ASSERT_NE(e.find_oif(1), nullptr);
+    EXPECT_TRUE(e.find_oif(1)->expires == 300);
     auto removed = e.expire_oifs(250);
     EXPECT_EQ(removed, std::vector<int>{2});
     EXPECT_FALSE(e.has_oif(2));

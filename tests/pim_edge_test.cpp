@@ -206,7 +206,8 @@ TEST_F(PimEdgeTest, Footnote12WcJoinRefreshesSgOifTimers) {
     inject_pim(*topo_.b, ifindex, from, sg_join.encode());
     auto* sg = stack_.pim_at(*topo_.b).cache().find_sg(topo_.source->address(), kGroup);
     ASSERT_NE(sg, nullptr);
-    const sim::Time before = sg->oifs().at(ifindex).expires;
+    ASSERT_NE(sg->find_oif(ifindex), nullptr);
+    const sim::Time before = sg->find_oif(ifindex)->expires;
 
     topo_.net.run_for(100 * sim::kMillisecond);
     JoinPrune wc_join;
@@ -215,7 +216,8 @@ TEST_F(PimEdgeTest, Footnote12WcJoinRefreshesSgOifTimers) {
     wc_join.group = kGroup.address();
     wc_join.joins = {AddressEntry{topo_.c->router_id(), EntryFlags{true, true}}};
     inject_pim(*topo_.b, ifindex, from, wc_join.encode());
-    EXPECT_GT(sg->oifs().at(ifindex).expires, before);
+    ASSERT_NE(sg->find_oif(ifindex), nullptr);
+    EXPECT_GT(sg->find_oif(ifindex)->expires, before);
 }
 
 TEST_F(PimEdgeTest, RpReachabilityOnWrongInterfaceIgnored) {

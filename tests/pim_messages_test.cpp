@@ -91,6 +91,60 @@ TEST(PimMessages, JoinPruneEmptyListsValid) {
     EXPECT_TRUE(decoded->prunes.empty());
 }
 
+TEST(PimMessages, JoinPruneBundleRoundTrip) {
+    JoinPruneBundle msg;
+    msg.upstream_neighbor = net::Ipv4Address(10, 0, 0, 2);
+    msg.holdtime_ms = 180000;
+    msg.groups = {
+        JoinPruneBundle::GroupRecord{
+            kGroupAddr,
+            {AddressEntry{kRp, EntryFlags{true, true}},
+             AddressEntry{kSrc, EntryFlags{false, false}}},
+            {AddressEntry{kSrc, EntryFlags{false, true}}}},
+        JoinPruneBundle::GroupRecord{net::Ipv4Address(224, 1, 1, 2),
+                                     {AddressEntry{kRp, EntryFlags{true, true}}},
+                                     {}},
+        // A record with empty lists is legal (e.g. a group whose joins are
+        // all suppressed this tick but whose prunes ride along — or vice
+        // versa at the encoder's discretion).
+        JoinPruneBundle::GroupRecord{net::Ipv4Address(224, 1, 1, 3), {}, {}},
+    };
+    EXPECT_EQ(peek_code(msg.encode()), Code::kJoinPruneBundle);
+    auto decoded = JoinPruneBundle::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->upstream_neighbor, msg.upstream_neighbor);
+    EXPECT_EQ(decoded->holdtime_ms, msg.holdtime_ms);
+    EXPECT_EQ(decoded->groups, msg.groups);
+}
+
+TEST(PimMessages, JoinPruneBundleTruncationAndTrailingGarbageRejected) {
+    JoinPruneBundle msg;
+    msg.upstream_neighbor = net::Ipv4Address(10, 0, 0, 2);
+    msg.holdtime_ms = 90000;
+    msg.groups = {JoinPruneBundle::GroupRecord{
+                      kGroupAddr,
+                      {AddressEntry{kRp, EntryFlags{true, true}}},
+                      {AddressEntry{kSrc, EntryFlags{false, true}}}},
+                  JoinPruneBundle::GroupRecord{
+                      net::Ipv4Address(224, 1, 1, 2),
+                      {AddressEntry{kSrc, EntryFlags{false, false}}},
+                      {}}};
+    const auto bytes = msg.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(JoinPruneBundle::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(JoinPruneBundle::decode(extended).has_value());
+    // Wrong code rejected.
+    EXPECT_FALSE(JoinPruneBundle::decode(Query{5}.encode()).has_value());
+    // Inflated group count without the records rejected.
+    auto inflated = bytes;
+    inflated[11] = 0xFF; // group-count u16 low byte (header 2 + addr 4 + holdtime 4)
+    EXPECT_FALSE(JoinPruneBundle::decode(inflated).has_value());
+}
+
 TEST(PimMessages, RpReachabilityRoundTrip) {
     const RpReachability msg{kGroupAddr, kRp, 90000};
     auto decoded = RpReachability::decode(msg.encode());
@@ -240,6 +294,19 @@ TEST(PimMessages, RandomizedEncodeDecodeRoundTrip) {
         EXPECT_EQ(drr->group, rr.group);
         EXPECT_EQ(drr->rp, rr.rp);
         EXPECT_EQ(drr->holdtime_ms, rr.holdtime_ms);
+
+        JoinPruneBundle bundle;
+        bundle.upstream_neighbor = rand_addr();
+        bundle.holdtime_ms = u32(rng);
+        for (int g = small(rng); g > 0; --g) {
+            bundle.groups.push_back(
+                JoinPruneBundle::GroupRecord{rand_addr(), rand_entries(), rand_entries()});
+        }
+        auto db = JoinPruneBundle::decode(bundle.encode());
+        ASSERT_TRUE(db.has_value());
+        EXPECT_EQ(db->upstream_neighbor, bundle.upstream_neighbor);
+        EXPECT_EQ(db->holdtime_ms, bundle.holdtime_ms);
+        EXPECT_EQ(db->groups, bundle.groups);
     }
 }
 
@@ -253,12 +320,13 @@ TEST(PimMessages, FuzzRandomBytesNeverCrash) {
         // Make a fair fraction look like PIM so decoders get past the header.
         if (trial % 2 == 0 && bytes.size() >= 2) {
             bytes[0] = igmp::kTypePim;
-            bytes[1] = static_cast<std::uint8_t>(trial % 4);
+            bytes[1] = static_cast<std::uint8_t>(trial % 5);
         }
         (void)Query::decode(bytes);
         (void)Register::decode(bytes);
         (void)JoinPrune::decode(bytes);
         (void)RpReachability::decode(bytes);
+        (void)JoinPruneBundle::decode(bytes);
     }
     SUCCEED();
 }

@@ -38,7 +38,8 @@ TEST_F(PimSmTest, ReceiverJoinBuildsSharedTreeState) {
     EXPECT_EQ(wc_a->source_or_rp(), topo_.c->router_id()); // RP in source slot
     EXPECT_EQ(wc_a->iif(), topo_.ifindex_toward(*topo_.a, *topo_.b));
     EXPECT_TRUE(wc_a->has_oif(0)); // the receiver LAN
-    EXPECT_TRUE(wc_a->oifs().at(0).pinned);
+    ASSERT_NE(wc_a->find_oif(0), nullptr);
+    EXPECT_TRUE(wc_a->find_oif(0)->pinned);
 
     auto* wc_b = stack_.pim_at(*topo_.b).cache().find_wc(kGroup);
     ASSERT_NE(wc_b, nullptr);
@@ -305,6 +306,63 @@ TEST_F(PimSmRpFailoverTest, RpDeathTriggersFailoverToAlternate) {
     source->send_stream(kGroup, 5, 20 * sim::kMillisecond);
     net.run_for(1 * sim::kSecond);
     EXPECT_GE(receiver->received_count(kGroup), 5u);
+}
+
+// Aggregated periodic refresh (JoinPruneBundle): with many groups sharing
+// one upstream neighbor, the per-tick message count collapses to one while
+// downstream soft state stays refreshed exactly as with per-group messages.
+TEST(PimSmAggregation, BundledRefreshKeepsStateAliveWithFewerMessages) {
+    const std::vector<net::GroupAddress> groups = {
+        net::GroupAddress{net::Ipv4Address(224, 1, 1, 1)},
+        net::GroupAddress{net::Ipv4Address(224, 1, 1, 2)},
+        net::GroupAddress{net::Ipv4Address(224, 1, 1, 3)},
+        net::GroupAddress{net::Ipv4Address(224, 1, 1, 4)},
+        net::GroupAddress{net::Ipv4Address(224, 1, 1, 5)},
+    };
+    struct Outcome {
+        std::uint64_t refresh_messages = 0;
+        std::size_t live_groups_at_b = 0;
+    };
+    auto run_case = [&](bool aggregate) {
+        Fig3Topology topo;
+        scenario::StackConfig cfg = fast_config();
+        cfg.pim.aggregate_refresh = aggregate;
+        scenario::PimSmStack stack(topo.net, cfg);
+        for (net::GroupAddress g : groups) stack.set_rp(g, {topo.c->router_id()});
+        stack.set_spt_policy(SptPolicy::never());
+        topo.net.run_for(100 * sim::kMillisecond);
+        for (net::GroupAddress g : groups) stack.host_agent(*topo.receiver).join(g);
+        topo.net.run_for(200 * sim::kMillisecond);
+
+        Outcome out;
+        const std::uint64_t before = stack.pim_at(*topo.a).join_prune_messages_sent();
+        // Three periodic refresh ticks (600 ms each at the 100× compression).
+        topo.net.run_for(1850 * sim::kMillisecond);
+        out.refresh_messages = stack.pim_at(*topo.a).join_prune_messages_sent() - before;
+        const sim::Time now = topo.net.simulator().now();
+        const int oif_to_a = topo.ifindex_toward(*topo.b, *topo.a);
+        for (net::GroupAddress g : groups) {
+            auto* wc = stack.pim_at(*topo.b).cache().find_wc(g);
+            if (wc != nullptr && wc->find_oif(oif_to_a) != nullptr &&
+                wc->find_oif(oif_to_a)->alive(now)) {
+                ++out.live_groups_at_b;
+            }
+        }
+        return out;
+    };
+
+    const Outcome bundled = run_case(true);
+    const Outcome per_group = run_case(false);
+
+    // Both modes keep every group's state alive on the upstream router —
+    // holdtime is 3× the refresh interval, so surviving three ticks proves
+    // the refreshes landed.
+    EXPECT_EQ(bundled.live_groups_at_b, groups.size());
+    EXPECT_EQ(per_group.live_groups_at_b, groups.size());
+
+    // One message per (interface, neighbor) per tick versus one per group.
+    EXPECT_EQ(bundled.refresh_messages, 3u);
+    EXPECT_EQ(per_group.refresh_messages, 3u * groups.size());
 }
 
 } // namespace
