@@ -11,6 +11,7 @@
 
 #include "graph/center_tree.hpp"
 #include "graph/random_graph.hpp"
+#include "graph/tree_metrics.hpp"
 #include "graph/shortest_path.hpp"
 #include "stats/counters.hpp"
 
@@ -91,7 +92,8 @@ inline std::string distribution_json(const std::vector<double>& values) {
 }
 
 /// Dense per-edge flow counter over a fixed graph: resolves (u,v) pairs to
-/// compact edge ids once, then counts in a flat array. Fast enough for the
+/// compact edge ids once, then counts through the same graph::FlowLoad the
+/// live TreeMonitor concentrates on segment ids. Fast enough for the
 /// paper-scale sweeps (Fig. 2(b): 500 graphs × 300 groups).
 class EdgeFlowCounter {
 public:
@@ -106,24 +108,19 @@ public:
                 ++next;
             }
         }
-        flows_.assign(static_cast<std::size_t>(next), 0);
     }
 
     void add(int u, int v, std::size_t count = 1) {
-        const int id = edge_id_[static_cast<std::size_t>(u) * n_ + v];
-        flows_[static_cast<std::size_t>(id)] += count;
+        load_.add(edge_id_[static_cast<std::size_t>(u) * n_ + v], count);
     }
 
-    [[nodiscard]] std::size_t max_flows() const {
-        std::size_t best = 0;
-        for (std::size_t f : flows_) best = std::max(best, f);
-        return best;
-    }
+    [[nodiscard]] std::size_t max_flows() const { return load_.max_flows(); }
+    [[nodiscard]] const graph::FlowLoad& load() const { return load_; }
 
 private:
     int n_;
     std::vector<int> edge_id_;
-    std::vector<std::size_t> flows_;
+    graph::FlowLoad load_;
 };
 
 /// Unique edges on the union of parent-walks from `targets` up to the tree

@@ -27,6 +27,7 @@
 #include "fault/fault_injector.hpp"
 #include "provenance/provenance.hpp"
 #include "scenario/stacks.hpp"
+#include "telemetry/tree_monitor.hpp"
 #include "topo/segment.hpp"
 #include "unicast/oracle_routing.hpp"
 
@@ -61,6 +62,7 @@ struct World {
     std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<fault::ConvergenceProbe> probe;
     std::unique_ptr<provenance::Recorder> recorder;
+    std::unique_ptr<telemetry::TreeMonitor> monitor;
 
     World() {
         a = &net.add_router("A");
@@ -98,6 +100,15 @@ struct World {
         stack = std::make_unique<scenario::PimSmStack>(net, cfg);
         stack->set_spt_policy(pim::SptPolicy::never());
         stack->set_rp(kGroup, {c->router_id(), e->router_id()});
+
+        // Bound-miss reports carry a tree-health snapshot (depth, stretch,
+        // member ports) next to the per-hop drop record: the measure_group
+        // walk is on-demand, so the monitor costs nothing between misses.
+        monitor = std::make_unique<telemetry::TreeMonitor>(
+            net, [this](const topo::Router& r) { return stack->cache_of(r); });
+        probe->set_tree_health_source([this](net::GroupAddress g) {
+            return monitor->measure_group(g).to_json();
+        });
         stack->wire_faults(*faults);
 
         // Receiver joins; the source streams for the whole run (10 ms data

@@ -39,19 +39,19 @@ int main(int argc, char** argv) {
                 {.nodes = nodes, .average_degree = static_cast<double>(degree)}, rng);
             graph::AllPairs ap(g);
             const auto group = graph::sample_nodes(nodes, members, rng);
+            // Same delay_ratio_via_root implementation the live TreeMonitor
+            // uses — offline and online stretch cannot drift.
             const int core = graph::optimal_core(ap, group);
-            const double cbt = graph::core_tree_max_delay(ap, group, core);
-            const double spt = graph::spt_max_delay(ap, group);
-            if (spt <= 0) continue;
-            ratios.push_back(cbt / spt);
-            spt_delays.push_back(spt);
-            cbt_delays.push_back(cbt);
+            const auto dr = graph::center_tree_delay_ratio(ap, group, core);
+            if (dr.spt_max <= 0) continue;
+            ratios.push_back(dr.max_ratio);
+            spt_delays.push_back(dr.spt_max);
+            cbt_delays.push_back(dr.tree_max);
             // The companion mean-delay criterion of reference [12], with the
             // core optimized for mean delay.
             const int mean_core = graph::optimal_core_mean(ap, group);
-            const double cbt_mean = graph::core_tree_mean_delay(ap, group, mean_core);
-            const double spt_mean = graph::spt_mean_delay(ap, group);
-            if (spt_mean > 0) mean_ratios.push_back(cbt_mean / spt_mean);
+            const auto drm = graph::center_tree_delay_ratio(ap, group, mean_core);
+            if (drm.spt_mean > 0) mean_ratios.push_back(drm.mean_ratio);
         }
         const auto summary = stats::summarize(ratios);
         std::printf("%-12d %-12.4f %-10.4f %-10.4f %-10.4f %-12.2f %-12.2f %-12.4f\n",

@@ -123,6 +123,7 @@ int run_replay(const check::ExploreOptions& options, const std::string& spec,
     cfg.forced_fault = forced_fault;
     cfg.collect_trace = true;
     cfg.collect_provenance = true;
+    cfg.watchdog = true;
     cfg.checkpoint_every = options.checkpoint_every;
     const check::RunResult result = check::run_scenario(options.scenario, cfg);
     std::printf("replayed branch [%s]: %zu events to t=%.3fs, %zu state hashes, "
@@ -139,11 +140,28 @@ int run_replay(const check::ExploreOptions& options, const std::string& spec,
     if (!result.provenance_summary.empty()) {
         std::printf("  drops: %s\n", result.provenance_summary.c_str());
     }
+    if (result.watchdog_count > 0) {
+        std::printf("  online watchdogs raised %zu violation(s):\n%s",
+                    result.watchdog_count, result.watchdog_report.c_str());
+    } else {
+        std::printf("  online watchdogs: quiet\n");
+    }
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     const std::string trace_path = out_dir + "/pimcheck-replay.trace";
     if (write_file(trace_path, result.trace_dump)) {
         std::printf("  trace: %s\n", trace_path.c_str());
+    }
+    const std::string timeline_path = out_dir + "/pimcheck-replay.timeline.json";
+    if (write_file(timeline_path, result.timeline_json)) {
+        std::printf("  timeline: %s (chrome trace-event JSON; open in Perfetto)\n",
+                    timeline_path.c_str());
+    }
+    if (!result.watchdog_report.empty()) {
+        const std::string wd_path = out_dir + "/pimcheck-replay.watchdog.txt";
+        if (write_file(wd_path, result.watchdog_report)) {
+            std::printf("  watchdog findings: %s\n", wd_path.c_str());
+        }
     }
     if (!result.provenance_dump.empty()) {
         const std::string prov_path = out_dir + "/pimcheck-replay.provenance.json";

@@ -52,6 +52,16 @@
 //                                       #   + per-router drop summary
 //     telemetry off                     # disable event/span tracing (default on)
 //     snapshot-every 500ms              # periodic MRIB snapshots
+//     monitor trees 100ms               # live tree-health analytics: periodic
+//                                       #   budgeted cache walks publishing
+//                                       #   pimlib_tree_* gauges/histograms
+//     watchdog on                       # online invariant watchdogs (lost/dup
+//                                       #   packets, iif-RPF, stale entries)
+//     mutate skip-spt-bit-handshake     # enable a seeded protocol bug (see
+//                                       #   pimcheck --list) — watchdog demo
+//     dump-timeline out.json            # causal join-transaction timeline:
+//                                       #   Chrome trace-event JSON written at
+//                                       #   end of run; open in Perfetto
 //     workload churn rate=200 mean=2s groups=8 zipf=1.0 bank=1000
 //                                       # Poisson join/leave churn over host
 //                                       #   banks (options: session=
@@ -72,12 +82,16 @@
 #include <memory>
 #include <sstream>
 
+#include "check/scenario.hpp"
+#include "check/watchdog.hpp"
 #include "fault/fault_injector.hpp"
 #include "provenance/provenance.hpp"
 #include "scenario/stacks.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/tree_monitor.hpp"
 #include "topo/builder.hpp"
 #include "topo/segment.hpp"
+#include "trace/timeline.hpp"
 #include "trace/tracer.hpp"
 #include "unicast/oracle_routing.hpp"
 #include "workload/churn.hpp"
@@ -141,6 +155,8 @@ struct Scenario {
     std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<trace::PacketTracer> tracer;
     std::unique_ptr<provenance::Recorder> recorder;
+    std::unique_ptr<telemetry::TreeMonitor> monitor;
+    std::unique_ptr<check::Watchdog> watchdog;
     std::string protocol = "pim-sm";
     std::unique_ptr<scenario::PimSmStack> pim_sm;
     std::unique_ptr<scenario::PimDmStack> pim_dm;
@@ -326,6 +342,10 @@ void run_scenario(const std::string& text) {
     bool want_trace = false;
     bool want_telemetry = true;
     bool want_provenance = false;
+    bool want_watchdog = false;
+    bool loss_possible = false; // faults/loss/churn scripted: gaps are expected
+    sim::Time monitor_interval = 0;
+    std::string timeline_path;
     std::size_t provenance_capacity = provenance::RecorderConfig{}.ring_capacity;
     sim::Time snapshot_every = 0;
     struct Event {
@@ -372,6 +392,27 @@ void run_scenario(const std::string& text) {
             std::exit(2);
         }
         sc.stack().wire_faults(*sc.faults);
+
+        if (want_watchdog) {
+            sc.watchdog = std::make_unique<check::Watchdog>(
+                sc.net, [sp = &sc](const topo::Router& r) {
+                    return sp->stack().cache_of(r);
+                });
+            if (sc.recorder) sc.watchdog->set_recorder(sc.recorder.get());
+            sc.watchdog->set_loss_expected(loss_possible || churn_enabled);
+            sc.watchdog->start();
+        }
+        if (monitor_interval > 0) {
+            telemetry::TreeMonitorConfig mon_cfg;
+            mon_cfg.interval = monitor_interval;
+            sc.monitor = std::make_unique<telemetry::TreeMonitor>(
+                sc.net,
+                [sp = &sc](const topo::Router& r) {
+                    return sp->stack().cache_of(r);
+                },
+                mon_cfg);
+            sc.monitor->start();
+        }
 
         if (churn_enabled) {
             // Bank hosts: the generated topology's bankN hosts, or every
@@ -629,6 +670,29 @@ void run_scenario(const std::string& text) {
             ls >> every;
             snapshot_every = parse_time(line, every);
             if (snapshot_every <= 0) fail(line, "snapshot-every needs a positive time");
+        } else if (word == "monitor") {
+            std::string what;
+            std::string every;
+            ls >> what >> every;
+            if (what != "trees" || every.empty()) {
+                fail(line, "monitor takes: trees <interval>");
+            }
+            monitor_interval = parse_time(line, every);
+            if (monitor_interval <= 0) fail(line, "monitor interval must be positive");
+        } else if (word == "watchdog") {
+            std::string flag;
+            ls >> flag;
+            if (flag != "on" && flag != "off") fail(line, "watchdog takes on|off");
+            want_watchdog = flag == "on";
+        } else if (word == "mutate") {
+            std::string name;
+            ls >> name;
+            if (!check::apply_mutation(name, config)) {
+                fail(line, "unknown mutation '" + name + "' (see pimcheck --list)");
+            }
+        } else if (word == "dump-timeline") {
+            ls >> timeline_path;
+            if (timeline_path.empty()) fail(line, "dump-timeline needs a file path");
         } else if (word == "at") {
             if (!topology_done) fail(line, "'at' before topology block");
             std::string when;
@@ -641,6 +705,8 @@ void run_scenario(const std::string& text) {
                 ls >> host >> group;
                 const net::GroupAddress g = parse_group(line, group);
                 const bool join = verb == "join";
+                // A member that leaves mid-stream misses packets on purpose.
+                if (!join) loss_possible = true;
                 (void)s.host_ref(host); // validate now
                 events.push_back({at, [host, g, join](Scenario& sc) {
                                       auto& agent = sc.stack().host_agent(
@@ -677,6 +743,7 @@ void run_scenario(const std::string& text) {
                 std::string b;
                 ls >> a >> b;
                 const bool up = verb == "heal-link";
+                if (!up) loss_possible = true;
                 (void)s.link_ref(a, b);
                 events.push_back({at, [a, b, up](Scenario& sc) {
                                       auto& link = sc.link_ref(a, b);
@@ -690,6 +757,7 @@ void run_scenario(const std::string& text) {
                 std::string name;
                 ls >> name;
                 const bool crash = verb == "crash-router";
+                if (crash) loss_possible = true;
                 (void)s.router_ref(name);
                 events.push_back({at, [name, crash](Scenario& sc) {
                                       auto& router = sc.router_ref(name);
@@ -707,6 +775,7 @@ void run_scenario(const std::string& text) {
                 double rate = 0;
                 ls >> rate;
                 if (rate < 0 || rate >= 1) fail(line, "loss rate must be in [0,1)");
+                loss_possible = true;
                 const bool is_link = verb == "loss-link";
                 if (is_link) {
                     (void)s.link_ref(a, b);
@@ -725,6 +794,7 @@ void run_scenario(const std::string& text) {
                 if (names.empty() || names.size() % 2 != 0) {
                     fail(line, "partition needs router pairs: A B [C D ...]");
                 }
+                loss_possible = true;
                 for (std::size_t i = 0; i < names.size(); i += 2) {
                     (void)s.link_ref(names[i], names[i + 1]);
                 }
@@ -847,6 +917,45 @@ void run_scenario(const std::string& text) {
                         static_cast<double>(event.at) / sim::kMillisecond,
                         event.description.c_str());
         }
+    }
+    if (s.monitor) {
+        s.monitor->stop();
+        const auto& pass = s.monitor->last_pass();
+        std::printf("--- tree monitor (pass %llu at t=%.1fms) ---\n",
+                    static_cast<unsigned long long>(pass.pass),
+                    static_cast<double>(pass.completed_at) / sim::kMillisecond);
+        if (pass.pass == 0) {
+            std::printf("  (no pass completed; lower the monitor interval or "
+                        "run longer)\n");
+        } else {
+            std::printf("  groups=%zu entries=%zu (wc=%zu sg=%zu) "
+                        "member-ports=%zu\n",
+                        pass.groups, pass.entries, pass.wildcard_entries,
+                        pass.sg_entries, pass.member_ports);
+            std::printf("  depth-max=%d fanout-max=%zu stretch-max=%.3f\n",
+                        pass.depth_max, pass.fanout_max, pass.stretch_max);
+            std::printf("  link-flows-max=%zu links-used=%zu walks=%zu "
+                        "(broken=%zu skipped=%zu)\n",
+                        pass.link_flows_max, pass.links_used, pass.walks,
+                        pass.broken_walks, pass.skipped_walks);
+        }
+    }
+    if (s.watchdog) {
+        s.watchdog->stop();
+        std::printf("--- watchdog: %zu violation(s), %zu entries scanned ---\n",
+                    s.watchdog->violations().size(), s.watchdog->entries_scanned());
+        std::printf("%s", s.watchdog->dump().c_str());
+    }
+    if (!timeline_path.empty()) {
+        std::ofstream out(timeline_path);
+        if (!out) {
+            std::fprintf(stderr, "pimsim: cannot write %s\n", timeline_path.c_str());
+            std::exit(2);
+        }
+        out << trace::chrome_timeline_json(s.net.telemetry(), s.recorder.get());
+        std::printf("--- timeline: %s (chrome trace-event JSON; open in "
+                    "ui.perfetto.dev) ---\n",
+                    timeline_path.c_str());
     }
 }
 

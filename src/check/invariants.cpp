@@ -1,0 +1,45 @@
+#include "check/invariants.hpp"
+
+namespace pimlib::check {
+
+std::vector<std::string> entry_iif_problems(const topo::Router& router,
+                                            const EntryView& entry,
+                                            const EntryView* wc_shadow) {
+    std::vector<std::string> problems;
+    for (const int oif : entry.oifs) {
+        if (oif == entry.iif && entry.iif >= 0) {
+            problems.push_back("iif " + std::to_string(entry.iif) +
+                               " also appears in its own oif list");
+        }
+    }
+    if (!entry.root_known) return problems;
+    if (entry.wildcard || !entry.rp_bit) {
+        // (*,G) roots at the RP, a real (S,G) at its source; both must
+        // point the iif along the unicast RPF path toward that root.
+        if (entry.wildcard && entry.root == router.router_id()) {
+            if (entry.iif != -1) {
+                problems.push_back("entry at its own RP has iif " +
+                                   std::to_string(entry.iif) + ", want -1");
+            }
+            return problems;
+        }
+        const auto route = router.route_to(entry.root);
+        if (route && route->ifindex != entry.iif) {
+            problems.push_back("iif " + std::to_string(entry.iif) +
+                               " disagrees with unicast RPF interface " +
+                               std::to_string(route->ifindex) + " toward " +
+                               entry.root.to_string());
+        }
+    } else {
+        // Negative cache: must shadow a (*,G) and share its iif (§3.3).
+        if (wc_shadow == nullptr) {
+            problems.push_back("RP-bit entry outlives its (*,G)");
+        } else if (wc_shadow->iif != entry.iif) {
+            problems.push_back("RP-bit iif " + std::to_string(entry.iif) +
+                               " != (*,G) iif " + std::to_string(wc_shadow->iif));
+        }
+    }
+    return problems;
+}
+
+} // namespace pimlib::check

@@ -1,0 +1,42 @@
+// The per-entry iif/RPF invariant oracle, factored out of the offline
+// checker so the online watchdog applies the *same* rules to live
+// ForwardingEntry state that pimcheck applies to MRIB snapshots — the two
+// detectors cannot drift apart.
+//
+// The rules come straight from the paper:
+//   §2.3/§3.8  an entry's iif must agree with the unicast RPF interface
+//              toward its root (the source for (S,G), the RP for (*,G))
+//   §3         the iif must never appear in the entry's own oif list
+//   §3.3 fn13  an (S,G)RP-bit negative cache must shadow a live (*,G) and
+//              share its iif
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "topo/router.hpp"
+
+namespace pimlib::check {
+
+/// Protocol-neutral view of one forwarding entry, buildable from either a
+/// live mcast::ForwardingEntry or a telemetry::EntrySnapshot.
+struct EntryView {
+    bool wildcard = false;
+    bool rp_bit = false;
+    int iif = -1;
+    /// The entry's root: source for (S,G), RP for (*,G).
+    net::Ipv4Address root{};
+    bool root_known = false; // false skips the RPF-agreement check
+    /// Oifs currently in the list (live ones for online checks).
+    std::vector<int> oifs;
+};
+
+/// Evaluates one entry against `router`'s unicast RPF state. Returns one
+/// human-readable fragment per problem (empty = entry is consistent).
+/// `wc_shadow` is the same group's (*,G) entry when one exists — required
+/// context for RP-bit negative-cache checks.
+[[nodiscard]] std::vector<std::string> entry_iif_problems(
+    const topo::Router& router, const EntryView& entry, const EntryView* wc_shadow);
+
+} // namespace pimlib::check

@@ -8,6 +8,8 @@
 #include <set>
 #include <utility>
 
+#include "check/invariants.hpp"
+#include "check/watchdog.hpp"
 #include "fault/fault_injector.hpp"
 #include "provenance/provenance.hpp"
 #include "stats/counters.hpp"
@@ -15,6 +17,7 @@
 #include "topo/network.hpp"
 #include "topo/router.hpp"
 #include "topo/segment.hpp"
+#include "trace/timeline.hpp"
 #include "trace/tracer.hpp"
 #include "unicast/oracle_routing.hpp"
 
@@ -96,9 +99,24 @@ void check_duplicate_bound(RunResult& out, const topo::Host& host) {
     }
 }
 
+/// Snapshot → protocol-neutral view for the shared per-entry oracle.
+EntryView entry_view(const telemetry::EntrySnapshot& e) {
+    EntryView view;
+    view.wildcard = e.wildcard;
+    view.rp_bit = e.rp_bit;
+    view.iif = e.iif;
+    if (const auto root = net::Ipv4Address::parse(e.source_or_rp)) {
+        view.root = *root;
+        view.root_known = true;
+    }
+    for (const telemetry::OifSnapshot& oif : e.oifs) view.oifs.push_back(oif.ifindex);
+    return view;
+}
+
 /// Every surviving entry's iif must agree with the unicast RPF oracle
 /// toward its root, an RP-bit entry must shadow a live (*,G) (footnote 13),
-/// and no entry may list its own iif as an oif.
+/// and no entry may list its own iif as an oif. The per-entry rules live in
+/// check/invariants.hpp, shared with the online iif-rpf watchdog.
 void check_iif_consistency(RunResult& out, const telemetry::MribSnapshot& snap,
                            const std::map<std::string, const topo::Router*>& routers,
                            const fault::FaultInjector& faults) {
@@ -108,49 +126,21 @@ void check_iif_consistency(RunResult& out, const telemetry::MribSnapshot& snap,
         const topo::Router& router = *it->second;
         if (faults.is_crashed(router)) continue;
         for (const telemetry::EntrySnapshot& e : r.entries) {
-            const std::string id = r.router + " " + e.key();
-            for (const telemetry::OifSnapshot& oif : e.oifs) {
-                if (oif.ifindex == e.iif && e.iif >= 0) {
-                    add_violation(out, "iif-consistency",
-                                  id + ": iif " + std::to_string(e.iif) +
-                                      " also appears in its own oif list");
+            const EntryView view = entry_view(e);
+            EntryView shadow;
+            bool has_shadow = false;
+            if (!e.wildcard && e.rp_bit) {
+                for (const telemetry::EntrySnapshot& other : r.entries) {
+                    if (other.wildcard && other.group == e.group) {
+                        shadow = entry_view(other);
+                        has_shadow = true;
+                    }
                 }
             }
-            const auto root = net::Ipv4Address::parse(e.source_or_rp);
-            if (!root) continue;
-            if (e.wildcard || !e.rp_bit) {
-                // (*,G) roots at the RP, a real (S,G) at its source; both
-                // must point the iif along the unicast oracle's RPF path.
-                if (e.wildcard && *root == router.router_id()) {
-                    if (e.iif != -1) {
-                        add_violation(out, "iif-consistency",
-                                      id + ": entry at its own RP has iif " +
-                                          std::to_string(e.iif) + ", want -1");
-                    }
-                    continue;
-                }
-                const auto route = router.route_to(*root);
-                if (route && route->ifindex != e.iif) {
-                    add_violation(out, "iif-consistency",
-                                  id + ": iif " + std::to_string(e.iif) +
-                                      " disagrees with unicast RPF interface " +
-                                      std::to_string(route->ifindex) + " toward " +
-                                      e.source_or_rp);
-                }
-            } else {
-                // Negative cache: must shadow a (*,G) and share its iif.
-                const telemetry::EntrySnapshot* wc = nullptr;
-                for (const telemetry::EntrySnapshot& other : r.entries) {
-                    if (other.wildcard && other.group == e.group) wc = &other;
-                }
-                if (wc == nullptr) {
-                    add_violation(out, "iif-consistency",
-                                  id + ": RP-bit entry outlives its (*,G)");
-                } else if (wc->iif != e.iif) {
-                    add_violation(out, "iif-consistency",
-                                  id + ": RP-bit iif " + std::to_string(e.iif) +
-                                      " != (*,G) iif " + std::to_string(wc->iif));
-                }
+            for (const std::string& problem : entry_iif_problems(
+                     router, view, has_shadow ? &shadow : nullptr)) {
+                add_violation(out, "iif-consistency",
+                              r.router + " " + e.key() + ": " + problem);
             }
         }
     }
@@ -175,6 +165,7 @@ struct Driver {
     CrossingMap crossings;
     std::unique_ptr<trace::PacketTracer> tracer;
     std::unique_ptr<provenance::Recorder> flight_recorder;
+    std::unique_ptr<Watchdog> watchdog;
 
     Driver(topo::Network& n, RunResult& o, const RunConfig& c,
            net::Ipv4Address data_source)
@@ -191,6 +182,7 @@ struct Driver {
         if (cfg.collect_trace) {
             tracer = std::make_unique<trace::PacketTracer>(net);
             tracer->set_group_filter(checker_group());
+            net.telemetry().set_tracing(true); // timeline needs events + spans
         }
         if (cfg.collect_trace || cfg.collect_provenance) {
             flight_recorder = std::make_unique<provenance::Recorder>(
@@ -211,6 +203,24 @@ struct Driver {
         if (!flight_recorder || out.violations.empty()) return;
         out.provenance_dump = flight_recorder->dump_json();
         out.provenance_summary = flight_recorder->drop_summary();
+    }
+
+    /// Runs the online invariant watchdogs alongside the offline oracles.
+    /// The lan-delivery gap detector is disarmed on branches that force
+    /// choices or faults — loss is then expected, exactly the offline
+    /// oracles' "clean branch" discipline (duplicate and structural checks
+    /// stay live everywhere).
+    void attach_watchdog(scenario::StackBase& stack) {
+        if (!cfg.watchdog) return;
+        watchdog = std::make_unique<Watchdog>(
+            net, [&stack](const topo::Router& r) { return stack.cache_of(r); });
+        if (flight_recorder) watchdog->set_recorder(flight_recorder.get());
+        bool loss_possible = !cfg.forced_fault.empty();
+        for (const Pick& pick : cfg.choices) {
+            if (pick.value != 0) loss_possible = true;
+        }
+        watchdog->set_loss_expected(loss_possible);
+        watchdog->start();
     }
 
     /// Installs one decision point per fault slot. Alternative 0 is "no
@@ -297,6 +307,15 @@ struct Driver {
             }
         }
         if (tracer) out.trace_dump = tracer->dump();
+        if (watchdog) {
+            watchdog->stop();
+            out.watchdog_report = watchdog->dump();
+            out.watchdog_count = watchdog->violations().size();
+        }
+        if (cfg.collect_trace) {
+            out.timeline_json =
+                trace::chrome_timeline_json(net.telemetry(), flight_recorder.get());
+        }
     }
 };
 
@@ -369,6 +388,7 @@ RunResult run_walkthrough(const RunConfig& cfg) {
     stack.wire_faults(faults);
 
     Driver driver(net, out, cfg, source.address());
+    driver.attach_watchdog(stack);
     sim::Simulator& sim = net.simulator();
 
     sim.schedule_at(120 * kMs, [&] { stack.host_agent(receiver).join(group); });
@@ -525,6 +545,7 @@ RunResult run_rp_failover(const RunConfig& cfg) {
     stack.wire_faults(faults);
 
     Driver driver(net, out, cfg, net::Ipv4Address{});
+    driver.attach_watchdog(stack);
     sim::Simulator& sim = net.simulator();
 
     sim.schedule_at(100 * kMs, [&] { stack.host_agent(h1).join(group); });

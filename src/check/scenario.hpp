@@ -63,6 +63,11 @@ struct RunConfig {
     /// mortem JSON dump (RunResult::provenance_dump). Implied by
     /// collect_trace.
     bool collect_provenance = false;
+    /// Run the online invariant watchdogs (check/watchdog.hpp) alongside
+    /// the offline oracles; their findings land in
+    /// RunResult::watchdog_report. Used by pimcheck --replay so a
+    /// counterexample shows what the live watchdogs would have said.
+    bool watchdog = false;
     /// Cadence of MRIB state-hash checkpoints.
     sim::Time checkpoint_every = sim::kMillisecond;
 };
@@ -90,6 +95,14 @@ struct RunResult {
     /// filled only when a recorder was attached AND an oracle failed.
     std::string provenance_dump;
     std::string provenance_summary;
+    /// Chrome trace-event JSON of the whole run (control events, spans and
+    /// provenance hops stitched into causal tracks — load in Perfetto).
+    /// Filled when RunConfig::collect_trace.
+    std::string timeline_json;
+    /// Online watchdog findings (human-readable, one block per violation)
+    /// and their count. Filled when RunConfig::watchdog.
+    std::string watchdog_report;
+    std::size_t watchdog_count = 0;
 };
 
 [[nodiscard]] const std::vector<std::string>& scenario_names();

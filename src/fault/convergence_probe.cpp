@@ -61,6 +61,7 @@ ConvergenceProbe::Report ConvergenceProbe::measure(
     report.control_messages = static_cast<std::uint64_t>(std::count_if(
         control_times_.begin(), control_times_.end(),
         [&](sim::Time t) { return t > fault_at && t <= window_end; }));
+    if (tree_health_source_) report.tree_health = tree_health_source_(group);
     return report;
 }
 
@@ -103,6 +104,7 @@ std::string ConvergenceProbe::Report::to_json() const {
     out << ",\"recovery_s\":";
     append_seconds(out, converged ? seconds(recovery) : -1.0);
     out << ",\"control_messages\":" << control_messages;
+    out << ",\"tree_health\":" << (tree_health.empty() ? "null" : tree_health);
     out << ",\"receivers\":[";
     for (std::size_t i = 0; i < receivers.size(); ++i) {
         const ReceiverRecovery& rec = receivers[i];

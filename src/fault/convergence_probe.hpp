@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,11 @@ public:
         /// — the recovery's control-message cost. When not converged, counts
         /// everything after the fault (the protocol is still trying).
         std::uint64_t control_messages = 0;
+        /// Tree-health snapshot (telemetry::TreeMonitor::GroupHealth JSON —
+        /// stretch, fanout, member count) for the measured group, captured
+        /// at measure() time when a health source is attached. Makes a
+        /// convergence failure diagnosable without a rerun.
+        std::string tree_health;
 
         [[nodiscard]] std::string to_json() const;
     };
@@ -76,6 +82,15 @@ public:
     /// not own the recorder.
     void attach_recorder(provenance::Recorder* recorder) { recorder_ = recorder; }
 
+    /// Attaches a tree-health source — typically
+    /// [&](net::GroupAddress g) { return monitor.measure_group(g).to_json(); }
+    /// — queried for the offending group whenever measure() produces a
+    /// report that has not (yet) converged. Kept as a callback so
+    /// pimlib_fault does not depend on pimlib_monitor.
+    void set_tree_health_source(std::function<std::string(net::GroupAddress)> source) {
+        tree_health_source_ = std::move(source);
+    }
+
     /// Post-mortem hook: when `report` missed its recovery bound (did not
     /// converge, or recovered slower than `bound` > 0) and a recorder is
     /// attached, returns the merged time-ordered flight-recorder dump
@@ -87,6 +102,7 @@ private:
     int tap_token_ = 0;
     std::vector<sim::Time> control_times_;
     provenance::Recorder* recorder_ = nullptr;
+    std::function<std::string(net::GroupAddress)> tree_health_source_;
 };
 
 } // namespace pimlib::fault

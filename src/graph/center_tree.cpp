@@ -2,36 +2,31 @@
 
 #include <limits>
 
+#include "graph/tree_metrics.hpp"
+
 namespace pimlib::graph {
+
+namespace {
+
+std::vector<double> core_delays(const AllPairs& ap, const std::vector<int>& members,
+                                int core) {
+    std::vector<double> r;
+    r.reserve(members.size());
+    for (int m : members) r.push_back(ap.distance(m, core));
+    return r;
+}
+
+} // namespace
 
 double core_tree_max_delay(const AllPairs& ap, const std::vector<int>& members,
                            int core) {
-    // max over ordered pairs (u, v), u != v, of d(u,core) + d(core,v) equals
-    // top1 + top2 of member→core distances (the max and second max; the same
-    // member cannot be both endpoints).
-    double top1 = -1.0;
-    double top2 = -1.0;
-    for (int m : members) {
-        const double d = ap.distance(m, core);
-        if (d > top1) {
-            top2 = top1;
-            top1 = d;
-        } else if (d > top2) {
-            top2 = d;
-        }
-    }
-    if (members.size() < 2) return 0.0;
-    return top1 + top2;
+    return max_via_root_delay(core_delays(ap, members, core));
 }
 
 double spt_max_delay(const AllPairs& ap, const std::vector<int>& members) {
-    double best = 0.0;
-    for (std::size_t i = 0; i < members.size(); ++i) {
-        for (std::size_t j = i + 1; j < members.size(); ++j) {
-            best = std::max(best, ap.distance(members[i], members[j]));
-        }
-    }
-    return best;
+    return max_pair_delay(members.size(), [&](std::size_t i, std::size_t j) {
+        return ap.distance(members[i], members[j]);
+    });
 }
 
 int optimal_core(const AllPairs& ap, const std::vector<int>& members) {
@@ -49,28 +44,13 @@ int optimal_core(const AllPairs& ap, const std::vector<int>& members) {
 
 double core_tree_mean_delay(const AllPairs& ap, const std::vector<int>& members,
                             int core) {
-    if (members.size() < 2) return 0.0;
-    // mean over ordered pairs (u,v), u != v, of d(u,core)+d(core,v)
-    //   = 2 * (n-1)/ (n(n-1)) * sum_u d(u,core) * ... simplified directly:
-    double sum = 0.0;
-    for (int m : members) sum += ap.distance(m, core);
-    const double n = static_cast<double>(members.size());
-    // Each member's distance appears (n-1) times as sender and (n-1) as
-    // receiver over n(n-1) ordered pairs: mean = 2*sum*(n-1) / (n(n-1)).
-    return 2.0 * sum / n;
+    return mean_via_root_delay(core_delays(ap, members, core));
 }
 
 double spt_mean_delay(const AllPairs& ap, const std::vector<int>& members) {
-    if (members.size() < 2) return 0.0;
-    double sum = 0.0;
-    std::size_t pairs = 0;
-    for (std::size_t i = 0; i < members.size(); ++i) {
-        for (std::size_t j = i + 1; j < members.size(); ++j) {
-            sum += ap.distance(members[i], members[j]);
-            ++pairs;
-        }
-    }
-    return sum / static_cast<double>(pairs);
+    return mean_pair_delay(members.size(), [&](std::size_t i, std::size_t j) {
+        return ap.distance(members[i], members[j]);
+    });
 }
 
 int optimal_core_mean(const AllPairs& ap, const std::vector<int>& members) {

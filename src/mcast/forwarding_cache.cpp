@@ -78,6 +78,48 @@ void ForwardingCache::for_each_sg_of(net::GroupAddress group,
     }
 }
 
+void ForwardingCache::for_each_sg_of(
+    net::GroupAddress group,
+    const std::function<void(const ForwardingEntry&)>& fn) const {
+    for (const auto& [key, entry] : sg_) {
+        if (key.second == group) fn(*entry);
+    }
+}
+
+std::size_t ForwardingCache::visit_entries(
+    VisitCursor& cursor, std::size_t budget,
+    const std::function<void(const ForwardingEntry&)>& fn) const {
+    std::size_t visited = 0;
+    cursor.wrapped = false;
+    if (!cursor.on_sg) {
+        auto it = cursor.have_key ? wc_.upper_bound(cursor.wc_after) : wc_.begin();
+        for (; it != wc_.end() && visited < budget; ++it) {
+            fn(*it->second);
+            ++visited;
+            cursor.wc_after = it->first;
+            cursor.have_key = true;
+        }
+        if (it == wc_.end()) {
+            cursor.on_sg = true;
+            cursor.have_key = false;
+        }
+    }
+    if (cursor.on_sg) {
+        auto it = cursor.have_key ? sg_.upper_bound(cursor.sg_after) : sg_.begin();
+        for (; it != sg_.end() && visited < budget; ++it) {
+            fn(*it->second);
+            ++visited;
+            cursor.sg_after = it->first;
+            cursor.have_key = true;
+        }
+        if (it == sg_.end()) {
+            cursor = VisitCursor{};
+            cursor.wrapped = true;
+        }
+    }
+    return visited;
+}
+
 std::vector<ForwardingCache::SgKey> ForwardingCache::reap_expired_entries(sim::Time now) {
     std::vector<SgKey> removed;
     for (auto it = sg_.begin(); it != sg_.end();) {

@@ -49,9 +49,34 @@ public:
     /// (S,G) entries for one group.
     void for_each_sg_of(net::GroupAddress group,
                         const std::function<void(ForwardingEntry&)>& fn);
+    void for_each_sg_of(net::GroupAddress group,
+                        const std::function<void(const ForwardingEntry&)>& fn) const;
     /// Collects (S,G) keys scheduled for deletion at or before `now`, plus
     /// removes them. Returns the removed keys.
     std::vector<SgKey> reap_expired_entries(sim::Time now);
+
+    /// Resumable cursor for visit_entries(). Holds the last visited *key*,
+    /// not an iterator, so entries may be added or removed between calls —
+    /// the walk resumes at the next key still present.
+    struct VisitCursor {
+        bool on_sg = false;   // walking the (*,G) index first, then (S,G)
+        bool have_key = false;
+        net::GroupAddress wc_after{};
+        SgKey sg_after{};
+        /// Set when the previous call reached the end of both indexes (the
+        /// cursor is simultaneously reset to the start). One full pass.
+        bool wrapped = false;
+    };
+
+    /// Budgeted iteration for incremental walkers (tree monitor, watchdogs):
+    /// visits up to `budget` entries in deterministic index order — (*,G)
+    /// first, then (S,G) — resuming after the cursor's last key, and
+    /// advances the cursor. Returns the number visited; on reaching the end
+    /// the cursor resets to the start with `wrapped` set, so million-entry
+    /// caches are covered across many calls without ever paying a full scan
+    /// in one tick.
+    std::size_t visit_entries(VisitCursor& cursor, std::size_t budget,
+                              const std::function<void(const ForwardingEntry&)>& fn) const;
 
     /// Captures the whole cache as telemetry plain-data — (*,G) entries
     /// first, then (S,G) — with per-oif timer remaining rendered relative

@@ -140,6 +140,12 @@ std::vector<const HopRecord*> Recorder::merged_records() const {
     return out;
 }
 
+std::vector<HopRecord> Recorder::all_records() const {
+    std::vector<HopRecord> out;
+    for (const HopRecord* rec : merged_records()) out.push_back(*rec);
+    return out;
+}
+
 std::vector<HopRecord> Recorder::records_for(std::uint64_t pid) const {
     std::vector<HopRecord> out;
     for_each_record([&](const HopRecord& rec) {

@@ -187,6 +187,11 @@ public:
     /// Every retained record for `pid`, time-ordered. Post-mortem use.
     [[nodiscard]] std::vector<HopRecord> records_for(std::uint64_t pid) const;
 
+    /// Every retained record across all rings, merged in (time, order)
+    /// order. Offline consumers only (the timeline exporter stitches these
+    /// into per-packet hop chains); cost is O(total retained records).
+    [[nodiscard]] std::vector<HopRecord> all_records() const;
+
     struct TraceHop {
         HopRecord rec;
         sim::Time latency = 0; // sim-time since the previous hop

@@ -52,6 +52,26 @@ telemetry::MribSnapshot StackBase::capture_mrib() {
     return out;
 }
 
+const mcast::ForwardingCache* StackBase::cache_of(const topo::Router& /*router*/) {
+    return nullptr;
+}
+
+const mcast::ForwardingCache* PimSmStack::cache_of(const topo::Router& router) {
+    return &pim_.at(&router)->cache();
+}
+
+const mcast::ForwardingCache* PimDmStack::cache_of(const topo::Router& router) {
+    return &pim_.at(&router)->cache();
+}
+
+const mcast::ForwardingCache* DvmrpStack::cache_of(const topo::Router& router) {
+    return &dvmrp_.at(&router)->cache();
+}
+
+const mcast::ForwardingCache* MospfStack::cache_of(const topo::Router& router) {
+    return &mospf_.at(&router)->cache();
+}
+
 PimSmStack::PimSmStack(topo::Network& network, StackConfig config)
     : StackBase(network, config) {
     for (const auto& router : network.routers()) {

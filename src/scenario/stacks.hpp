@@ -69,6 +69,13 @@ public:
     /// same shape. Pair with network().telemetry().store_snapshot().
     [[nodiscard]] virtual telemetry::MribSnapshot capture_mrib();
 
+    /// The router's live multicast forwarding cache, or nullptr for stacks
+    /// whose protocol keeps tree state outside a ForwardingCache (CBT holds
+    /// parent/children state) and for the protocol-less base. Lets the tree
+    /// monitor and the invariant watchdogs walk MRIBs incrementally without
+    /// knowing which protocol the stack runs.
+    [[nodiscard]] virtual const mcast::ForwardingCache* cache_of(const topo::Router& router);
+
 protected:
     topo::Network* network_;
     StackConfig config_;
@@ -89,6 +96,7 @@ public:
     void set_spt_policy(pim::SptPolicy policy);
     void wire_faults(fault::FaultInjector& injector) override;
     [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
+    [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> pim_;
@@ -102,6 +110,7 @@ public:
         return *pim_.at(&router);
     }
     [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
+    [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<pim::PimDmRouter>> pim_;
@@ -115,6 +124,7 @@ public:
         return *dvmrp_.at(&router);
     }
     [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
+    [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<dvmrp::DvmrpRouter>> dvmrp_;
@@ -175,6 +185,7 @@ public:
         return *mospf_.at(&router);
     }
     [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
+    [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<mospf::MospfRouter>> mospf_;

@@ -22,6 +22,7 @@ const char* to_string(EventType type) {
     case EventType::kRpFailover: return "rp-failover";
     case EventType::kGraftSent: return "graft-sent";
     case EventType::kLsaOriginated: return "lsa-originated";
+    case EventType::kWatchdogViolation: return "watchdog-violation";
     }
     return "unknown";
 }

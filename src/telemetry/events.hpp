@@ -43,6 +43,7 @@ enum class EventType : std::uint8_t {
     kRpFailover,        // DR timed out its RP and re-joined an alternate (§3.9)
     kGraftSent,         // dense-mode graft (PIM-DM / DVMRP)
     kLsaOriginated,     // MOSPF membership LSA flooded
+    kWatchdogViolation, // online invariant watchdog raised a violation
 };
 
 [[nodiscard]] const char* to_string(EventType type);

@@ -98,7 +98,20 @@ std::string json_escape(const std::string& value) {
         case '"': out += "\\\""; break;
         case '\n': out += "\\n"; break;
         case '\t': out += "\\t"; break;
-        default: out += c;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // RFC 8259 requires escaping all control characters.
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
         }
     }
     return out;

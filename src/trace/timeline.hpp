@@ -1,0 +1,47 @@
+// Causal join-transaction timelines: stitches the telemetry event log,
+// completed causal spans, and the provenance flight recorder into one
+// Chrome trace-event JSON file loadable in Perfetto / chrome://tracing.
+//
+// The rendering contract:
+//   - one track (pid 1, tid per node) per router/host, named by metadata
+//     "thread_name" events, carrying control-plane decisions ("X" slices)
+//     and data-plane hop records from the provenance recorder
+//   - flow arrows ("s"/"f" pairs) tie cause to effect across tracks:
+//     igmp-report → join-sent, join-sent → join-received, prune-sent →
+//     prune-received, register-sent → register-received, and consecutive
+//     hops of one provenance packet id
+//   - async "b"/"e" pairs on pid 2 render each completed SpanTracker span
+//     (join-to-data, spt-switch, rp-failover) as a transaction bar, so the
+//     IGMP report → (*,G) joins → register → SPT switchover → first
+//     delivery sequence reads left-to-right as one end-to-end story
+//
+// Everything user-controlled (node names, groups, details) passes through
+// telemetry::json_escape; sim-time is µs, which is exactly Chrome's `ts`
+// unit, so timestamps are copied through unscaled.
+#pragma once
+
+#include <string>
+
+#include "provenance/provenance.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/hub.hpp"
+
+namespace pimlib::trace {
+
+struct TimelineConfig {
+    /// Nominal width of instant decisions: wide enough to click in
+    /// Perfetto, narrow against protocol timescales (ms..s).
+    sim::Time slice_duration = 10; // µs
+    /// Include data-plane hop slices from the provenance recorder (bounded
+    /// by its ring capacity per node).
+    bool include_provenance = true;
+};
+
+/// Builds the Chrome trace-event JSON ({"traceEvents":[...]}) from the
+/// hub's event log + spans and, optionally, the attached flight recorder.
+/// Pure function of its inputs — call at end of run (or any checkpoint).
+[[nodiscard]] std::string chrome_timeline_json(const telemetry::Hub& hub,
+                                               const provenance::Recorder* recorder,
+                                               TimelineConfig config = {});
+
+} // namespace pimlib::trace
