@@ -64,7 +64,12 @@ struct World {
     std::unique_ptr<provenance::Recorder> recorder;
     std::unique_ptr<telemetry::TreeMonitor> monitor;
 
-    World() {
+    /// `bsr`: learn the RP set dynamically through the bootstrap subsystem
+    /// (C and E as candidate BSR/RP, C primary on priority) instead of the
+    /// static two-RP list — the rp-crash-bsr fault class measures the full
+    /// dynamic recovery chain: BSR timeout, takeover, RP-set republish,
+    /// re-home.
+    explicit World(bool bsr = false) {
         a = &net.add_router("A");
         b1 = &net.add_router("B1");
         b2 = &net.add_router("B2");
@@ -99,7 +104,15 @@ struct World {
         cfg = cfg.scaled(kTimeScale);
         stack = std::make_unique<scenario::PimSmStack>(net, cfg);
         stack->set_spt_policy(pim::SptPolicy::never());
-        stack->set_rp(kGroup, {c->router_id(), e->router_id()});
+        if (bsr) {
+            const net::Prefix all_groups{net::Ipv4Address{224, 0, 0, 0}, 4};
+            stack->set_candidate_bsr(*c, 20);
+            stack->set_candidate_bsr(*e, 10);
+            stack->set_candidate_rp(*c, all_groups, 20);
+            stack->set_candidate_rp(*e, all_groups, 10);
+        } else {
+            stack->set_rp(kGroup, {c->router_id(), e->router_id()});
+        }
 
         // Bound-miss reports carry a tree-health snapshot (depth, stretch,
         // member ports) next to the per-hop drop record: the measure_group
@@ -147,9 +160,10 @@ struct FaultSummary {
 /// `bound` is the recovery bound for post-mortem capture (0 = unbounded:
 /// only an unconverged trial dumps).
 void sweep(FaultSummary& fs, int trials, sim::Time bound,
-           const std::function<void(World&, sim::Time)>& inject) {
+           const std::function<void(World&, sim::Time)>& inject,
+           bool bsr = false) {
     for (int i = 0; i < trials; ++i) {
-        World world;
+        World world(bsr);
         const sim::Time fault_at =
             2 * sim::kSecond + i * (world.refresh() / trials);
         inject(world, fault_at);
@@ -230,6 +244,17 @@ int main(int argc, char** argv) {
     sweep(summaries.back(), trials, bound, [](World& w, sim::Time at) {
         w.faults->crash_router_at(at, *w.c);
     });
+
+    // RP crash with a bootstrap-learned RP set (no static list anywhere):
+    // recovery now chains the BSR timeout (2.5x the 0.6s bootstrap
+    // interval = 1.5s), E's takeover and RP-set republish, and the members'
+    // triggered re-join toward E — the whole dynamic path must still land
+    // inside the same 3x-refresh soft-state bound.
+    summaries.push_back({"rp-crash-bsr", true, {}, true, {}});
+    sweep(
+        summaries.back(), trials, bound,
+        [](World& w, sim::Time at) { w.faults->crash_router_at(at, *w.c); },
+        /*bsr=*/true);
 
     // Segment loss: 30% of frames on the tree's B1--C hop vanish. Not a
     // topology change — soft-state refresh simply rides it out; reported

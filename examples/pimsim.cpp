@@ -25,6 +25,12 @@
 //     #    lanN, sender hosts senderN)
 //     protocol pim-sm                  # pim-sm | pim-dm | dvmrp | cbt | mospf
 //     rp 224.1.1.1 C                   # pim-sm: RP list; cbt: core
+//     candidate-bsr C 20               # pim-sm: bootstrap-elect the BSR
+//                                      #   instead (priority, then address)
+//     candidate-rp 224.0.0.0/4 C 20    # pim-sm: advertise C to the elected
+//                                      #   BSR as RP for the range; routers
+//                                      #   learn the RP set from Bootstrap
+//                                      #   floods (no static rp needed)
 //     spt-policy immediate             # immediate | never | threshold M WINDOW_MS
 //     trace on                         # wiretap with decoded control messages
 //     at 100ms join receiver 224.1.1.1
@@ -328,6 +334,17 @@ void run_scenario(const std::string& text) {
         std::vector<std::string> routers;
     };
     std::vector<PendingRp> rps;
+    struct PendingCandidateBsr {
+        std::string router;
+        std::uint8_t priority;
+    };
+    std::vector<PendingCandidateBsr> candidate_bsrs;
+    struct PendingCandidateRp {
+        net::Prefix range;
+        std::string router;
+        std::uint8_t priority;
+    };
+    std::vector<PendingCandidateRp> candidate_rps;
     std::uint64_t global_seed = 0;
     bool churn_enabled = false;
     workload::ChurnConfig churn_cfg;
@@ -375,6 +392,14 @@ void run_scenario(const std::string& text) {
                     addrs.push_back(sc.router_ref(name).router_id());
                 }
                 sc.pim_sm->set_rp(rp.group, addrs);
+            }
+            for (const auto& cand : candidate_bsrs) {
+                sc.pim_sm->set_candidate_bsr(sc.router_ref(cand.router),
+                                             cand.priority);
+            }
+            for (const auto& cand : candidate_rps) {
+                sc.pim_sm->set_candidate_rp(sc.router_ref(cand.router),
+                                            cand.range, cand.priority);
             }
         } else if (sc.protocol == "pim-dm") {
             sc.pim_dm = std::make_unique<scenario::PimDmStack>(sc.net, config);
@@ -632,6 +657,36 @@ void run_scenario(const std::string& text) {
             while (ls >> name) rp.routers.push_back(name);
             if (rp.routers.empty()) fail(line, "rp needs at least one router");
             rps.push_back(std::move(rp));
+        } else if (word == "candidate-bsr") {
+            PendingCandidateBsr cand{{}, 0};
+            if (!(ls >> cand.router)) fail(line, "candidate-bsr needs a router");
+            int priority = 0;
+            if (ls >> priority) {
+                if (priority < 0 || priority > 255) {
+                    fail(line, "candidate-bsr priority must be 0..255");
+                }
+                cand.priority = static_cast<std::uint8_t>(priority);
+            }
+            candidate_bsrs.push_back(std::move(cand));
+        } else if (word == "candidate-rp") {
+            std::string range_text;
+            PendingCandidateRp cand{{}, {}, 0};
+            if (!(ls >> range_text >> cand.router)) {
+                fail(line, "candidate-rp needs: <group-or-prefix> <router> [priority]");
+            }
+            if (auto prefix = net::Prefix::parse(range_text)) {
+                cand.range = *prefix;
+            } else {
+                cand.range = net::Prefix::host(parse_group(line, range_text).address());
+            }
+            int priority = 0;
+            if (ls >> priority) {
+                if (priority < 0 || priority > 255) {
+                    fail(line, "candidate-rp priority must be 0..255");
+                }
+                cand.priority = static_cast<std::uint8_t>(priority);
+            }
+            candidate_rps.push_back(std::move(cand));
         } else if (word == "spt-policy") {
             std::string kind;
             ls >> kind;

@@ -124,9 +124,21 @@ ExploreReport explore(const ExploreOptions& options) {
 
         if (current.size() >= options.max_depth) continue;
         std::vector<Pick> flips = child_flips(current, result);
-        std::shuffle(flips.begin(), flips.end(), rng);
-        if (flips.size() > options.children_per_run) {
-            flips.resize(options.children_per_run);
+        // Fault-slot flips are exempt from the sampling cap: there are only
+        // a handful per scenario and each is a first-class branch dimension
+        // (some seeded bugs only manifest after a fault), so they must never
+        // lose the shuffle to the thousands of message-order flips.
+        const auto is_fault = [&result](const Pick& p) {
+            return p.index < result.trace.size() &&
+                   result.trace[p.index].point.kind ==
+                       sim::ChoicePoint::Kind::kFault;
+        };
+        auto fault_end = std::stable_partition(flips.begin(), flips.end(), is_fault);
+        const auto fault_count =
+            static_cast<std::size_t>(std::distance(flips.begin(), fault_end));
+        std::shuffle(fault_end, flips.end(), rng);
+        if (flips.size() > options.children_per_run + fault_count) {
+            flips.resize(options.children_per_run + fault_count);
         }
         for (const Pick& flip : flips) {
             if (frontier.size() >= options.max_frontier) break;

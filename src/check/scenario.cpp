@@ -594,6 +594,336 @@ RunResult run_rp_failover(const RunConfig& cfg) {
     return out;
 }
 
+// --- lan-assert ------------------------------------------------------------
+//
+// §2.2's LAN duplicate problem made persistent: two upstream routers
+// forward the same (S,G) traffic onto one shared LAN. U1 carries the
+// shared tree (downstream joins toward the RP C route through it); U2
+// carries the shortest path (the members switch immediately, and their
+// SPT iif equals their shared-tree iif, so the §3.3 divergence prune
+// never fires). Without asserts both forward every packet forever; with
+// them the SPT forwarder must win the election, the RPT loser must prune
+// its arm, and each steady-state packet crosses the LAN exactly once.
+//
+//       source - slan - B --2-- C(RP) --1-- U1
+//                       |                    |
+//                       1                    dlan -- R - rlan0 - rcv1
+//                       |                   /   |
+//                       U2 ----------------     R2 - rlan1 - rcv2
+
+const std::vector<std::string> kLanAssertSegments = {
+    "B-C", "C-U1", "B-U2", "dlan", "slan(B)", "rlan0(R)", "rlan1(R2)"};
+const std::vector<sim::Time> kLanAssertFaultSlots = {400 * kMs};
+constexpr sim::Time kLanAssertRepairAfter = 350 * kMs;
+// Burst one provokes the duplicate storm and the assert election; burst
+// two is the post-election steady-state measurement window. The horizon
+// stays inside the assert holdtime (1.8s scaled) so the loser's pruned
+// state is still live during the window.
+constexpr std::uint64_t kLanAssertSeqCount = 18;
+constexpr std::uint64_t kLanAssertSteadyFirstSeq = 13;
+constexpr sim::Time kLanAssertSteadyStart = 1250 * kMs;
+constexpr sim::Time kLanAssertHorizon = 1650 * kMs;
+// Steady delivery tree: slan, B-U2, dlan, rlan0, rlan1 — plus B-C, because
+// the RP keeps the source path warm while data flows (§3.10) even though
+// its own oif list is null after U1's RP-bit prune.
+constexpr int kLanAssertSteadyCrossings = 6;
+// Segment index of dlan in creation order (after the three links).
+constexpr int kLanAssertDlanSegment = 3;
+
+RunResult run_lan_assert(const RunConfig& cfg) {
+    RunResult out;
+    const net::GroupAddress group = checker_group();
+
+    topo::Network net;
+    topo::Router& b = net.add_router("B");
+    topo::Router& c = net.add_router("C");
+    topo::Router& u1 = net.add_router("U1");
+    topo::Router& u2 = net.add_router("U2");
+    topo::Router& r = net.add_router("R");
+    topo::Router& r2 = net.add_router("R2");
+    net.add_link(b, c, 1 * kMs, 2);
+    net.add_link(c, u1, 1 * kMs, 1);
+    net.add_link(b, u2, 1 * kMs, 1);
+    net.add_lan({&u1, &u2, &r, &r2});
+    topo::Segment& slan = net.add_lan({&b});
+    topo::Segment& rlan0 = net.add_lan({&r});
+    topo::Segment& rlan1 = net.add_lan({&r2});
+    topo::Host& source = net.add_host("source", slan);
+    topo::Host& rcv1 = net.add_host("rcv1", rlan0);
+    topo::Host& rcv2 = net.add_host("rcv2", rlan1);
+
+    unicast::OracleRouting routing(net);
+    scenario::StackConfig config = scenario::StackConfig{}.scaled(0.01);
+    const bool mutation_ok = apply_mutation(cfg.mutation, config);
+    assert(mutation_ok);
+    (void)mutation_ok;
+    scenario::PimSmStack stack(net, config);
+    stack.set_rp(group, {c.router_id()});
+    stack.set_spt_policy(pim::SptPolicy::immediate());
+    fault::FaultInjector faults(net);
+    stack.wire_faults(faults);
+
+    Driver driver(net, out, cfg, source.address());
+    driver.attach_watchdog(stack);
+    sim::Simulator& sim = net.simulator();
+
+    sim.schedule_at(120 * kMs, [&] { stack.host_agent(rcv1).join(group); });
+    sim.schedule_at(130 * kMs, [&] { stack.host_agent(rcv2).join(group); });
+    source.send_stream(group, 12, 10 * kMs, 250 * kMs);
+    source.send_stream(group, 6, 20 * kMs, 1300 * kMs);
+
+    // Crashing the assert winner forces the members to re-home through the
+    // standing loser: their targeted joins must clear its loser state
+    // ("join overrides assert") or the LAN goes dark.
+    const std::vector<FaultCandidate> candidates = {
+        {"crash-router-U2",
+         [&] {
+             faults.crash_router(u2);
+             faults.restart_router_at(sim.now() + kLanAssertRepairAfter, u2);
+         }},
+    };
+    driver.arm_fault_slots(kLanAssertFaultSlots, candidates);
+
+    driver.checkpoint_until(kLanAssertHorizon, stack);
+    driver.probe_convergence(stack, config.pim.join_prune_interval);
+    driver.finish();
+
+    check_loops(out, driver.crossings, kLanAssertSegments,
+                net.stats().data_dropped_ttl());
+    check_duplicate_bound(out, rcv1);
+    check_duplicate_bound(out, rcv2);
+    const std::map<std::string, const topo::Router*> routers = {
+        {"B", &b}, {"C", &c}, {"U1", &u1}, {"U2", &u2}, {"R", &r}, {"R2", &r2}};
+    check_iif_consistency(out, out.final_mrib, routers, faults);
+
+    if (out.clean) {
+        // Delivery and zero-steady-duplicates: the assert election may cost
+        // a few early duplicates but never a loss, and once it resolves the
+        // LAN carries exactly one copy.
+        for (const topo::Host* host : {&rcv1, &rcv2}) {
+            std::set<std::uint64_t> got;
+            std::map<std::uint64_t, int> steady_copies;
+            for (const topo::Host::ReceivedRecord& rec : host->received()) {
+                if (rec.source != source.address() || rec.group != group) continue;
+                got.insert(rec.seq);
+                if (rec.seq >= kLanAssertSteadyFirstSeq) ++steady_copies[rec.seq];
+            }
+            std::string missing;
+            for (std::uint64_t s = 1; s <= kLanAssertSeqCount; ++s) {
+                if (!got.contains(s)) missing += (missing.empty() ? "" : ",") +
+                                                 std::to_string(s);
+            }
+            if (!missing.empty()) {
+                add_violation(out, "delivery",
+                              host->name() + " never received seq(s) " + missing);
+            }
+            for (const auto& [seq, copies] : steady_copies) {
+                if (copies > 1) {
+                    add_violation(out, "steady-duplicate",
+                                  host->name() + " received steady seq " +
+                                      std::to_string(seq) + " " +
+                                      std::to_string(copies) + " times");
+                }
+            }
+        }
+        // The assert-winner oracle: a steady packet crossing dlan twice
+        // means both upstreams still forward — the loser never pruned.
+        // (No steady-iif oracle here: the loser keeps hearing the winner's
+        // copies on the LAN and iif-discarding them is exactly its job.)
+        for (std::uint64_t s = kLanAssertSteadyFirstSeq; s <= kLanAssertSeqCount;
+             ++s) {
+            int total = 0;
+            int on_dlan = 0;
+            std::string breakdown;
+            for (const auto& [key, count] : driver.crossings) {
+                if (key.first != s) continue;
+                total += count;
+                if (key.second == kLanAssertDlanSegment) on_dlan = count;
+                const auto seg = static_cast<std::size_t>(key.second);
+                breakdown += (breakdown.empty() ? "" : ", ") +
+                             kLanAssertSegments[seg] + "x" + std::to_string(count);
+            }
+            if (on_dlan != 1) {
+                add_violation(out, "assert-winner",
+                              "steady seq " + std::to_string(s) + " crossed dlan " +
+                                  std::to_string(on_dlan) +
+                                  " times; the assert election must leave "
+                                  "exactly one forwarder");
+            }
+            if (total != kLanAssertSteadyCrossings) {
+                add_violation(out, "steady-redundancy",
+                              "steady seq " + std::to_string(s) + " crossed " +
+                                  std::to_string(total) + " segment(s), want " +
+                                  std::to_string(kLanAssertSteadyCrossings) +
+                                  " (" + breakdown + ")");
+            }
+        }
+    }
+    driver.emit_postmortem();
+    return out;
+}
+
+// --- bsr-failover ----------------------------------------------------------
+//
+// The rp-failover world rebuilt without oracle RP knowledge: no router has
+// a static RP; the mapping exists only through BSR election and
+// candidate-RP advertisement. R1 doubles as primary candidate BSR and
+// primary candidate RP, so one crash exercises both failovers at once —
+// the backup BSR B must take over after the BSR timeout, re-collect the
+// advertisements, and republish a set that re-homes every member onto R2.
+
+const std::vector<std::string> kBsrFailoverSegments = {
+    "M-R1", "N-R1", "M-R2", "N-R2", "R1-R2", "B-R1", "B-R2",
+    "lan0(M)", "lan1(N)"};
+const std::vector<sim::Time> kBsrFailoverFaultSlots = {500 * kMs};
+// Re-homing deadline: crash + BSR timeout (1.5s scaled) + a tick for the
+// takeover + up to two lost-and-retried publication waves (the explorer
+// may drop the triggered advertisement and one periodic retry; periodic
+// origination re-floods every 0.6s).
+constexpr sim::Time kBsrFailoverHorizon = 3300 * kMs;
+
+RunResult run_bsr_failover(const RunConfig& cfg) {
+    RunResult out;
+    const net::GroupAddress group = checker_group();
+
+    topo::Network net;
+    topo::Router& m = net.add_router("M");
+    topo::Router& n = net.add_router("N");
+    topo::Router& r1 = net.add_router("R1");
+    topo::Router& r2 = net.add_router("R2");
+    topo::Router& b = net.add_router("B");
+    net.add_link(m, r1, 1 * kMs, 1);
+    net.add_link(n, r1, 1 * kMs, 1);
+    net.add_link(m, r2, 1 * kMs, 3);
+    net.add_link(n, r2, 1 * kMs, 3);
+    net.add_link(r1, r2, 1 * kMs, 1);
+    net.add_link(b, r1, 1 * kMs, 1);
+    net.add_link(b, r2, 1 * kMs, 1);
+    topo::Segment& lan0 = net.add_lan({&m});
+    topo::Segment& lan1 = net.add_lan({&n});
+    topo::Host& h1 = net.add_host("h1", lan0);
+    topo::Host& h2 = net.add_host("h2", lan1);
+
+    unicast::OracleRouting routing(net);
+    scenario::StackConfig config = scenario::StackConfig{}.scaled(0.01);
+    const bool mutation_ok = apply_mutation(cfg.mutation, config);
+    assert(mutation_ok);
+    (void)mutation_ok;
+    scenario::PimSmStack stack(net, config);
+    const net::Prefix all_groups{net::Ipv4Address{224, 0, 0, 0}, 4};
+    stack.set_candidate_bsr(r1, 20);
+    stack.set_candidate_bsr(b, 10);
+    stack.set_candidate_rp(r1, all_groups, 20);
+    stack.set_candidate_rp(r2, all_groups, 10);
+    stack.set_spt_policy(pim::SptPolicy::never());
+    fault::FaultInjector faults(net);
+    stack.wire_faults(faults);
+
+    Driver driver(net, out, cfg, net::Ipv4Address{});
+    driver.attach_watchdog(stack);
+    sim::Simulator& sim = net.simulator();
+
+    sim.schedule_at(100 * kMs, [&] { stack.host_agent(h1).join(group); });
+    sim.schedule_at(110 * kMs, [&] { stack.host_agent(h2).join(group); });
+
+    const std::vector<FaultCandidate> candidates = {
+        {"crash-router-R1", [&] { faults.crash_router(r1); }},
+        {"crash-router-B", [&] { faults.crash_router(b); }},
+    };
+    driver.arm_fault_slots(kBsrFailoverFaultSlots, candidates);
+
+    driver.checkpoint_until(kBsrFailoverHorizon, stack);
+    const telemetry::MribSnapshot at_deadline = stack.capture_mrib();
+    driver.probe_convergence(stack, config.pim.join_prune_interval);
+    driver.finish();
+
+    check_loops(out, driver.crossings, kBsrFailoverSegments,
+                net.stats().data_dropped_ttl());
+    const std::map<std::string, const topo::Router*> routers = {
+        {"M", &m}, {"N", &n}, {"R1", &r1}, {"R2", &r2}, {"B", &b}};
+    check_iif_consistency(out, out.final_mrib, routers, faults);
+
+    // exactly-one-bsr: every live router holds the same elected-BSR view,
+    // and exactly one live router claims the role.
+    net::Ipv4Address elected;
+    int claims = 0;
+    for (const auto& [name, router] : routers) {
+        if (faults.is_crashed(*router)) continue;
+        pim::BootstrapAgent& agent = stack.bootstrap_at(*router);
+        const net::Ipv4Address view = agent.elected_bsr();
+        if (view.is_unspecified()) {
+            add_violation(out, "exactly-one-bsr",
+                          name + " has no elected-BSR view at the deadline");
+            continue;
+        }
+        if (elected.is_unspecified()) {
+            elected = view;
+        } else if (view != elected) {
+            add_violation(out, "exactly-one-bsr",
+                          name + " elected " + view.to_string() +
+                              " while others elected " + elected.to_string());
+        }
+        if (agent.is_elected_bsr()) ++claims;
+    }
+    if (claims != 1) {
+        add_violation(out, "exactly-one-bsr",
+                      std::to_string(claims) +
+                          " live router(s) claim the BSR role, want exactly 1");
+    }
+
+    // rp-set-agreement: the learned set must map the group to the same
+    // non-empty RP list on every live router.
+    std::vector<net::Ipv4Address> agreed;
+    bool have_agreed = false;
+    for (const auto& [name, router] : routers) {
+        if (faults.is_crashed(*router)) continue;
+        const auto rps = stack.pim_at(*router).rp_set().rps_for(group);
+        if (rps.empty()) {
+            add_violation(out, "rp-set-agreement",
+                          name + " derives no RP for " + group.to_string() +
+                              " from the learned set");
+            continue;
+        }
+        if (!have_agreed) {
+            agreed = rps;
+            have_agreed = true;
+        } else if (rps != agreed) {
+            add_violation(out, "rp-set-agreement",
+                          name + " maps " + group.to_string() + " to " +
+                              rps.front().to_string() + " while others map it to " +
+                              agreed.front().to_string());
+        }
+    }
+
+    // bsr-rp-rehoming: like rp-failover's oracle, judged at the deadline
+    // capture — members must root at the hash-elected RP of whatever set
+    // survived the fault slot.
+    const bool r1_crashed = faults.is_crashed(r1);
+    const std::string want_rp =
+        (r1_crashed ? r2.router_id() : r1.router_id()).to_string();
+    for (const telemetry::RouterMrib& rm : at_deadline.routers) {
+        if (rm.router != "M" && rm.router != "N") continue;
+        bool has_wc = false;
+        for (const telemetry::EntrySnapshot& entry : rm.entries) {
+            if (!entry.wildcard) continue;
+            has_wc = true;
+            if (entry.source_or_rp != want_rp) {
+                add_violation(out, "bsr-rp-rehoming",
+                              rm.router + " (*,G) still rooted at " +
+                                  entry.source_or_rp + ", want " + want_rp +
+                                  (r1_crashed ? " (primary candidate RP crashed)"
+                                              : ""));
+            }
+        }
+        if (!has_wc) {
+            add_violation(out, "bsr-rp-rehoming",
+                          rm.router + " has no (*,G) at the re-homing deadline");
+        }
+    }
+    driver.emit_postmortem();
+    return out;
+}
+
 // ---------------------------------------------------------------------------
 // Replay script emission
 // ---------------------------------------------------------------------------
@@ -653,6 +983,63 @@ at 100ms join h1 224.9.9.9
 at 110ms join h2 224.9.9.9
 )";
 
+const char* kLanAssertScript = R"(topology
+router B
+router C
+router U1
+router U2
+router R
+router R2
+link B C delay=1ms metric=2
+link C U1 delay=1ms metric=1
+link B U2 delay=1ms metric=1
+lan dlan U1 U2 R R2
+lan slan B
+lan rlan0 R
+lan rlan1 R2
+host source slan
+host rcv1 rlan0
+host rcv2 rlan1
+end
+protocol pim-sm
+rp 224.9.9.9 C
+spt-policy immediate
+trace on
+at 120ms join rcv1 224.9.9.9
+at 130ms join rcv2 224.9.9.9
+at 250ms send source 224.9.9.9 count=12 interval=10ms
+at 1300ms send source 224.9.9.9 count=6 interval=20ms
+)";
+
+const char* kBsrFailoverScript = R"(topology
+router M
+router N
+router R1
+router R2
+router B
+link M R1 delay=1ms metric=1
+link N R1 delay=1ms metric=1
+link M R2 delay=1ms metric=3
+link N R2 delay=1ms metric=3
+link R1 R2 delay=1ms metric=1
+link B R1 delay=1ms metric=1
+link B R2 delay=1ms metric=1
+lan lan0 M
+lan lan1 N
+host h1 lan0
+host h2 lan1
+end
+protocol pim-sm
+candidate-bsr R1 20
+candidate-bsr B 10
+candidate-rp 224.0.0.0/4 R1 20
+candidate-rp 224.0.0.0/4 R2 10
+spt-policy never
+trace on
+at 100ms join h1 224.9.9.9
+at 110ms join h2 224.9.9.9
+)";
+
 /// Fault directives equivalent to firing candidate `value - 1` at `slot`.
 std::string fault_directives(const std::string& scenario, std::size_t slot,
                              std::uint32_t value) {
@@ -685,15 +1072,32 @@ std::string fault_directives(const std::string& scenario, std::size_t slot,
         if (slot == 0 && value == 1) {
             out += "at " + time_ms(kFailoverFaultSlots[0]) + " crash-router R1\n";
         }
+    } else if (scenario == "lan-assert") {
+        if (slot == 0 && value == 1) {
+            const sim::Time at = kLanAssertFaultSlots[0];
+            out += "at " + time_ms(at) + " crash-router U2\n";
+            out += "at " + time_ms(at + kLanAssertRepairAfter) +
+                   " restart-router U2\n";
+        }
+    } else if (scenario == "bsr-failover") {
+        if (slot == 0 && value == 1) {
+            out += "at " + time_ms(kBsrFailoverFaultSlots[0]) +
+                   " crash-router R1\n";
+        } else if (slot == 0 && value == 2) {
+            out += "at " + time_ms(kBsrFailoverFaultSlots[0]) +
+                   " crash-router B\n";
+        }
     }
     return out;
 }
 
 std::string describe_choice(const std::string& scenario, std::uint32_t index,
                             const ChoiceRec& rec) {
-    const std::vector<std::string>& segs = scenario == "walkthrough"
-                                               ? kWalkthroughSegments
-                                               : kFailoverSegments;
+    const std::vector<std::string>& segs =
+        scenario == "walkthrough"    ? kWalkthroughSegments
+        : scenario == "lan-assert"   ? kLanAssertSegments
+        : scenario == "bsr-failover" ? kBsrFailoverSegments
+                                     : kFailoverSegments;
     std::string what;
     switch (rec.point.kind) {
     case sim::ChoicePoint::Kind::kEventOrder:
@@ -718,13 +1122,15 @@ std::string describe_choice(const std::string& scenario, std::uint32_t index,
 } // namespace
 
 const std::vector<std::string>& scenario_names() {
-    static const std::vector<std::string> names = {"walkthrough", "rp-failover"};
+    static const std::vector<std::string> names = {"walkthrough", "rp-failover",
+                                                   "lan-assert", "bsr-failover"};
     return names;
 }
 
 const std::vector<std::string>& known_mutations() {
-    static const std::vector<std::string> names = {"skip-spt-bit-handshake",
-                                                   "no-rp-bit-prune"};
+    static const std::vector<std::string> names = {
+        "skip-spt-bit-handshake", "no-rp-bit-prune",
+        "assert-loser-keeps-forwarding", "stale-rp-set-after-bsr-failover"};
     return names;
 }
 
@@ -738,12 +1144,33 @@ bool apply_mutation(const std::string& mutation, scenario::StackConfig& config) 
         config.pim.mutate_no_rp_bit_prune = true;
         return true;
     }
+    if (mutation == "assert-loser-keeps-forwarding") {
+        config.pim.mutate_assert_loser_keeps_forwarding = true;
+        return true;
+    }
+    if (mutation == "stale-rp-set-after-bsr-failover") {
+        config.bootstrap.mutate_stale_rp_set = true;
+        return true;
+    }
     return false;
+}
+
+std::string scenario_for_mutation(const std::string& mutation) {
+    if (mutation == "assert-loser-keeps-forwarding") return "lan-assert";
+    if (mutation == "stale-rp-set-after-bsr-failover") return "bsr-failover";
+    return "walkthrough";
+}
+
+std::string forced_fault_for_mutation(const std::string& mutation) {
+    if (mutation == "stale-rp-set-after-bsr-failover") return "crash-router-R1";
+    return "";
 }
 
 RunResult run_scenario(const std::string& name, const RunConfig& cfg) {
     if (name == "walkthrough") return run_walkthrough(cfg);
     if (name == "rp-failover") return run_rp_failover(cfg);
+    if (name == "lan-assert") return run_lan_assert(cfg);
+    if (name == "bsr-failover") return run_bsr_failover(cfg);
     assert(false && "unknown scenario; validate against scenario_names()");
     return {};
 }
@@ -785,9 +1212,16 @@ std::string replay_script(const std::string& name, const std::string& mutation,
         out += "# fault injections replay below; pimsim cannot force "
                "message-level order/loss\n";
     }
-    out += name == "walkthrough" ? kWalkthroughScript : kFailoverScript;
+    out += name == "walkthrough"    ? kWalkthroughScript
+           : name == "lan-assert"   ? kLanAssertScript
+           : name == "bsr-failover" ? kBsrFailoverScript
+                                    : kFailoverScript;
     out += fault_lines;
-    out += "run " + time_ms(name == "walkthrough" ? 2500 * kMs : 2400 * kMs) + "\n";
+    const sim::Time run_for = name == "walkthrough"    ? 2500 * kMs
+                             : name == "lan-assert"    ? 2200 * kMs
+                             : name == "bsr-failover"  ? 3800 * kMs
+                                                       : 2400 * kMs;
+    out += "run " + time_ms(run_for) + "\n";
     return out;
 }
 

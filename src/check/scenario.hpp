@@ -25,6 +25,19 @@
 //   rp-failover          (rp-failover scenario) after the primary RP dies,
 //                        every member router's (*,G) re-homes to the
 //                        alternate RP (§3.9)
+//   assert-winner        (lan-assert scenario) after the per-interface
+//                        Assert election, each steady packet crosses the
+//                        contested LAN exactly once — one winner forwards,
+//                        every loser holds its prune
+//   exactly-one-bsr      (bsr-failover scenario) every live router agrees on
+//                        the elected BSR, and exactly one live router claims
+//                        the role
+//   rp-set-agreement     (bsr-failover scenario) every live router derives
+//                        the same non-empty RP list from the learned set
+//   bsr-rp-rehoming      (bsr-failover scenario) members' (*,G) entries root
+//                        at the hash-elected RP of the surviving set — after
+//                        the primary candidate RP (and BSR) crashes, they
+//                        re-home to the backup within the §3.9-style bound
 //
 // Oracles that assert efficiency or completeness only apply to "clean"
 // branches — no forced frame loss and no injected fault — because the
@@ -50,7 +63,7 @@ struct Violation {
 struct RunConfig {
     /// Forced picks identifying the branch; empty = baseline run.
     ChoiceSet choices;
-    /// Seeded-bug selector: "", "skip-spt-bit-handshake", "no-rp-bit-prune".
+    /// Seeded-bug selector: "" or one of known_mutations().
     std::string mutation;
     /// Unconditionally apply this fault candidate at the first fault slot
     /// (by label, bypassing the choice machinery). Test hook.
@@ -111,6 +124,18 @@ struct RunResult {
 /// Applies a mutation by name to the stack config; false if unknown.
 [[nodiscard]] bool apply_mutation(const std::string& mutation,
                                   scenario::StackConfig& config);
+
+/// The scenario whose oracles catch `mutation` — each seeded bug only
+/// manifests in the world built to exercise its mechanism (e.g. the assert
+/// mutations need two parallel upstreams on a LAN). Defaults to
+/// "walkthrough" for unknown names.
+[[nodiscard]] std::string scenario_for_mutation(const std::string& mutation);
+
+/// The fault (RunConfig::forced_fault syntax) a mutation needs before its
+/// symptom appears on the deterministic baseline branch, or "" when it is
+/// visible without one. A stale RP set, for instance, is indistinguishable
+/// from a fresh one until the elected BSR actually dies.
+[[nodiscard]] std::string forced_fault_for_mutation(const std::string& mutation);
 
 /// Runs one branch of `name`. Aborts (assert) on unknown scenario names —
 /// callers validate against scenario_names() first.

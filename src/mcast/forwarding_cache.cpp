@@ -145,6 +145,9 @@ telemetry::EntrySnapshot snapshot_entry(const ForwardingEntry& entry, sim::Time 
     out.rp_bit = entry.rp_bit();
     out.spt_bit = entry.spt_bit();
     out.iif = entry.iif();
+    if (entry.upstream_neighbor()) {
+        out.upstream = entry.upstream_neighbor()->to_string();
+    }
     for (const auto& [ifindex, state] : entry.oifs()) {
         telemetry::OifSnapshot oif;
         oif.ifindex = ifindex;
@@ -310,7 +313,10 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
             } else {
                 router_->network().stats().count_data_dropped_iif();
                 record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
-                           /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
+                           /*rpf_ok=*/false,
+                           delegate_ != nullptr
+                               ? delegate_->classify_iif_drop(ifindex, packet)
+                               : provenance::DropReason::kRpfFail);
                 if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
             }
             return;
@@ -337,7 +343,9 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
         }
         router_->network().stats().count_data_dropped_iif();
         record_hop(ifindex, packet, sg, provenance::EntryKind::kSg,
-                   /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
+                   /*rpf_ok=*/false,
+                   delegate_ != nullptr ? delegate_->classify_iif_drop(ifindex, packet)
+                                        : provenance::DropReason::kRpfFail);
         if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
         return;
     }
@@ -350,7 +358,10 @@ void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
         } else {
             router_->network().stats().count_data_dropped_iif();
             record_hop(ifindex, packet, wc, provenance::EntryKind::kWildcard,
-                       /*rpf_ok=*/false, provenance::DropReason::kRpfFail);
+                       /*rpf_ok=*/false,
+                       delegate_ != nullptr
+                           ? delegate_->classify_iif_drop(ifindex, packet)
+                           : provenance::DropReason::kRpfFail);
             if (delegate_ != nullptr) delegate_->on_iif_check_failed(ifindex, packet);
         }
         return;

@@ -114,6 +114,15 @@ public:
         virtual void on_spt_bit_set(ForwardingEntry& entry) { (void)entry; }
         /// Incoming-interface check failed (packet dropped).
         virtual void on_iif_check_failed(int ifindex, const net::Packet& packet) { (void)ifindex; (void)packet; }
+        /// Lets the protocol refine the drop reason recorded for an
+        /// iif-check failure — e.g. a LAN assert loser hearing the winner's
+        /// copy reports kAssertLoser instead of a generic RPF failure.
+        virtual provenance::DropReason classify_iif_drop(int ifindex,
+                                                         const net::Packet& packet) {
+            (void)ifindex;
+            (void)packet;
+            return provenance::DropReason::kRpfFail;
+        }
         /// Data was forwarded via a genuine (S,G) match (normal path or the
         /// second SPT-bit exception). Lets a source DR keep registering
         /// until the RP's join arrives.

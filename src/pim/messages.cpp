@@ -37,7 +37,9 @@ EntryFlags decode_flags(std::uint8_t bits) {
 
 std::optional<Code> peek_code(std::span<const std::uint8_t> bytes) {
     if (bytes.size() < 2 || bytes[0] != igmp::kTypePim) return std::nullopt;
-    if (bytes[1] > static_cast<std::uint8_t>(Code::kJoinPruneBundle)) return std::nullopt;
+    if (bytes[1] > static_cast<std::uint8_t>(Code::kCandidateRpAdvertisement)) {
+        return std::nullopt;
+    }
     return static_cast<Code>(bytes[1]);
 }
 
@@ -213,6 +215,116 @@ std::optional<RpReachability> RpReachability::decode(std::span<const std::uint8_
     auto holdtime = r.get_u32();
     if (!group || !rp || !holdtime || !r.at_end()) return std::nullopt;
     return RpReachability{*group, *rp, *holdtime};
+}
+
+std::vector<std::uint8_t> Assert::encode() const {
+    net::BufWriter w(15);
+    put_header(w, Code::kAssert);
+    w.put_addr(group);
+    w.put_addr(source);
+    w.put_u8(wc_bit ? kFlagWc : 0);
+    w.put_u32(metric);
+    return w.take();
+}
+
+std::optional<Assert> Assert::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kAssert)) return std::nullopt;
+    auto group = r.get_addr();
+    auto source = r.get_addr();
+    auto flags = r.get_u8();
+    auto metric = r.get_u32();
+    if (!group || !source || !flags.has_value() || !metric || !r.at_end()) {
+        return std::nullopt;
+    }
+    // Only the WC flag is defined; reject unknown bits rather than silently
+    // dropping them on the re-encode.
+    if ((*flags & ~kFlagWc) != 0) return std::nullopt;
+    return Assert{*group, *source, (*flags & kFlagWc) != 0, *metric};
+}
+
+std::vector<std::uint8_t> Bootstrap::encode() const {
+    net::BufWriter w(13 + rps.size() * 14);
+    put_header(w, Code::kBootstrap);
+    w.put_addr(bsr);
+    w.put_u8(bsr_priority);
+    w.put_u32(seq);
+    w.put_u16(static_cast<std::uint16_t>(rps.size()));
+    for (const RpEntry& e : rps) {
+        w.put_addr(e.range.address());
+        w.put_u8(static_cast<std::uint8_t>(e.range.length()));
+        w.put_addr(e.rp);
+        w.put_u8(e.priority);
+        w.put_u32(e.holdtime_ms);
+    }
+    return w.take();
+}
+
+std::optional<Bootstrap> Bootstrap::decode(std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kBootstrap)) return std::nullopt;
+    Bootstrap msg;
+    auto bsr = r.get_addr();
+    auto priority = r.get_u8();
+    auto seq = r.get_u32();
+    auto count = r.get_u16();
+    if (!bsr || !priority.has_value() || !seq || !count) return std::nullopt;
+    msg.bsr = *bsr;
+    msg.bsr_priority = *priority;
+    msg.seq = *seq;
+    for (std::uint16_t i = 0; i < *count; ++i) {
+        auto range_addr = r.get_addr();
+        auto range_len = r.get_u8();
+        auto rp = r.get_addr();
+        auto rp_priority = r.get_u8();
+        auto holdtime = r.get_u32();
+        if (!range_addr || !range_len.has_value() || !rp ||
+            !rp_priority.has_value() || !holdtime) {
+            return std::nullopt;
+        }
+        if (*range_len > 32) return std::nullopt;
+        msg.rps.push_back(RpEntry{net::Prefix{*range_addr, *range_len}, *rp,
+                                  *rp_priority, *holdtime});
+    }
+    if (!r.at_end()) return std::nullopt;
+    return msg;
+}
+
+std::vector<std::uint8_t> CandidateRpAdvertisement::encode() const {
+    net::BufWriter w(13 + ranges.size() * 5);
+    put_header(w, Code::kCandidateRpAdvertisement);
+    w.put_addr(rp);
+    w.put_u8(priority);
+    w.put_u32(holdtime_ms);
+    w.put_u16(static_cast<std::uint16_t>(ranges.size()));
+    for (const net::Prefix& range : ranges) {
+        w.put_addr(range.address());
+        w.put_u8(static_cast<std::uint8_t>(range.length()));
+    }
+    return w.take();
+}
+
+std::optional<CandidateRpAdvertisement> CandidateRpAdvertisement::decode(
+    std::span<const std::uint8_t> bytes) {
+    net::BufReader r(bytes);
+    if (!check_header(r, Code::kCandidateRpAdvertisement)) return std::nullopt;
+    CandidateRpAdvertisement msg;
+    auto rp = r.get_addr();
+    auto priority = r.get_u8();
+    auto holdtime = r.get_u32();
+    auto count = r.get_u16();
+    if (!rp || !priority.has_value() || !holdtime || !count) return std::nullopt;
+    msg.rp = *rp;
+    msg.priority = *priority;
+    msg.holdtime_ms = *holdtime;
+    for (std::uint16_t i = 0; i < *count; ++i) {
+        auto addr = r.get_addr();
+        auto len = r.get_u8();
+        if (!addr || !len.has_value() || *len > 32) return std::nullopt;
+        msg.ranges.emplace_back(*addr, *len);
+    }
+    if (!r.at_end()) return std::nullopt;
+    return msg;
 }
 
 } // namespace pimlib::pim

@@ -37,6 +37,7 @@ PimConfig PimConfig::scaled(double factor) const {
     out.rp_timeout = scale(rp_timeout);
     out.join_suppression = scale(join_suppression);
     out.override_delay = scale(override_delay);
+    out.assert_holdtime = scale(assert_holdtime);
     return out;
 }
 
@@ -88,6 +89,7 @@ void PimSmRouter::reboot() {
     spt_counters_.clear();
     rp_source_active_.clear();
     registering_.clear();
+    asserts_.clear();
     cache_.clear();
     // Restart the periodic machinery from the reboot instant and introduce
     // ourselves immediately; state then rebuilds from IGMP reports, incoming
@@ -626,6 +628,286 @@ void PimSmRouter::on_spt_bit_set(mcast::ForwardingEntry& entry) {
 
 void PimSmRouter::on_iif_check_failed(int ifindex, const net::Packet& packet) {
     maybe_register(ifindex, packet, /*already_forwarded=*/false);
+    // A data packet arriving on an interface we ourselves forward that
+    // (source, group) onto means a parallel forwarder exists on the LAN:
+    // trigger the forwarder election (Assert).
+    const net::GroupAddress group{packet.dst};
+    if (auto role = forwarder_role_on(ifindex, packet.src, group)) {
+        send_assert(ifindex, packet.src, group, *role);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LAN forwarder election — Assert (RFC 7761 §4.6 layered onto the '94 LAN
+// procedures)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Assert rank comparison: an SPT forwarder (wc=0) beats an RPT forwarder,
+/// then lower metric toward the tree root, then higher interface address.
+bool assert_beats(bool a_wc, std::uint32_t a_metric, net::Ipv4Address a_addr,
+                  bool b_wc, std::uint32_t b_metric, net::Ipv4Address b_addr) {
+    if (a_wc != b_wc) return !a_wc;
+    if (a_metric != b_metric) return a_metric < b_metric;
+    return a_addr > b_addr;
+}
+} // namespace
+
+std::optional<PimSmRouter::ForwarderRole> PimSmRouter::forwarder_role_on(
+    int ifindex, net::Ipv4Address source, net::GroupAddress group) {
+    if (ifindex < 0 || ifindex >= router_->interface_count()) return std::nullopt;
+    if (is_assert_loser(ifindex, source, group)) return std::nullopt; // already ceded
+    const sim::Time now = router_->simulator().now();
+    mcast::ForwardingEntry* sg = cache_.find_sg(source, group);
+    if (sg != nullptr && !sg->rp_bit() && sg->iif() != ifindex) {
+        if (const auto* oif = sg->find_oif(ifindex); oif != nullptr && oif->alive(now)) {
+            std::uint32_t metric = 0;
+            if (auto route = router_->route_to(source)) {
+                metric = static_cast<std::uint32_t>(route->metric);
+            }
+            return ForwarderRole{false, metric};
+        }
+    }
+    mcast::ForwardingEntry* wc = cache_.find_wc(group);
+    if (wc != nullptr && wc->iif() != ifindex) {
+        // An existing negative cache pruned on this interface already cedes
+        // the source; it must not re-enter the election as an RPT forwarder.
+        if (sg != nullptr && sg->rp_bit() && sg->is_pruned(ifindex)) return std::nullopt;
+        if (const auto* oif = wc->find_oif(ifindex); oif != nullptr && oif->alive(now)) {
+            std::uint32_t metric = 0;
+            if (wc->source_or_rp() != router_->router_id()) {
+                if (auto route = router_->route_to(wc->source_or_rp())) {
+                    metric = static_cast<std::uint32_t>(route->metric);
+                }
+            }
+            return ForwarderRole{true, metric};
+        }
+    }
+    return std::nullopt;
+}
+
+void PimSmRouter::send_assert(int ifindex, net::Ipv4Address source,
+                              net::GroupAddress group, const ForwarderRole& role) {
+    const sim::Time now = router_->simulator().now();
+    AssertState& st = asserts_[AssertKey{ifindex, source, group}];
+    // Duplicate data keeps triggering us; rate-limit resends so the LAN sees
+    // one Assert per override window, not one per packet.
+    if (st.last_sent != 0 && now - st.last_sent < config_.override_delay) return;
+    st.last_sent = now;
+    if (st.expires == 0) st.expires = now + config_.assert_holdtime;
+
+    Assert msg;
+    msg.group = group.address();
+    msg.source = source;
+    msg.wc_bit = role.wc;
+    msg.metric = role.metric;
+    net::Packet packet;
+    packet.src = router_->interface(ifindex).address;
+    packet.dst = net::kAllRouters;
+    packet.proto = net::IpProto::kIgmp;
+    packet.ttl = 1;
+    packet.payload = msg.encode();
+    router_->network().stats().count_control_message("pim-assert");
+    router_->send(ifindex, net::Frame{std::nullopt, std::move(packet)});
+}
+
+void PimSmRouter::handle_assert(int ifindex, const net::Packet& packet,
+                                const Assert& msg) {
+    if (!msg.group.is_multicast()) return;
+    if (ifindex < 0 || ifindex >= router_->interface_count()) return;
+    const net::Ipv4Address ours = router_->interface(ifindex).address;
+    if (packet.src == ours) return; // our own flood echoed back
+    const net::GroupAddress group{msg.group};
+    const net::Ipv4Address source = msg.source;
+    const sim::Time now = router_->simulator().now();
+    const AssertKey key{ifindex, source, group};
+    telemetry::Hub& hub = hub_of(*router_);
+
+    if (auto role = forwarder_role_on(ifindex, source, group)) {
+        // We forward this traffic onto the LAN too: compare ranks.
+        if (assert_beats(role->wc, role->metric, ours, msg.wc_bit, msg.metric,
+                         packet.src)) {
+            AssertState& st = asserts_[key];
+            const bool was_winner = !st.we_lost && st.winner == ours && st.expires > now;
+            st.winner = ours;
+            st.winner_wc = role->wc;
+            st.winner_metric = role->metric;
+            st.we_lost = false;
+            st.expires = now + config_.assert_holdtime;
+            if (!was_winner) {
+                hub.registry()
+                    .counter("pimlib_assert_transitions_total", {{"role", "winner"}},
+                             "LAN forwarder elections resolved, by this router's role")
+                    .inc();
+                hub.emit(telemetry::EventType::kAssertWon, router_->name(), "pim",
+                         group.to_string(),
+                         "src=" + source.to_string() + " if=" + std::to_string(ifindex) +
+                             " beat=" + packet.src.to_string());
+            }
+            // Answer so the inferior forwarder (and everyone downstream)
+            // learns who won; rate-limited like the data-triggered path.
+            if (st.last_sent == 0 || now - st.last_sent >= config_.override_delay) {
+                st.last_sent = now;
+                Assert reply;
+                reply.group = group.address();
+                reply.source = source;
+                reply.wc_bit = role->wc;
+                reply.metric = role->metric;
+                net::Packet out;
+                out.src = ours;
+                out.dst = net::kAllRouters;
+                out.proto = net::IpProto::kIgmp;
+                out.ttl = 1;
+                out.payload = reply.encode();
+                router_->network().stats().count_control_message("pim-assert");
+                router_->send(ifindex, net::Frame{std::nullopt, std::move(out)});
+            }
+            return;
+        }
+        // We lost: remember the winner and stop forwarding onto this LAN.
+        AssertState& st = asserts_[key];
+        const bool already_lost = st.we_lost && st.winner == packet.src;
+        st.winner = packet.src;
+        st.winner_wc = msg.wc_bit;
+        st.winner_metric = msg.metric;
+        st.we_lost = true;
+        st.expires = now + config_.assert_holdtime;
+        if (!already_lost) {
+            hub.registry()
+                .counter("pimlib_assert_transitions_total", {{"role", "loser"}},
+                         "LAN forwarder elections resolved, by this router's role")
+                .inc();
+            hub.emit(telemetry::EventType::kAssertLost, router_->name(), "pim",
+                     group.to_string(),
+                     "src=" + source.to_string() + " if=" + std::to_string(ifindex) +
+                         " winner=" + packet.src.to_string());
+        }
+        // Re-applied even for a standing loss: the prune action is
+        // idempotent, and downstream joins may have rebuilt the oif since
+        // the election (the data duplicate that re-triggered this assert is
+        // the proof that something reopened the interface).
+        apply_assert_loss(ifindex, source, group, role->wc);
+        return;
+    }
+
+    // Downstream listener: track the best winner heard on our iif and
+    // re-point RPF' at it.
+    AssertState& st = asserts_[key];
+    if (st.expires > now && !(st.winner == packet.src) &&
+        !assert_beats(msg.wc_bit, msg.metric, packet.src, st.winner_wc,
+                      st.winner_metric, st.winner)) {
+        return; // a better forwarder already won this (S,G) on the LAN
+    }
+    st.winner = packet.src;
+    st.winner_wc = msg.wc_bit;
+    st.winner_metric = msg.metric;
+    st.we_lost = false;
+    st.expires = now + config_.assert_holdtime;
+    retarget_downstream_to_winner(ifindex, source, group, packet.src, msg.wc_bit);
+}
+
+void PimSmRouter::apply_assert_loss(int ifindex, net::Ipv4Address source,
+                                    net::GroupAddress group, bool our_wc) {
+    if (config_.mutate_assert_loser_keeps_forwarding) {
+        // Seeded bug (model-checker mutation gate): the election concluded —
+        // events, counters, loser state all recorded — but the prune that
+        // actually stops the duplicates never happens.
+        return;
+    }
+    const sim::Time now = router_->simulator().now();
+    mcast::ForwardingEntry* sg = cache_.find_sg(source, group);
+    if (!our_wc && sg != nullptr && !sg->rp_bit()) {
+        // SPT loser: take the LAN out of our (S,G) oif list.
+        sg->remove_oif(ifindex);
+        if (sg->oif_list_empty(now) && sg->delete_at() == 0 && !is_rp_for(group)) {
+            if (sg->iif() >= 0) send_prune_upstream(*sg);
+            sg->set_delete_at(now + 3 * config_.join_prune_interval);
+        }
+        return;
+    }
+    // RPT loser: install an (S,G)RP-bit negative cache pruned on the LAN, so
+    // other sources keep flowing down the shared tree there. apply_prune's
+    // §3.3 machinery builds the cache from the (*,G) entry.
+    apply_prune(ifindex, group, AddressEntry{source, EntryFlags{false, true}});
+}
+
+void PimSmRouter::retarget_downstream_to_winner(int ifindex, net::Ipv4Address source,
+                                                net::GroupAddress group,
+                                                net::Ipv4Address winner,
+                                                bool winner_wc) {
+    // (S,G) rooted through this LAN: re-point its RPF' at the winner so the
+    // periodic refresh and triggered joins reach the router that actually
+    // forwards. Only an SPT winner qualifies — a shared-tree forwarder's
+    // assert (wc set) loses to our upstream's eventual (S,G) assert by the
+    // election's own first rule, so repointing at it (and the triggered join
+    // that follows) would plant divergent (S,G) state on a router that never
+    // forwards this source for us.
+    mcast::ForwardingEntry* sg = cache_.find_sg(source, group);
+    if (sg != nullptr && !sg->rp_bit() && sg->iif() == ifindex && !winner_wc) {
+        if (sg->upstream_neighbor() != std::optional<net::Ipv4Address>{winner}) {
+            sg->set_upstream_neighbor(winner);
+            send_triggered_join(*sg);
+        }
+        return;
+    }
+    mcast::ForwardingEntry* wc = cache_.find_wc(group);
+    if (wc == nullptr || wc->iif() != ifindex) return;
+    if (!winner_wc) {
+        // An SPT forwarder won: this source no longer arrives via our
+        // shared-tree upstream. Build the (S,G) rooted at the winner so our
+        // joins target it (the RPF' change shows up in MRIB snapshots).
+        if (sg == nullptr || sg->rp_bit()) {
+            mcast::ForwardingEntry& entry = establish_sg(source, group);
+            entry.set_iif(ifindex);
+            entry.set_upstream_neighbor(winner);
+            entry.remove_oif(ifindex);
+            send_triggered_join(entry);
+        }
+        return;
+    }
+    // A shared-tree forwarder won: re-point the (*,G) RPF' (negative caches
+    // follow, as on a route change).
+    if (wc->upstream_neighbor() != std::optional<net::Ipv4Address>{winner}) {
+        wc->set_upstream_neighbor(winner);
+        send_triggered_join(*wc);
+        cache_.for_each_sg_of(group, [&](mcast::ForwardingEntry& e) {
+            if (e.rp_bit() && e.iif() == ifindex) e.set_upstream_neighbor(winner);
+        });
+    }
+}
+
+void PimSmRouter::clear_assert_loss(int ifindex, net::Ipv4Address source,
+                                    net::GroupAddress group) {
+    auto it = asserts_.find(AssertKey{ifindex, source, group});
+    if (it != asserts_.end() && it->second.we_lost) asserts_.erase(it);
+}
+
+bool PimSmRouter::is_assert_loser(int ifindex, net::Ipv4Address source,
+                                  net::GroupAddress group) const {
+    auto it = asserts_.find(AssertKey{ifindex, source, group});
+    if (it == asserts_.end() || !it->second.we_lost) return false;
+    const sim::Time now = const_cast<topo::Router*>(router_)->simulator().now();
+    return it->second.expires > now;
+}
+
+void PimSmRouter::expire_assert_state() {
+    const sim::Time now = router_->simulator().now();
+    for (auto it = asserts_.begin(); it != asserts_.end();) {
+        it = (it->second.expires != 0 && it->second.expires <= now)
+                 ? asserts_.erase(it)
+                 : std::next(it);
+    }
+}
+
+provenance::DropReason PimSmRouter::classify_iif_drop(int ifindex,
+                                                      const net::Packet& packet) {
+    // A recorded assert loss turns the generic RPF failure into the typed
+    // "I lost the LAN election" drop.
+    const net::GroupAddress group{packet.dst};
+    if (is_assert_loser(ifindex, packet.src, group)) {
+        return provenance::DropReason::kAssertLoser;
+    }
+    return provenance::DropReason::kRpfFail;
 }
 
 // ---------------------------------------------------------------------------
@@ -656,6 +938,17 @@ void PimSmRouter::on_pim_message(int ifindex, const net::Packet& packet) {
         if (auto msg = JoinPruneBundle::decode(packet.payload)) {
             handle_join_prune_bundle(ifindex, packet, *msg);
         }
+        break;
+    case Code::kAssert:
+        if (auto msg = Assert::decode(packet.payload)) {
+            handle_assert(ifindex, packet, *msg);
+        }
+        break;
+    case Code::kBootstrap:
+    case Code::kCandidateRpAdvertisement:
+        // The bootstrap subsystem (pim/bootstrap) handles BSR election and
+        // candidate-RP advertisement; routers without one ignore both.
+        if (bootstrap_handler_) bootstrap_handler_(ifindex, packet);
         break;
     }
 }
@@ -748,9 +1041,13 @@ void PimSmRouter::process_targeted_join(int ifindex, net::GroupAddress group,
         cancel_pending_prune(ref_of(*wc), ifindex);
         // Footnote 12: resetting a (*,G) oif timer also resets that oif's
         // timers in (S,G) entries — and a shared-tree join reinstates the
-        // interface on negative caches.
+        // interface on negative caches. Not, however, one held closed by a
+        // lost LAN forwarder election: a (*,G) join means "I want the shared
+        // tree from you", not "you won the Assert"; only an explicit (S,G)
+        // join (or the assert state expiring) reopens that interface.
         cache_.for_each_sg_of(group, [&](mcast::ForwardingEntry& sg) {
             if (ifindex == sg.iif()) return;
+            if (is_assert_loser(ifindex, sg.source_or_rp(), group)) return;
             if (sg.rp_bit()) sg.clear_pruned(ifindex);
             sg.add_oif(ifindex, expires);
         });
@@ -765,6 +1062,7 @@ void PimSmRouter::process_targeted_join(int ifindex, net::GroupAddress group,
             sg->clear_pruned(ifindex);
             if (ifindex != sg->iif()) sg->add_oif(ifindex, expires);
             cancel_pending_prune(ref_of(*sg), ifindex);
+            clear_assert_loss(ifindex, entry.address, group);
         }
         return;
     }
@@ -782,6 +1080,9 @@ void PimSmRouter::process_targeted_join(int ifindex, net::GroupAddress group,
     }
     if (ifindex != sg.iif()) sg.add_oif(ifindex, expires);
     cancel_pending_prune(ref_of(sg), ifindex);
+    // A downstream router picked us as its RPF' for this source: any assert
+    // loss we recorded on that LAN is void (join overrides assert).
+    clear_assert_loss(ifindex, source, group);
     if (!was_real && !was_registering) send_triggered_join(sg);
 }
 
@@ -1075,15 +1376,25 @@ void PimSmRouter::failover_to_alternate_rp(net::GroupAddress group,
     }
 }
 
-// ---------------------------------------------------------------------------
-// Periodic soft-state machinery (§3.4, §3.6)
-// ---------------------------------------------------------------------------
+void PimSmRouter::reconcile_rp_mappings() {
+    // Called after the RP set changed (a BSR update replaced the dynamic
+    // mappings): any shared tree rooted at an RP that no longer maps to its
+    // group fails over immediately instead of waiting for the RP timer.
+    std::vector<std::pair<net::GroupAddress, net::Ipv4Address>> stale;
+    cache_.for_each_wc([&](mcast::ForwardingEntry& wc) {
+        const net::GroupAddress group = wc.group();
+        const auto rps = rp_set_.rps_for(group);
+        if (rps.empty()) return; // no mapping left; soft state ages out
+        if (std::find(rps.begin(), rps.end(), wc.source_or_rp()) != rps.end()) return;
+        stale.emplace_back(group, wc.source_or_rp());
+    });
+    for (const auto& [group, old_rp] : stale) failover_to_alternate_rp(group, old_rp);
+    // Memberships that arrived while the group had no mapping (a DR joins
+    // nothing then, §3.1) take effect now instead of at the next refresh.
+    adopt_pending_memberships();
+}
 
-void PimSmRouter::on_refresh_tick() {
-    expire_soft_state();
-    check_rp_timers();
-    // A DR that could not reach any RP earlier retries while local members
-    // persist.
+void PimSmRouter::adopt_pending_memberships() {
     for (const auto& iface : router_->interfaces()) {
         for (net::GroupAddress group : igmp_->groups_on(iface.ifindex)) {
             if (cache_.find_wc(group) == nullptr && rp_set_.has_mapping(group) &&
@@ -1099,6 +1410,18 @@ void PimSmRouter::on_refresh_tick() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Periodic soft-state machinery (§3.4, §3.6)
+// ---------------------------------------------------------------------------
+
+void PimSmRouter::on_refresh_tick() {
+    expire_soft_state();
+    check_rp_timers();
+    // A DR that could not reach any RP earlier retries while local members
+    // persist.
+    adopt_pending_memberships();
     send_periodic_join_prune();
 }
 
@@ -1178,6 +1501,7 @@ void PimSmRouter::expire_soft_state() {
         it = (now - it->second > config_.holdtime * 2) ? rp_source_active_.erase(it)
                                                        : std::next(it);
     }
+    expire_assert_state();
 }
 
 AddressEntry PimSmRouter::join_entry_for(const mcast::ForwardingEntry& entry) const {

@@ -71,6 +71,10 @@ struct PimConfig {
     /// neighbor only takes effect after the override window passes.
     sim::Time join_suppression = 90 * sim::kSecond;
     sim::Time override_delay = 500 * sim::kMillisecond;
+    /// How long a LAN forwarder-election (Assert) outcome is remembered per
+    /// (interface, source, group) without being re-triggered by duplicate
+    /// data. Matches the holdtime convention: 3 × refresh.
+    sim::Time assert_holdtime = 180 * sim::kSecond;
 
     /// Aggregate the periodic refresh into one JoinPruneBundle per
     /// (interface, upstream neighbor) whenever more than one group shares
@@ -90,6 +94,11 @@ struct PimConfig {
     /// redundantly (§3.3).
     bool mutate_skip_spt_bit_handshake = false;
     bool mutate_no_rp_bit_prune = false;
+    /// assert-loser-keeps-forwarding records the lost election but skips the
+    /// loser's prune action, so both parallel forwarders keep delivering the
+    /// same source onto the LAN — the exact duplicate storm the Assert
+    /// mechanism exists to stop.
+    bool mutate_assert_loser_keeps_forwarding = false;
 
     /// Uniformly scales every interval (convenience for tests: a factor of
     /// 0.01 turns the 60 s refresh into 0.6 s).
@@ -137,6 +146,20 @@ public:
     /// True if this router is one of the RPs for `group`.
     [[nodiscard]] bool is_rp_for(net::GroupAddress group) const;
 
+    /// Receives kBootstrap / kCandidateRpAdvertisement packets. The
+    /// bootstrap subsystem (pim/bootstrap) lives outside this class and
+    /// registers itself here; without a handler both codes are ignored.
+    void set_bootstrap_handler(std::function<void(int, const net::Packet&)> handler) {
+        bootstrap_handler_ = std::move(handler);
+    }
+
+    /// Re-homes shared trees after the RP set changed: any (*,G) whose RP no
+    /// longer appears in the group's (non-empty) mapping fails over to the
+    /// current mapping immediately instead of waiting for the RP timer. The
+    /// bootstrap subsystem calls this when a BSR update replaces the
+    /// dynamic RP set (§3.9 machinery, BSR-triggered).
+    void reconcile_rp_mappings();
+
     /// Simulates a crash+restart: every piece of soft state — forwarding
     /// cache, PIM neighbors, LAN suppression/override/pending-prune state,
     /// SPT counters, RP-side source liveness, register phase — is dropped,
@@ -172,6 +195,8 @@ public:
                        const net::Packet& packet) override;
     void on_no_downstream(mcast::ForwardingEntry& entry, int ifindex,
                           const net::Packet& packet) override;
+    provenance::DropReason classify_iif_drop(int ifindex,
+                                             const net::Packet& packet) override;
 
 private:
     struct EntryRef {
@@ -191,6 +216,7 @@ private:
     void handle_join_prune_bundle(int ifindex, const net::Packet& packet,
                                   const JoinPruneBundle& msg);
     void handle_rp_reachability(int ifindex, const RpReachability& msg);
+    void handle_assert(int ifindex, const net::Packet& packet, const Assert& msg);
 
     void process_targeted_join(int ifindex, net::GroupAddress group,
                                const AddressEntry& entry, sim::Time holdtime);
@@ -203,6 +229,9 @@ private:
     // --- membership (IGMP) ---
     void on_membership(int ifindex, net::GroupAddress group, bool present);
     void join_group_as_dr(int ifindex, net::GroupAddress group);
+    /// Joins groups with local members but no (*,G) yet — memberships that
+    /// arrived before an RP mapping existed or while every RP was unreachable.
+    void adopt_pending_memberships();
 
     // --- tree construction helpers ---
     mcast::ForwardingEntry* establish_wc(net::GroupAddress group, net::Ipv4Address rp);
@@ -229,6 +258,49 @@ private:
     [[nodiscard]] provenance::DropReason classify_no_entry_drop(
         int ifindex, const net::Packet& packet) const;
     [[nodiscard]] AddressEntry join_entry_for(const mcast::ForwardingEntry& entry) const;
+
+    // --- LAN forwarder election (Assert) ---
+    //
+    // The '94 architecture leaves parallel-forwarder duplicates to DR
+    // election; the full per-interface Assert machine (later standardized in
+    // RFC 7761 §4.6) resolves them by metric: when a router receives a data
+    // packet for (S,G) on an interface it itself forwards that traffic onto,
+    // it sends an Assert carrying its route metric toward the tree root.
+    // All parallel forwarders compare ranks — SPT forwarders beat RPT
+    // forwarders, then lower metric, then higher interface address — and
+    // every loser prunes the interface from its oif list. Downstream routers
+    // listening on the LAN re-point their upstream (RPF') at the winner.
+
+    /// How this router forwards (S,G) onto `ifindex`, if it does: the
+    /// (wc_bit, metric) pair an Assert we originate would carry.
+    struct ForwarderRole {
+        bool wc = false;          // forwarding via the (*,G) shared tree
+        std::uint32_t metric = 0; // unicast metric toward source (or RP if wc)
+    };
+    [[nodiscard]] std::optional<ForwarderRole> forwarder_role_on(
+        int ifindex, net::Ipv4Address source, net::GroupAddress group);
+    void send_assert(int ifindex, net::Ipv4Address source, net::GroupAddress group,
+                     const ForwarderRole& role);
+    /// The losing forwarder's prune: an RPT loser installs an (S,G)RP-bit
+    /// negative cache pruned on `ifindex` (other sources keep flowing); an
+    /// SPT loser removes the oif outright. Honors the
+    /// assert-loser-keeps-forwarding mutation.
+    void apply_assert_loss(int ifindex, net::Ipv4Address source,
+                           net::GroupAddress group, bool our_wc);
+    /// Downstream reaction: entries whose iif is `ifindex` re-point their
+    /// upstream neighbor (RPF') at the assert winner and send a triggered
+    /// join; a (*,G)-only downstream facing an SPT winner builds the (S,G).
+    void retarget_downstream_to_winner(int ifindex, net::Ipv4Address source,
+                                       net::GroupAddress group,
+                                       net::Ipv4Address winner, bool winner_wc);
+    /// A targeted join for (S,G) arriving on `ifindex` cancels our loser
+    /// state there (the join picked us as RPF'; RFC 7761 "join overrides
+    /// assert").
+    void clear_assert_loss(int ifindex, net::Ipv4Address source,
+                           net::GroupAddress group);
+    [[nodiscard]] bool is_assert_loser(int ifindex, net::Ipv4Address source,
+                                       net::GroupAddress group) const;
+    void expire_assert_state();
 
     // --- periodic machinery ---
     void on_refresh_tick();
@@ -275,6 +347,26 @@ private:
 
     // RP-side source liveness: last register/data per (S,G) where we are RP.
     std::map<std::pair<net::Ipv4Address, net::GroupAddress>, sim::Time> rp_source_active_;
+
+    // Per-(interface, source, group) Assert outcome. Soft state: expires
+    // after assert_holdtime, cleared by reboot, cancelled by a targeted
+    // (S,G) join on the interface.
+    struct AssertKey {
+        int ifindex;
+        net::Ipv4Address source;
+        net::GroupAddress group;
+        friend auto operator<=>(const AssertKey&, const AssertKey&) = default;
+    };
+    struct AssertState {
+        net::Ipv4Address winner;      // interface address of the winning forwarder
+        bool winner_wc = false;       // winner forwards via the shared tree
+        std::uint32_t winner_metric = 0;
+        bool we_lost = false;         // we pruned the interface as loser
+        sim::Time expires = 0;
+        sim::Time last_sent = 0;      // rate limit for our own Assert resends
+    };
+    std::map<AssertKey, AssertState> asserts_;
+    std::function<void(int, const net::Packet&)> bootstrap_handler_;
 
     // (S,G)s in the register phase at this (source-DR) router: every data
     // packet is encapsulated to the RP(s) until a join arrives (fig. 3).

@@ -1,10 +1,16 @@
 // Group → rendezvous-point mapping (§3.1, §3.9, §4 "Selecting and
 // identifying RPs"). Mappings can be statically configured per group or per
-// group-address range, or learned dynamically from hosts via the paper's
-// proposed IGMP RP-map message. The RP list is ordered: receivers join the
-// first *reachable* RP and fail over down the list.
+// group-address range, learned dynamically from hosts via the paper's
+// proposed IGMP RP-map message, or installed by the bootstrap subsystem
+// (src/pim/bootstrap) from the BSR's flooded RP-set. Static configuration
+// stays authoritative when present; the dynamic BSR-learned layer is
+// consulted last and elects exactly one RP per group via the RFC 7761
+// §4.7.2 hash so every router in the domain agrees without coordination.
+// The static RP list is ordered: receivers join the first *reachable* RP
+// and fail over down the list.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -15,6 +21,17 @@ namespace pimlib::pim {
 
 class RpSet {
 public:
+    /// One BSR-learned candidate-RP mapping. Expiry is tracked by the
+    /// bootstrap agent that owns the soft state; the RpSet only stores the
+    /// currently-live set it is handed.
+    struct DynamicRp {
+        net::Prefix range;
+        net::Ipv4Address rp;
+        std::uint8_t priority = 0; // higher wins
+
+        friend bool operator==(const DynamicRp&, const DynamicRp&) = default;
+    };
+
     /// Statically configures the RP list for one group.
     void configure(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
 
@@ -25,10 +42,27 @@ public:
     /// the exact group; the paper treats configuration as authoritative).
     void learn(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
 
+    /// Replaces the whole BSR-learned layer (the bootstrap agent calls this
+    /// with the live entries each time the flooded RP-set or its holdtimes
+    /// change). Returns true when the effective set actually changed, so the
+    /// caller can count/emit on real transitions only.
+    bool set_dynamic(std::vector<DynamicRp> entries);
+    [[nodiscard]] const std::vector<DynamicRp>& dynamic_entries() const {
+        return dynamic_;
+    }
+
+    /// The dynamically elected RP for `group`, ignoring every static layer:
+    /// longest matching range, then highest priority, then highest §4.7.2
+    /// hash value, then highest address. nullopt when no dynamic entry
+    /// matches.
+    [[nodiscard]] std::optional<net::Ipv4Address> dynamic_rp_for(
+        net::GroupAddress group) const;
+
     /// Ordered RP list for `group`: exact static mapping first, then learned
-    /// mapping, then the longest configured range. Empty when the group has
-    /// no sparse-mode mapping (the paper's signal to fall back to dense
-    /// mode, §3.1).
+    /// mapping, then the longest configured range, then the BSR-learned
+    /// dynamic election (a single RP — the whole domain hashes to the same
+    /// one). Empty when the group has no sparse-mode mapping (the paper's
+    /// signal to fall back to dense mode, §3.1).
     [[nodiscard]] std::vector<net::Ipv4Address> rps_for(net::GroupAddress group) const;
 
     /// True if the group is to be handled in sparse mode at all.
@@ -36,10 +70,23 @@ public:
         return !rps_for(group).empty();
     }
 
+    /// The RFC 7761 §4.7.2 hash: Value(G,M,C) for group G masked by the
+    /// hash mask M against candidate RP address C. Exposed so tests can
+    /// check the election against the published function.
+    [[nodiscard]] static std::uint32_t hash_value(std::uint32_t group_masked,
+                                                  std::uint32_t rp);
+
+    /// Mask length applied to the group before hashing (RFC default 30:
+    /// consecutive groups spread over the candidate RPs in blocks of four).
+    void set_hash_mask_len(int len) { hash_mask_len_ = len; }
+    [[nodiscard]] int hash_mask_len() const { return hash_mask_len_; }
+
 private:
     std::map<net::GroupAddress, std::vector<net::Ipv4Address>> static_;
     std::map<net::GroupAddress, std::vector<net::Ipv4Address>> learned_;
     std::map<net::Prefix, std::vector<net::Ipv4Address>> ranges_;
+    std::vector<DynamicRp> dynamic_;
+    int hash_mask_len_ = 30;
 };
 
 } // namespace pimlib::pim

@@ -14,6 +14,7 @@ StackConfig StackConfig::scaled(double factor) const {
     StackConfig out = *this;
     out.time_scale = time_scale * factor;
     out.pim = pim.scaled(factor);
+    out.bootstrap = bootstrap.scaled(factor);
     out.pim_dm = pim_dm.scaled(factor);
     out.dvmrp = dvmrp.scaled(factor);
     out.cbt = cbt.scaled(factor);
@@ -88,11 +89,36 @@ void PimSmStack::set_spt_policy(pim::SptPolicy policy) {
     for (auto& [router, pim] : pim_) pim->set_spt_policy(policy);
 }
 
+void PimSmStack::enable_bootstrap() {
+    if (!bootstrap_.empty()) return;
+    for (auto& [router, pim] : pim_) {
+        bootstrap_.emplace(router, std::make_unique<pim::BootstrapAgent>(
+                                       *pim, config_.bootstrap));
+    }
+}
+
+void PimSmStack::set_candidate_bsr(const topo::Router& router, std::uint8_t priority) {
+    enable_bootstrap();
+    bootstrap_.at(&router)->set_candidate_bsr(priority);
+}
+
+void PimSmStack::set_candidate_rp(const topo::Router& router, net::Prefix range,
+                                  std::uint8_t priority) {
+    enable_bootstrap();
+    bootstrap_.at(&router)->add_candidate_rp(range, priority);
+}
+
 void PimSmStack::wire_faults(fault::FaultInjector& injector) {
     StackBase::wire_faults(injector);
     for (auto& [router, pim] : pim_) {
         pim::PimSmRouter* raw = pim.get();
         injector.on_crash(*router, [raw] { raw->reboot(); });
+        // A crash also drops the bootstrap soft state — but only if the
+        // agent exists by the time the fault fires, hence the lookup inside.
+        injector.on_crash(*router, [this, r = router] {
+            auto it = bootstrap_.find(r);
+            if (it != bootstrap_.end()) it->second->reboot();
+        });
     }
 }
 

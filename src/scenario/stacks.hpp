@@ -18,6 +18,7 @@
 #include "igmp/host_agent.hpp"
 #include "igmp/router_agent.hpp"
 #include "mospf/mospf.hpp"
+#include "pim/bootstrap/bootstrap.hpp"
 #include "pim/pim_dm.hpp"
 #include "pim/pim_sm.hpp"
 #include "topo/network.hpp"
@@ -29,6 +30,7 @@ namespace pimlib::scenario {
 struct StackConfig {
     double time_scale = 1.0;
     pim::PimConfig pim{};
+    pim::BootstrapConfig bootstrap{};
     pim::PimDmConfig pim_dm{};
     dvmrp::DvmrpConfig dvmrp{};
     cbt::CbtConfig cbt{};
@@ -94,12 +96,27 @@ public:
     /// Configures the group's RP list on every router (static config, §3.1).
     void set_rp(net::GroupAddress group, std::vector<net::Ipv4Address> rps);
     void set_spt_policy(pim::SptPolicy policy);
+
+    /// Starts a BootstrapAgent on every router (idempotent) so the RP set
+    /// can be discovered dynamically instead of configured via set_rp.
+    void enable_bootstrap();
+    [[nodiscard]] pim::BootstrapAgent& bootstrap_at(const topo::Router& router) {
+        enable_bootstrap();
+        return *bootstrap_.at(&router);
+    }
+    /// Declares `router` a candidate BSR / candidate RP (enables bootstrap
+    /// on every router first — flooding needs all of them participating).
+    void set_candidate_bsr(const topo::Router& router, std::uint8_t priority);
+    void set_candidate_rp(const topo::Router& router, net::Prefix range,
+                          std::uint8_t priority);
+
     void wire_faults(fault::FaultInjector& injector) override;
     [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
     [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
     std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> pim_;
+    std::map<const topo::Router*, std::unique_ptr<pim::BootstrapAgent>> bootstrap_;
 };
 
 /// PIM dense mode everywhere (the companion protocol [13]).

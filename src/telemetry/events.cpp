@@ -23,6 +23,10 @@ const char* to_string(EventType type) {
     case EventType::kGraftSent: return "graft-sent";
     case EventType::kLsaOriginated: return "lsa-originated";
     case EventType::kWatchdogViolation: return "watchdog-violation";
+    case EventType::kAssertWon: return "assert-won";
+    case EventType::kAssertLost: return "assert-lost";
+    case EventType::kBsrElected: return "bsr-elected";
+    case EventType::kRpSetChanged: return "rp-set-changed";
     }
     return "unknown";
 }

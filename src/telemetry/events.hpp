@@ -44,6 +44,10 @@ enum class EventType : std::uint8_t {
     kGraftSent,         // dense-mode graft (PIM-DM / DVMRP)
     kLsaOriginated,     // MOSPF membership LSA flooded
     kWatchdogViolation, // online invariant watchdog raised a violation
+    kAssertWon,         // this router won a LAN forwarder assert
+    kAssertLost,        // this router lost a LAN forwarder assert and pruned
+    kBsrElected,        // this router's view of the elected BSR changed
+    kRpSetChanged,      // BSR-learned dynamic RP-set changed on this router
 };
 
 [[nodiscard]] const char* to_string(EventType type);

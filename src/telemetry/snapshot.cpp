@@ -21,6 +21,7 @@ std::string EntrySnapshot::signature() const {
     if (rp_bit) out += " RPbit";
     if (spt_bit) out += " SPTbit";
     out += " iif=" + std::to_string(iif);
+    if (!upstream.empty()) out += " up=" + upstream;
     // oifs() iterates a std::map upstream so arrival order is already
     // sorted, but don't rely on that here.
     std::vector<int> oif_ids;

@@ -30,6 +30,10 @@ struct EntrySnapshot {
     bool rp_bit = false;
     bool spt_bit = false;
     int iif = -1;
+    /// Upstream neighbor joins are addressed to (RPF'); empty when upstream
+    /// is directly connected. Part of the structural signature so an assert
+    /// retargeting a join shows up in a snapshot diff.
+    std::string upstream;
     std::vector<OifSnapshot> oifs;
     std::vector<int> pruned_oifs; // negative cache: interfaces explicitly pruned
     sim::Time delete_in = 0;      // time until the whole entry expires

@@ -58,6 +58,40 @@ std::string describe_pim(const net::Packet& packet) {
         return "PIM RP-Reachability grp=" + msg->group.to_string() +
                " rp=" + msg->rp.to_string();
     }
+    case pim::Code::kAssert: {
+        auto msg = pim::Assert::decode(packet.payload);
+        if (!msg) return "PIM Assert (malformed)";
+        return "PIM Assert grp=" + msg->group.to_string() +
+               " src=" + msg->source.to_string() +
+               (msg->wc_bit ? " WC" : "") +
+               " metric=" + std::to_string(msg->metric);
+    }
+    case pim::Code::kBootstrap: {
+        auto msg = pim::Bootstrap::decode(packet.payload);
+        if (!msg) return "PIM Bootstrap (malformed)";
+        std::string out = "PIM Bootstrap bsr=" + msg->bsr.to_string() +
+                          " pri=" + std::to_string(msg->bsr_priority) +
+                          " seq=" + std::to_string(msg->seq) + " rps=[";
+        bool first = true;
+        for (const auto& e : msg->rps) {
+            if (!first) out += " ";
+            out += e.range.to_string() + "->" + e.rp.to_string() + "(" +
+                   std::to_string(e.priority) + ")";
+            first = false;
+        }
+        return out + "]";
+    }
+    case pim::Code::kCandidateRpAdvertisement: {
+        auto msg = pim::CandidateRpAdvertisement::decode(packet.payload);
+        if (!msg) return "PIM C-RP-Adv (malformed)";
+        std::string out = "PIM C-RP-Adv rp=" + msg->rp.to_string() +
+                          " pri=" + std::to_string(msg->priority) + " ranges=[";
+        for (std::size_t i = 0; i < msg->ranges.size(); ++i) {
+            if (i > 0) out += " ";
+            out += msg->ranges[i].to_string();
+        }
+        return out + "]";
+    }
     case pim::Code::kJoinPruneBundle: {
         auto msg = pim::JoinPruneBundle::decode(packet.payload);
         if (!msg) return "PIM Join/Prune bundle (malformed)";

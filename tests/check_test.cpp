@@ -62,7 +62,12 @@ TEST(CheckScenario, MutationsFailTheBaselineBranch) {
     for (const std::string& mutation : known_mutations()) {
         RunConfig cfg;
         cfg.mutation = mutation;
-        const RunResult result = run_scenario("walkthrough", cfg);
+        // Fault-dependent mutations (e.g. a stale RP set) show no symptom
+        // until the fault fires, so their home scenario's fault is forced
+        // here; the explorer test below covers finding it unaided.
+        cfg.forced_fault = forced_fault_for_mutation(mutation);
+        const RunResult result =
+            run_scenario(scenario_for_mutation(mutation), cfg);
         EXPECT_FALSE(result.violations.empty())
             << mutation << " was not caught on the baseline branch";
     }
@@ -91,6 +96,7 @@ TEST(CheckScenario, RpFailoverRehomesToAlternate) {
 TEST(CheckExplorer, MutationGateCatchesSeededBugs) {
     for (const std::string& mutation : known_mutations()) {
         ExploreOptions options;
+        options.scenario = scenario_for_mutation(mutation);
         options.mutation = mutation;
         options.max_runs = 5;
         options.stop_at_first_violation = true;

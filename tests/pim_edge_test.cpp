@@ -271,6 +271,108 @@ TEST(RpSetTest, PrecedenceExactLearnedRange) {
     EXPECT_EQ(set.rps_for(g1), std::vector<net::Ipv4Address>{rp_static}); // config wins
 }
 
+TEST(RpSetTest, DynamicLayerIsConsultedLast) {
+    // Every static layer outranks the BSR-learned election; the dynamic
+    // layer only answers when nothing else matches.
+    pim::RpSet set;
+    const net::GroupAddress g{net::Ipv4Address(224, 1, 0, 5)};
+    const net::Ipv4Address rp_dynamic(192, 168, 0, 9);
+    const net::Ipv4Address rp_range(192, 168, 0, 3);
+    const net::Ipv4Address rp_static(192, 168, 0, 1);
+
+    EXPECT_TRUE(set.set_dynamic(
+        {{net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4}, rp_dynamic, 0}}));
+    EXPECT_EQ(set.rps_for(g), std::vector<net::Ipv4Address>{rp_dynamic});
+
+    set.configure_range(net::Prefix{net::Ipv4Address(224, 1, 0, 0), 16}, {rp_range});
+    EXPECT_EQ(set.rps_for(g), std::vector<net::Ipv4Address>{rp_range});
+    set.configure(g, {rp_static});
+    EXPECT_EQ(set.rps_for(g), std::vector<net::Ipv4Address>{rp_static});
+
+    // Replacing the layer with the same contents is not a change; clearing
+    // it is.
+    EXPECT_FALSE(set.set_dynamic(
+        {{net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4}, rp_dynamic, 0}}));
+    EXPECT_TRUE(set.set_dynamic({}));
+    const net::GroupAddress uncovered{net::Ipv4Address(230, 0, 0, 1)};
+    EXPECT_TRUE(set.rps_for(uncovered).empty());
+}
+
+TEST(RpSetTest, DynamicElectionPrecedence) {
+    // §4.7.2 election order within the dynamic layer: longest matching
+    // range, then highest priority, then highest hash value.
+    pim::RpSet set;
+    const net::GroupAddress g{net::Ipv4Address(224, 1, 0, 5)};
+    const net::Ipv4Address rp_wide(192, 168, 0, 4);
+    const net::Ipv4Address rp_long(192, 168, 0, 5);
+    const net::Ipv4Address rp_long_hi(192, 168, 0, 6);
+
+    (void)set.set_dynamic({
+        {net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4}, rp_wide, 200},
+        {net::Prefix{net::Ipv4Address(224, 1, 0, 0), 16}, rp_long, 0},
+    });
+    // The /16 beats the /4 despite the /4's higher priority.
+    EXPECT_EQ(set.dynamic_rp_for(g), rp_long);
+
+    (void)set.set_dynamic({
+        {net::Prefix{net::Ipv4Address(224, 1, 0, 0), 16}, rp_long, 0},
+        {net::Prefix{net::Ipv4Address(224, 1, 0, 0), 16}, rp_long_hi, 7},
+    });
+    // Same range: priority wins.
+    EXPECT_EQ(set.dynamic_rp_for(g), rp_long_hi);
+}
+
+TEST(RpSetTest, HashMatchesPublishedFunction) {
+    // Value(G,M,C) = (1103515245 * ((1103515245 * (G&M) + 12345) XOR C)
+    //                 + 12345) mod 2^31, straight from RFC 7761 §4.7.2.
+    auto reference = [](std::uint32_t gm, std::uint32_t c) {
+        const std::uint64_t inner = (1103515245ull * gm + 12345ull) ^ c;
+        return static_cast<std::uint32_t>((1103515245ull * inner + 12345ull) &
+                                          0x7fffffffu);
+    };
+    const std::uint32_t g = net::Ipv4Address(224, 1, 2, 3).to_uint() & 0xFFFFFFFCu;
+    const std::uint32_t c1 = net::Ipv4Address(192, 168, 0, 1).to_uint();
+    const std::uint32_t c2 = net::Ipv4Address(10, 9, 8, 7).to_uint();
+    EXPECT_EQ(pim::RpSet::hash_value(g, c1), reference(g, c1));
+    EXPECT_EQ(pim::RpSet::hash_value(g, c2), reference(g, c2));
+    EXPECT_LT(pim::RpSet::hash_value(g, c1), 0x80000000u);
+}
+
+TEST(RpSetTest, HashElectionDeterministicAndMaskBlocks) {
+    // Two candidates for the same wide range: every "router" (a fresh
+    // RpSet handed the same flooded entries) elects the same RP, and with
+    // the default /30 hash mask four consecutive group addresses land on
+    // the same RP (RFC 7761's block-assignment property).
+    const std::vector<pim::RpSet::DynamicRp> flooded = {
+        {net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4},
+         net::Ipv4Address(192, 168, 0, 7), 0},
+        {net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4},
+         net::Ipv4Address(192, 168, 0, 9), 0},
+    };
+    pim::RpSet a;
+    pim::RpSet b;
+    (void)a.set_dynamic(flooded);
+    (void)b.set_dynamic(flooded);
+    bool spread = false;
+    std::optional<net::Ipv4Address> previous_block;
+    for (std::uint32_t block = 0; block < 64; block += 4) {
+        const net::GroupAddress g0{net::Ipv4Address(0xE1000000u + block)};
+        const auto elected = a.dynamic_rp_for(g0);
+        ASSERT_TRUE(elected.has_value());
+        EXPECT_EQ(b.dynamic_rp_for(g0), elected); // domain-wide agreement
+        for (std::uint32_t i = 1; i < 4; ++i) {
+            const net::GroupAddress gi{net::Ipv4Address(0xE1000000u + block + i)};
+            EXPECT_EQ(a.dynamic_rp_for(gi), elected) << "within one /30 block";
+        }
+        if (previous_block.has_value() && *previous_block != *elected) spread = true;
+        previous_block = elected;
+    }
+    // The hash must actually spread groups over both candidates (64
+    // consecutive groups all hashing to one RP would defeat the load
+    // balancing the mask exists for).
+    EXPECT_TRUE(spread);
+}
+
 TEST(PimConfigTest, ScalingIsUniform) {
     pim::PimConfig cfg;
     const pim::PimConfig scaled = cfg.scaled(0.5);

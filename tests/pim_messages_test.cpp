@@ -310,6 +310,184 @@ TEST(PimMessages, RandomizedEncodeDecodeRoundTrip) {
     }
 }
 
+TEST(PimMessages, AssertRoundTrip) {
+    Assert msg;
+    msg.group = kGroupAddr;
+    msg.source = kSrc;
+    msg.wc_bit = true;
+    msg.metric = 0xDEADBEEF;
+    EXPECT_EQ(peek_code(msg.encode()), Code::kAssert);
+    auto decoded = Assert::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->group, msg.group);
+    EXPECT_EQ(decoded->source, msg.source);
+    EXPECT_EQ(decoded->wc_bit, msg.wc_bit);
+    EXPECT_EQ(decoded->metric, msg.metric);
+    // The wc bit distinguishes an SPT assert from a shared-tree assert —
+    // both polarities must survive the trip.
+    msg.wc_bit = false;
+    decoded = Assert::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_FALSE(decoded->wc_bit);
+}
+
+TEST(PimMessages, AssertTruncationAndTrailingGarbageRejected) {
+    Assert msg;
+    msg.group = kGroupAddr;
+    msg.source = kSrc;
+    msg.metric = 3;
+    const auto bytes = msg.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(Assert::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(Assert::decode(extended).has_value());
+    EXPECT_FALSE(Assert::decode(Query{5}.encode()).has_value());
+}
+
+TEST(PimMessages, BootstrapRoundTrip) {
+    Bootstrap msg;
+    msg.bsr = kRp;
+    msg.bsr_priority = 20;
+    msg.seq = 0x01020304;
+    msg.rps = {
+        Bootstrap::RpEntry{net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4},
+                           net::Ipv4Address(192, 168, 0, 7), 20, 75000},
+        Bootstrap::RpEntry{net::Prefix{kGroupAddr, 32},
+                           net::Ipv4Address(192, 168, 0, 9), 0, 1},
+    };
+    EXPECT_EQ(peek_code(msg.encode()), Code::kBootstrap);
+    auto decoded = Bootstrap::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->bsr, msg.bsr);
+    EXPECT_EQ(decoded->bsr_priority, msg.bsr_priority);
+    EXPECT_EQ(decoded->seq, msg.seq);
+    EXPECT_EQ(decoded->rps, msg.rps);
+}
+
+TEST(PimMessages, BootstrapEmptyRpSetValid) {
+    // A freshly elected BSR floods before any candidate advertises: the
+    // empty set must encode and decode (it still carries the election).
+    Bootstrap msg;
+    msg.bsr = kRp;
+    msg.seq = 1;
+    auto decoded = Bootstrap::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->rps.empty());
+}
+
+TEST(PimMessages, BootstrapTruncationAndTrailingGarbageRejected) {
+    Bootstrap msg;
+    msg.bsr = kRp;
+    msg.bsr_priority = 9;
+    msg.seq = 77;
+    msg.rps = {Bootstrap::RpEntry{net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4},
+                                  net::Ipv4Address(192, 168, 0, 7), 20, 75000}};
+    const auto bytes = msg.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(Bootstrap::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(Bootstrap::decode(extended).has_value());
+    EXPECT_FALSE(Bootstrap::decode(Query{5}.encode()).has_value());
+}
+
+TEST(PimMessages, CandidateRpAdvertisementRoundTrip) {
+    CandidateRpAdvertisement msg;
+    msg.rp = net::Ipv4Address(192, 168, 0, 7);
+    msg.priority = 20;
+    msg.holdtime_ms = 75000;
+    msg.ranges = {net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4},
+                  net::Prefix{kGroupAddr, 32}};
+    EXPECT_EQ(peek_code(msg.encode()), Code::kCandidateRpAdvertisement);
+    auto decoded = CandidateRpAdvertisement::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->rp, msg.rp);
+    EXPECT_EQ(decoded->priority, msg.priority);
+    EXPECT_EQ(decoded->holdtime_ms, msg.holdtime_ms);
+    EXPECT_EQ(decoded->ranges, msg.ranges);
+}
+
+TEST(PimMessages, CandidateRpAdvertisementTruncationAndTrailingGarbageRejected) {
+    CandidateRpAdvertisement msg;
+    msg.rp = net::Ipv4Address(192, 168, 0, 7);
+    msg.holdtime_ms = 75000;
+    msg.ranges = {net::Prefix{net::Ipv4Address(224, 0, 0, 0), 4}};
+    const auto bytes = msg.encode();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(
+            CandidateRpAdvertisement::decode({bytes.data(), len}).has_value())
+            << "decoded from truncated length " << len;
+    }
+    auto extended = bytes;
+    extended.push_back(0);
+    EXPECT_FALSE(CandidateRpAdvertisement::decode(extended).has_value());
+    EXPECT_FALSE(
+        CandidateRpAdvertisement::decode(Query{5}.encode()).has_value());
+}
+
+// Randomized property for the bootstrap-era codecs, mirroring the
+// RandomizedEncodeDecodeRoundTrip coverage of the original four.
+TEST(PimMessages, RandomizedBootstrapEraRoundTrip) {
+    std::mt19937 rng(11);
+    std::uniform_int_distribution<std::uint32_t> u32(0, 0xFFFFFFFFu);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> small(0, 5);
+    std::uniform_int_distribution<int> masklen(0, 32);
+    auto rand_addr = [&] {
+        return net::Ipv4Address(static_cast<std::uint8_t>(byte(rng)),
+                                static_cast<std::uint8_t>(byte(rng)),
+                                static_cast<std::uint8_t>(byte(rng)),
+                                static_cast<std::uint8_t>(byte(rng)));
+    };
+    auto rand_prefix = [&] { return net::Prefix{rand_addr(), masklen(rng)}; };
+    for (int trial = 0; trial < 500; ++trial) {
+        Assert a;
+        a.group = rand_addr();
+        a.source = rand_addr();
+        a.wc_bit = byte(rng) % 2 == 0;
+        a.metric = u32(rng);
+        auto da = Assert::decode(a.encode());
+        ASSERT_TRUE(da.has_value());
+        EXPECT_EQ(da->group, a.group);
+        EXPECT_EQ(da->source, a.source);
+        EXPECT_EQ(da->wc_bit, a.wc_bit);
+        EXPECT_EQ(da->metric, a.metric);
+
+        Bootstrap b;
+        b.bsr = rand_addr();
+        b.bsr_priority = static_cast<std::uint8_t>(byte(rng));
+        b.seq = u32(rng);
+        for (int i = small(rng); i > 0; --i) {
+            b.rps.push_back(Bootstrap::RpEntry{
+                rand_prefix(), rand_addr(),
+                static_cast<std::uint8_t>(byte(rng)), u32(rng)});
+        }
+        auto db = Bootstrap::decode(b.encode());
+        ASSERT_TRUE(db.has_value());
+        EXPECT_EQ(db->bsr, b.bsr);
+        EXPECT_EQ(db->bsr_priority, b.bsr_priority);
+        EXPECT_EQ(db->seq, b.seq);
+        EXPECT_EQ(db->rps, b.rps);
+
+        CandidateRpAdvertisement c;
+        c.rp = rand_addr();
+        c.priority = static_cast<std::uint8_t>(byte(rng));
+        c.holdtime_ms = u32(rng);
+        for (int i = small(rng); i > 0; --i) c.ranges.push_back(rand_prefix());
+        auto dc = CandidateRpAdvertisement::decode(c.encode());
+        ASSERT_TRUE(dc.has_value());
+        EXPECT_EQ(dc->rp, c.rp);
+        EXPECT_EQ(dc->priority, c.priority);
+        EXPECT_EQ(dc->holdtime_ms, c.holdtime_ms);
+        EXPECT_EQ(dc->ranges, c.ranges);
+    }
+}
+
 TEST(PimMessages, FuzzRandomBytesNeverCrash) {
     std::mt19937 rng(2024);
     std::uniform_int_distribution<int> byte(0, 255);
@@ -320,13 +498,16 @@ TEST(PimMessages, FuzzRandomBytesNeverCrash) {
         // Make a fair fraction look like PIM so decoders get past the header.
         if (trial % 2 == 0 && bytes.size() >= 2) {
             bytes[0] = igmp::kTypePim;
-            bytes[1] = static_cast<std::uint8_t>(trial % 5);
+            bytes[1] = static_cast<std::uint8_t>(trial % 8);
         }
         (void)Query::decode(bytes);
         (void)Register::decode(bytes);
         (void)JoinPrune::decode(bytes);
         (void)RpReachability::decode(bytes);
         (void)JoinPruneBundle::decode(bytes);
+        (void)Assert::decode(bytes);
+        (void)Bootstrap::decode(bytes);
+        (void)CandidateRpAdvertisement::decode(bytes);
     }
     SUCCEED();
 }
