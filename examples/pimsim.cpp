@@ -128,8 +128,10 @@ run 2s
 )";
 
 [[noreturn]] void fail(int line, const std::string& message) {
-    std::fprintf(stderr, "pimsim: line %d: %s\n", line, message.c_str());
-    std::exit(2);
+    // Thrown (not exit()) so the parser is embeddable: main catches and
+    // returns 2, and tests/check_roundtrip_test.cpp includes this file with
+    // PIMSIM_NO_MAIN to feed emitted counterexample scripts back through.
+    throw std::runtime_error("line " + std::to_string(line) + ": " + message);
 }
 
 sim::Time parse_time(int line, const std::string& text) {
@@ -413,8 +415,7 @@ void run_scenario(const std::string& text) {
         } else if (sc.protocol == "mospf") {
             sc.mospf = std::make_unique<scenario::MospfStack>(sc.net, config);
         } else {
-            std::fprintf(stderr, "pimsim: unknown protocol '%s'\n", sc.protocol.c_str());
-            std::exit(2);
+            throw std::runtime_error("unknown protocol '" + sc.protocol + "'");
         }
         sc.stack().wire_faults(*sc.faults);
 
@@ -455,8 +456,7 @@ void run_scenario(const std::string& text) {
                 }
             }
             if (bank_hosts.empty()) {
-                std::fprintf(stderr, "pimsim: workload churn needs at least one host\n");
-                std::exit(2);
+                throw std::runtime_error("workload churn needs at least one host");
             }
             std::vector<workload::HostBank*> raw;
             for (topo::Host* h : bank_hosts) {
@@ -1004,8 +1004,7 @@ void run_scenario(const std::string& text) {
     if (!timeline_path.empty()) {
         std::ofstream out(timeline_path);
         if (!out) {
-            std::fprintf(stderr, "pimsim: cannot write %s\n", timeline_path.c_str());
-            std::exit(2);
+            throw std::runtime_error("cannot write " + timeline_path);
         }
         out << trace::chrome_timeline_json(s.net.telemetry(), s.recorder.get());
         std::printf("--- timeline: %s (chrome trace-event JSON; open in "
@@ -1016,6 +1015,7 @@ void run_scenario(const std::string& text) {
 
 } // namespace
 
+#ifndef PIMSIM_NO_MAIN
 int main(int argc, char** argv) {
     std::string text = kDemoScenario;
     if (argc > 1) {
@@ -1038,3 +1038,4 @@ int main(int argc, char** argv) {
     }
     return 0;
 }
+#endif // PIMSIM_NO_MAIN

@@ -52,6 +52,15 @@ std::size_t ChoiceRecorder::choose(std::size_t n, sim::ChoicePoint point) {
             ++applied_;
         }
         ++cursor_;
+    } else if (point.kind == sim::ChoicePoint::Kind::kFrameLoss && n > 1 &&
+               sim_ != nullptr) {
+        const sim::Time now = sim_->now();
+        for (const LossWindow& w : windows_) {
+            if (w.segment == point.detail && now >= w.from && now < w.to) {
+                pick = 1; // drop the frame
+                break;
+            }
+        }
     }
     trace_.push_back(ChoiceRec{point, static_cast<std::uint32_t>(n),
                                static_cast<std::uint32_t>(pick),

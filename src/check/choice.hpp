@@ -50,12 +50,29 @@ struct ChoiceRec {
 [[nodiscard]] std::string format_choices(const ChoiceSet& set);
 [[nodiscard]] std::optional<ChoiceSet> parse_choices(const std::string& text);
 
+/// An environment overlay on top of the forced picks: every frame-loss
+/// decision on `segment` with a timestamp in [from, to) takes the "drop"
+/// alternative. Used by test triggers for loss-dependent seeded bugs —
+/// unlike a Pick it survives trace reshaping, because it keys on (segment,
+/// time) instead of a brittle decision index. The drops are recorded in
+/// the trace like any other non-default pick, so the resulting run's
+/// trace is still a valid, replayable ChoiceSet.
+struct LossWindow {
+    int segment = -1;
+    sim::Time from = 0;
+    sim::Time to = 0;
+};
+
 class ChoiceRecorder final : public sim::ChoiceSource {
 public:
     explicit ChoiceRecorder(ChoiceSet forced = {});
 
     /// The simulator whose clock stamps recorded decisions.
     void bind(const sim::Simulator& sim) { sim_ = &sim; }
+
+    void set_loss_windows(std::vector<LossWindow> windows) {
+        windows_ = std::move(windows);
+    }
 
     std::size_t choose(std::size_t n, sim::ChoicePoint point) override;
 
@@ -70,6 +87,7 @@ public:
 
 private:
     ChoiceSet forced_;
+    std::vector<LossWindow> windows_;
     const sim::Simulator* sim_ = nullptr;
     std::vector<ChoiceRec> trace_;
     std::size_t cursor_ = 0;  // next forced_ entry to consume

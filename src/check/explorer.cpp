@@ -1,11 +1,12 @@
 #include "check/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <deque>
 #include <random>
-#include <set>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
 namespace pimlib::check {
 namespace {
@@ -51,6 +52,58 @@ std::vector<Pick> child_flips(const ChoiceSet& current, const RunResult& result)
     return flips;
 }
 
+/// Seed for a branch's private child-sampling RNG. Derived from the search
+/// seed and the branch identity alone — never from a shared RNG stream —
+/// so the sample is the same whichever worker runs the branch, and the
+/// whole search is reproducible across thread counts.
+std::uint64_t branch_seed(std::uint64_t seed, const ChoiceSet& branch) {
+    std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (const Pick& pick : branch) {
+        mix(pick.index);
+        mix(pick.value);
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+}
+
+/// Sampled, ordered children of a completed clean run. Fault-slot flips
+/// are exempt from the sampling cap: there are only a handful per scenario
+/// and each is a first-class branch dimension (some seeded bugs only
+/// manifest after a fault), so they must never lose the shuffle to the
+/// thousands of message-order flips.
+std::vector<Pick> sample_children(const ExploreOptions& options,
+                                  const ChoiceSet& current,
+                                  const RunResult& result) {
+    std::vector<Pick> flips = child_flips(current, result);
+    const auto is_fault = [&result](const Pick& p) {
+        return p.index < result.trace.size() &&
+               result.trace[p.index].point.kind == sim::ChoicePoint::Kind::kFault;
+    };
+    auto fault_end = std::stable_partition(flips.begin(), flips.end(), is_fault);
+    const auto fault_count =
+        static_cast<std::size_t>(std::distance(flips.begin(), fault_end));
+    std::mt19937_64 rng(branch_seed(options.seed, current));
+    std::shuffle(fault_end, flips.end(), rng);
+    if (flips.size() > options.children_per_run + fault_count) {
+        flips.resize(options.children_per_run + fault_count);
+    }
+    return flips;
+}
+
+/// One wave slot's outcome, filled by whichever worker claimed it and read
+/// back strictly in slot order by the merge step.
+struct Slot {
+    bool ran = false;
+    RunResult result;
+    std::vector<Pick> children;
+};
+
 } // namespace
 
 ChoiceSet shrink_counterexample(const ExploreOptions& options, ChoiceSet failing) {
@@ -78,80 +131,142 @@ ExploreReport explore(const ExploreOptions& options) {
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(options.time_budget_seconds));
 
-    std::deque<ChoiceSet> frontier{ChoiceSet{}};
-    std::set<ChoiceSet> seen{ChoiceSet{}};
+    std::vector<ChoiceSet> frontier{ChoiceSet{}};
     std::unordered_set<std::uint64_t> states;
-    std::mt19937_64 rng(options.seed);
+    bool stopped = false;
 
-    while (!frontier.empty() && report.runs < options.max_runs &&
+    while (!frontier.empty() && !stopped && report.runs < options.max_runs &&
            Clock::now() < deadline) {
-        const ChoiceSet current = std::move(frontier.front());
-        frontier.pop_front();
+        // --- run the wave -------------------------------------------------
+        // Workers claim slots off the cursor; every slot's budget verdict
+        // depends only on its index, so the set of slots that run is the
+        // same for any thread count (modulo the wall-clock deadline).
+        std::vector<Slot> slots(frontier.size());
+        std::atomic<std::size_t> cursor{0};
+        // Smallest violating slot so far: later slots may be skipped (they
+        // are discarded by the merge anyway), earlier ones always run.
+        std::atomic<std::size_t> first_violating{frontier.size()};
+        const std::size_t runs_before = report.runs;
+        const bool expand = frontier.front().size() < options.max_depth;
 
-        RunResult result = run_branch(options, current, false);
-        ++report.runs;
-        states.insert(result.state_hashes.begin(), result.state_hashes.end());
-
-        if (!result.choices_applied) {
-            // The flipped prefix reshaped the execution so a later forced
-            // pick was never reached (or shrank out of range): not a real
-            // branch of the state space.
-            ++report.skipped_branches;
-            continue;
-        }
-        if (!result.violations.empty()) {
-            ++report.violating_runs;
-            if (report.counterexamples.size() < options.max_counterexamples) {
-                const ChoiceSet minimal = shrink_counterexample(options, current);
-                RunResult replay = run_branch(options, minimal, true);
-                if (replay.violations.empty()) {
-                    // Shrinking is best-effort; fall back to the original.
-                    replay = run_branch(options, current, true);
+        const auto worker = [&] {
+            for (std::size_t i = cursor.fetch_add(1); i < frontier.size();
+                 i = cursor.fetch_add(1)) {
+                if (runs_before + i >= options.max_runs) continue;
+                if (Clock::now() >= deadline) continue;
+                if (options.stop_at_first_violation &&
+                    i > first_violating.load(std::memory_order_relaxed)) {
+                    continue;
                 }
-                Counterexample ce;
-                ce.choices = replay.violations.empty() ? current : minimal;
-                ce.violations = replay.violations.empty() ? result.violations
-                                                          : replay.violations;
-                ce.script = replay_script(options.scenario, options.mutation, replay);
-                ce.trace_dump = std::move(replay.trace_dump);
-                ce.provenance_dump = std::move(replay.provenance_dump);
-                ce.provenance_summary = std::move(replay.provenance_summary);
-                report.counterexamples.push_back(std::move(ce));
+                Slot& slot = slots[i];
+                slot.result = run_branch(options, frontier[i], false);
+                slot.ran = true;
+                if (!slot.result.violations.empty()) {
+                    std::size_t prev =
+                        first_violating.load(std::memory_order_relaxed);
+                    while (i < prev && !first_violating.compare_exchange_weak(
+                                           prev, i, std::memory_order_relaxed)) {
+                    }
+                } else if (expand && slot.result.choices_applied) {
+                    slot.children =
+                        sample_children(options, frontier[i], slot.result);
+                }
             }
-            if (options.stop_at_first_violation) break;
-            continue; // don't grow the tree under a failing branch
+        };
+
+        const std::size_t workers =
+            std::max<std::size_t>(1, std::min(options.threads, frontier.size()));
+        if (workers <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+            for (std::thread& t : pool) t.join();
         }
 
-        if (current.size() >= options.max_depth) continue;
-        std::vector<Pick> flips = child_flips(current, result);
-        // Fault-slot flips are exempt from the sampling cap: there are only
-        // a handful per scenario and each is a first-class branch dimension
-        // (some seeded bugs only manifest after a fault), so they must never
-        // lose the shuffle to the thousands of message-order flips.
-        const auto is_fault = [&result](const Pick& p) {
-            return p.index < result.trace.size() &&
-                   result.trace[p.index].point.kind ==
-                       sim::ChoicePoint::Kind::kFault;
-        };
-        auto fault_end = std::stable_partition(flips.begin(), flips.end(), is_fault);
-        const auto fault_count =
-            static_cast<std::size_t>(std::distance(flips.begin(), fault_end));
-        std::shuffle(fault_end, flips.end(), rng);
-        if (flips.size() > options.children_per_run + fault_count) {
-            flips.resize(options.children_per_run + fault_count);
+        // --- merge in branch order ---------------------------------------
+        std::vector<ChoiceSet> next;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (report.runs >= options.max_runs) break;
+            Slot& slot = slots[i];
+            if (!slot.ran) break; // deadline truncation (or a discarded tail)
+            ++report.runs;
+            states.insert(slot.result.state_hashes.begin(),
+                          slot.result.state_hashes.end());
+            if (!slot.result.choices_applied) {
+                // The flipped prefix reshaped the execution so a later
+                // forced pick was never reached (or shrank out of range):
+                // not a real branch of the state space.
+                ++report.skipped_branches;
+                continue;
+            }
+            if (!slot.result.violations.empty()) {
+                ++report.violating_runs;
+                if (report.counterexamples.size() < options.max_counterexamples) {
+                    const ChoiceSet minimal =
+                        shrink_counterexample(options, frontier[i]);
+                    RunResult replay = run_branch(options, minimal, true);
+                    if (replay.violations.empty()) {
+                        // Shrinking is best-effort; fall back to the original.
+                        replay = run_branch(options, frontier[i], true);
+                    }
+                    Counterexample ce;
+                    ce.choices =
+                        replay.violations.empty() ? frontier[i] : minimal;
+                    ce.violations = replay.violations.empty()
+                                        ? slot.result.violations
+                                        : replay.violations;
+                    ce.script = replay_script(options.scenario, options.mutation,
+                                              replay);
+                    ce.trace_dump = std::move(replay.trace_dump);
+                    ce.provenance_dump = std::move(replay.provenance_dump);
+                    ce.provenance_summary = std::move(replay.provenance_summary);
+                    report.counterexamples.push_back(std::move(ce));
+                }
+                if (options.stop_at_first_violation) {
+                    stopped = true;
+                    break;
+                }
+                continue; // don't grow the tree under a failing branch
+            }
+            for (Pick& flip : slot.children) {
+                if (next.size() >= options.max_frontier) break;
+                ChoiceSet child = frontier[i];
+                child.push_back(flip);
+                next.push_back(std::move(child));
+            }
         }
-        for (const Pick& flip : flips) {
-            if (frontier.size() >= options.max_frontier) break;
-            ChoiceSet child = current;
-            child.push_back(flip);
-            if (seen.insert(child).second) frontier.push_back(std::move(child));
-        }
+        if (!stopped) frontier = std::move(next);
     }
 
-    report.frontier_exhausted = frontier.empty();
+    report.frontier_exhausted = frontier.empty() && !stopped;
     report.deduped_states = states.size();
     report.elapsed_seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
+
+    if (options.metrics != nullptr) {
+        const telemetry::LabelSet labels{
+            {"engine", "forward"},
+            {"scenario", options.scenario},
+            {"mutation", options.mutation.empty() ? "none" : options.mutation}};
+        telemetry::Registry& reg = *options.metrics;
+        reg.counter("pimlib_check_runs_total", labels,
+                    "scenario replays executed by the checker")
+            .inc(report.runs);
+        reg.counter("pimlib_check_deduped_states_total", labels,
+                    "distinct timed protocol states visited")
+            .inc(report.deduped_states);
+        reg.counter("pimlib_check_violating_runs_total", labels,
+                    "replays that tripped an invariant oracle")
+            .inc(report.violating_runs);
+        reg.counter("pimlib_check_skipped_branches_total", labels,
+                    "inconsistent choice sets discarded on replay")
+            .inc(report.skipped_branches);
+        reg.counter("pimlib_check_counterexamples_total", labels,
+                    "shrunk replayable counterexamples emitted")
+            .inc(report.counterexamples.size());
+    }
     return report;
 }
 

@@ -14,6 +14,14 @@
 // A branch whose oracles fail is shrunk (greedy pick-dropping, re-running
 // each candidate) to a minimal failing choice set and packaged as a
 // replayable counterexample: pimsim script + decoded packet trace.
+//
+// Exploration is wave-synchronous and optionally parallel: each BFS wave's
+// branches are claimed off an atomic cursor by a worker pool, then the
+// results are merged strictly in branch order. Child sampling uses a
+// per-branch RNG seeded from hash(seed, branch) — never a shared stream —
+// so a run-bounded search produces bit-identical reports for a fixed seed
+// regardless of thread count (time-budget truncation is the one
+// wall-clock-dependent escape hatch).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "check/scenario.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pimlib::check {
 
@@ -41,9 +50,17 @@ struct ExploreOptions {
     std::size_t max_counterexamples = 3;
     std::uint64_t seed = 1;
     /// Stop the whole search at the first verified violation (mutation
-    /// gate mode).
+    /// gate mode). The stop point is the smallest violating branch index
+    /// of its wave, so it is deterministic even under parallel execution.
     bool stop_at_first_violation = false;
     sim::Time checkpoint_every = sim::kMillisecond;
+    /// Worker threads per wave; <= 1 explores inline on the caller's
+    /// thread (the same code path, minus the thread spawns).
+    std::size_t threads = 1;
+    /// When set, the search publishes pimlib_check_* counters here on
+    /// completion (runs, deduped states, violations, skipped branches,
+    /// counterexamples) for CI metric artifacts.
+    telemetry::Registry* metrics = nullptr;
 };
 
 struct Counterexample {

@@ -26,14 +26,6 @@ namespace {
 
 constexpr sim::Time kMs = sim::kMillisecond;
 
-// A data packet legitimately crosses a segment once; the register/native
-// overlap of an SPT switchover can add a stray crossing or two. Anything
-// past this bound means the packet is circling.
-constexpr int kCrossingBound = 4;
-// Hosts may see a couple of (source,seq) duplicates during make-before-
-// break switchover (shared and shortest path both live for a moment); a
-// forwarding loop duplicates every packet and blows far past this.
-constexpr std::size_t kDuplicateBound = 6;
 // Convergence probes after stimuli stop: one join/prune interval each.
 constexpr int kConvergenceProbes = 12;
 
@@ -44,9 +36,6 @@ net::GroupAddress checker_group() {
 void add_violation(RunResult& out, std::string oracle, std::string detail) {
     out.violations.push_back(Violation{std::move(oracle), std::move(detail)});
 }
-
-// (seq, segment id) -> number of crossings of the checker group's data.
-using CrossingMap = std::map<std::pair<std::uint64_t, int>, int>;
 
 /// Dedup key for an explored state. This is a timed protocol, so the
 /// global state is (clock, configuration): two branches that reach the
@@ -68,35 +57,18 @@ std::uint64_t timed_state_key(sim::Time t, std::uint64_t structural) {
 // Shared oracle implementations
 // ---------------------------------------------------------------------------
 
+void append(RunResult& out, std::vector<Violation> found) {
+    for (Violation& v : found) out.violations.push_back(std::move(v));
+}
+
 void check_loops(RunResult& out, const CrossingMap& crossings,
                  const std::vector<std::string>& segment_names,
                  std::uint64_t ttl_drops) {
-    if (ttl_drops > 0) {
-        add_violation(out, "forwarding-loop",
-                      std::to_string(ttl_drops) +
-                          " data packet(s) dropped for TTL exhaustion");
-    }
-    int reported = 0;
-    for (const auto& [key, count] : crossings) {
-        if (count <= kCrossingBound) continue;
-        if (++reported > 3) break;
-        const auto seg = static_cast<std::size_t>(key.second);
-        add_violation(out, "forwarding-loop",
-                      "seq " + std::to_string(key.first) + " crossed segment " +
-                          (seg < segment_names.size() ? segment_names[seg]
-                                                      : std::to_string(key.second)) +
-                          " " + std::to_string(count) + " times");
-    }
+    append(out, loop_violations(crossings, segment_names, ttl_drops));
 }
 
 void check_duplicate_bound(RunResult& out, const topo::Host& host) {
-    const std::size_t dupes = host.duplicate_count();
-    if (dupes > kDuplicateBound) {
-        add_violation(out, "duplicate-bound",
-                      host.name() + " saw " + std::to_string(dupes) +
-                          " duplicate data packets (bound " +
-                          std::to_string(kDuplicateBound) + ")");
-    }
+    append(out, duplicate_bound_violations(host.name(), host.duplicate_count()));
 }
 
 /// Snapshot → protocol-neutral view for the shared per-entry oracle.
@@ -221,6 +193,22 @@ struct Driver {
         }
         watchdog->set_loss_expected(loss_possible);
         watchdog->start();
+    }
+
+    /// Resolves RunConfig::forced_loss segment names against this
+    /// scenario's segment table and arms the recorder's loss windows.
+    void arm_forced_loss(const std::vector<std::string>& segment_names) {
+        if (cfg.forced_loss.empty()) return;
+        std::vector<LossWindow> windows;
+        for (const ForcedLoss& loss : cfg.forced_loss) {
+            const auto it = std::find(segment_names.begin(), segment_names.end(),
+                                      loss.segment);
+            if (it == segment_names.end()) continue;
+            windows.push_back(LossWindow{
+                static_cast<int>(std::distance(segment_names.begin(), it)),
+                loss.from, loss.to});
+        }
+        recorder.set_loss_windows(std::move(windows));
     }
 
     /// Installs one decision point per fault slot. Alternative 0 is "no
@@ -389,6 +377,7 @@ RunResult run_walkthrough(const RunConfig& cfg) {
 
     Driver driver(net, out, cfg, source.address());
     driver.attach_watchdog(stack);
+    driver.arm_forced_loss(kWalkthroughSegments);
     sim::Simulator& sim = net.simulator();
 
     sim.schedule_at(120 * kMs, [&] { stack.host_agent(receiver).join(group); });
@@ -450,45 +439,15 @@ RunResult run_walkthrough(const RunConfig& cfg) {
                 got.insert(rec.seq);
                 if (rec.seq >= kSteadyFirstSeq) ++steady_copies[rec.seq];
             }
-            std::string missing;
-            for (std::uint64_t s = 1; s <= kSeqCount; ++s) {
-                if (!got.contains(s)) missing += (missing.empty() ? "" : ",") +
-                                                 std::to_string(s);
-            }
-            if (!missing.empty()) {
-                add_violation(out, "delivery",
-                              host->name() + " never received seq(s) " + missing);
-            }
-            for (const auto& [seq, copies] : steady_copies) {
-                if (copies > 1) {
-                    add_violation(out, "steady-duplicate",
-                                  host->name() + " received steady seq " +
-                                      std::to_string(seq) + " " +
-                                      std::to_string(copies) + " times");
-                }
-            }
+            append(out, delivery_violations(host->name(), got, 1, kSeqCount));
+            append(out, steady_duplicate_violations(host->name(), steady_copies));
         }
         // §3.3/§3.5: a converged tree crosses exactly the delivery tree's
         // segments once per packet. An extra crossing is a shared-tree arm
         // that an RP-bit prune should have shut off.
-        for (std::uint64_t s = kSteadyFirstSeq; s <= kSeqCount; ++s) {
-            int total = 0;
-            std::string breakdown;
-            for (const auto& [key, count] : driver.crossings) {
-                if (key.first != s) continue;
-                total += count;
-                const auto seg = static_cast<std::size_t>(key.second);
-                breakdown += (breakdown.empty() ? "" : ", ") +
-                             kWalkthroughSegments[seg] + "x" + std::to_string(count);
-            }
-            if (total != kWalkthroughSteadyCrossings) {
-                add_violation(out, "steady-redundancy",
-                              "steady seq " + std::to_string(s) + " crossed " +
-                                  std::to_string(total) + " segment(s), want " +
-                                  std::to_string(kWalkthroughSteadyCrossings) +
-                                  " (" + breakdown + ")");
-            }
-        }
+        append(out, steady_redundancy_violations(
+                        driver.crossings, kWalkthroughSegments, kSteadyFirstSeq,
+                        kSeqCount, kWalkthroughSteadyCrossings));
         // §3.5: in steady state every packet arrives on the expected iif
         // everywhere; iif-drops mean a stale or missing prune.
         if (steady_iif_drops > 0) {
@@ -546,6 +505,7 @@ RunResult run_rp_failover(const RunConfig& cfg) {
 
     Driver driver(net, out, cfg, net::Ipv4Address{});
     driver.attach_watchdog(stack);
+    driver.arm_forced_loss(kFailoverSegments);
     sim::Simulator& sim = net.simulator();
 
     sim.schedule_at(100 * kMs, [&] { stack.host_agent(h1).join(group); });
@@ -572,24 +532,9 @@ RunResult run_rp_failover(const RunConfig& cfg) {
     const bool crashed = faults.is_crashed(r1);
     const std::string want_rp =
         (crashed ? r2.router_id() : r1.router_id()).to_string();
-    for (const telemetry::RouterMrib& r : at_deadline.routers) {
-        if (r.router != "M" && r.router != "N") continue;
-        bool has_wc = false;
-        for (const telemetry::EntrySnapshot& entry : r.entries) {
-            if (!entry.wildcard) continue;
-            has_wc = true;
-            if (entry.source_or_rp != want_rp) {
-                add_violation(out, "rp-failover",
-                              r.router + " (*,G) still rooted at " +
-                                  entry.source_or_rp + ", want " + want_rp +
-                                  (crashed ? " (primary RP crashed)" : ""));
-            }
-        }
-        if (!has_wc) {
-            add_violation(out, "rp-failover",
-                          r.router + " has no (*,G) at the failover deadline");
-        }
-    }
+    append(out, rehoming_violations("rp-failover", at_deadline, {"M", "N"},
+                                    want_rp,
+                                    crashed ? " (primary RP crashed)" : ""));
     driver.emit_postmortem();
     return out;
 }
@@ -665,6 +610,7 @@ RunResult run_lan_assert(const RunConfig& cfg) {
 
     Driver driver(net, out, cfg, source.address());
     driver.attach_watchdog(stack);
+    driver.arm_forced_loss(kLanAssertSegments);
     sim::Simulator& sim = net.simulator();
 
     sim.schedule_at(120 * kMs, [&] { stack.host_agent(rcv1).join(group); });
@@ -708,56 +654,22 @@ RunResult run_lan_assert(const RunConfig& cfg) {
                 got.insert(rec.seq);
                 if (rec.seq >= kLanAssertSteadyFirstSeq) ++steady_copies[rec.seq];
             }
-            std::string missing;
-            for (std::uint64_t s = 1; s <= kLanAssertSeqCount; ++s) {
-                if (!got.contains(s)) missing += (missing.empty() ? "" : ",") +
-                                                 std::to_string(s);
-            }
-            if (!missing.empty()) {
-                add_violation(out, "delivery",
-                              host->name() + " never received seq(s) " + missing);
-            }
-            for (const auto& [seq, copies] : steady_copies) {
-                if (copies > 1) {
-                    add_violation(out, "steady-duplicate",
-                                  host->name() + " received steady seq " +
-                                      std::to_string(seq) + " " +
-                                      std::to_string(copies) + " times");
-                }
-            }
+            append(out, delivery_violations(host->name(), got, 1,
+                                            kLanAssertSeqCount));
+            append(out, steady_duplicate_violations(host->name(), steady_copies));
         }
         // The assert-winner oracle: a steady packet crossing dlan twice
         // means both upstreams still forward — the loser never pruned.
         // (No steady-iif oracle here: the loser keeps hearing the winner's
         // copies on the LAN and iif-discarding them is exactly its job.)
-        for (std::uint64_t s = kLanAssertSteadyFirstSeq; s <= kLanAssertSeqCount;
-             ++s) {
-            int total = 0;
-            int on_dlan = 0;
-            std::string breakdown;
-            for (const auto& [key, count] : driver.crossings) {
-                if (key.first != s) continue;
-                total += count;
-                if (key.second == kLanAssertDlanSegment) on_dlan = count;
-                const auto seg = static_cast<std::size_t>(key.second);
-                breakdown += (breakdown.empty() ? "" : ", ") +
-                             kLanAssertSegments[seg] + "x" + std::to_string(count);
-            }
-            if (on_dlan != 1) {
-                add_violation(out, "assert-winner",
-                              "steady seq " + std::to_string(s) + " crossed dlan " +
-                                  std::to_string(on_dlan) +
-                                  " times; the assert election must leave "
-                                  "exactly one forwarder");
-            }
-            if (total != kLanAssertSteadyCrossings) {
-                add_violation(out, "steady-redundancy",
-                              "steady seq " + std::to_string(s) + " crossed " +
-                                  std::to_string(total) + " segment(s), want " +
-                                  std::to_string(kLanAssertSteadyCrossings) +
-                                  " (" + breakdown + ")");
-            }
-        }
+        append(out, assert_winner_violations(driver.crossings,
+                                             kLanAssertDlanSegment,
+                                             kLanAssertSteadyFirstSeq,
+                                             kLanAssertSeqCount));
+        append(out, steady_redundancy_violations(
+                        driver.crossings, kLanAssertSegments,
+                        kLanAssertSteadyFirstSeq, kLanAssertSeqCount,
+                        kLanAssertSteadyCrossings));
     }
     driver.emit_postmortem();
     return out;
@@ -821,6 +733,7 @@ RunResult run_bsr_failover(const RunConfig& cfg) {
 
     Driver driver(net, out, cfg, net::Ipv4Address{});
     driver.attach_watchdog(stack);
+    driver.arm_forced_loss(kBsrFailoverSegments);
     sim::Simulator& sim = net.simulator();
 
     sim.schedule_at(100 * kMs, [&] { stack.host_agent(h1).join(group); });
@@ -834,36 +747,50 @@ RunResult run_bsr_failover(const RunConfig& cfg) {
 
     driver.checkpoint_until(kBsrFailoverHorizon, stack);
     const telemetry::MribSnapshot at_deadline = stack.capture_mrib();
+    // The BSR-view and RP-set oracles are snapshotted at this same instant,
+    // not after the convergence probes: a bootstrap refresh lost during the
+    // probe tail may legitimately leave expired state whose repair the next
+    // period owes (the §3.4 soft-state discipline), and reading live agents
+    // there would turn that transient into a false violation.
+    const std::map<std::string, const topo::Router*> routers = {
+        {"M", &m}, {"N", &n}, {"R1", &r1}, {"R2", &r2}, {"B", &b}};
+    struct BsrView {
+        net::Ipv4Address elected;
+        bool claims = false;
+    };
+    std::map<std::string, BsrView> views;
+    std::map<std::string, std::vector<net::Ipv4Address>> derived;
+    for (const auto& [name, router] : routers) {
+        if (faults.is_crashed(*router)) continue;
+        pim::BootstrapAgent& agent = stack.bootstrap_at(*router);
+        views[name] = {agent.elected_bsr(), agent.is_elected_bsr()};
+        derived[name] = stack.pim_at(*router).rp_set().rps_for(group);
+    }
     driver.probe_convergence(stack, config.pim.join_prune_interval);
     driver.finish();
 
     check_loops(out, driver.crossings, kBsrFailoverSegments,
                 net.stats().data_dropped_ttl());
-    const std::map<std::string, const topo::Router*> routers = {
-        {"M", &m}, {"N", &n}, {"R1", &r1}, {"R2", &r2}, {"B", &b}};
     check_iif_consistency(out, out.final_mrib, routers, faults);
 
     // exactly-one-bsr: every live router holds the same elected-BSR view,
     // and exactly one live router claims the role.
     net::Ipv4Address elected;
     int claims = 0;
-    for (const auto& [name, router] : routers) {
-        if (faults.is_crashed(*router)) continue;
-        pim::BootstrapAgent& agent = stack.bootstrap_at(*router);
-        const net::Ipv4Address view = agent.elected_bsr();
-        if (view.is_unspecified()) {
+    for (const auto& [name, view] : views) {
+        if (view.elected.is_unspecified()) {
             add_violation(out, "exactly-one-bsr",
                           name + " has no elected-BSR view at the deadline");
             continue;
         }
         if (elected.is_unspecified()) {
-            elected = view;
-        } else if (view != elected) {
+            elected = view.elected;
+        } else if (view.elected != elected) {
             add_violation(out, "exactly-one-bsr",
-                          name + " elected " + view.to_string() +
+                          name + " elected " + view.elected.to_string() +
                               " while others elected " + elected.to_string());
         }
-        if (agent.is_elected_bsr()) ++claims;
+        if (view.claims) ++claims;
     }
     if (claims != 1) {
         add_violation(out, "exactly-one-bsr",
@@ -873,27 +800,7 @@ RunResult run_bsr_failover(const RunConfig& cfg) {
 
     // rp-set-agreement: the learned set must map the group to the same
     // non-empty RP list on every live router.
-    std::vector<net::Ipv4Address> agreed;
-    bool have_agreed = false;
-    for (const auto& [name, router] : routers) {
-        if (faults.is_crashed(*router)) continue;
-        const auto rps = stack.pim_at(*router).rp_set().rps_for(group);
-        if (rps.empty()) {
-            add_violation(out, "rp-set-agreement",
-                          name + " derives no RP for " + group.to_string() +
-                              " from the learned set");
-            continue;
-        }
-        if (!have_agreed) {
-            agreed = rps;
-            have_agreed = true;
-        } else if (rps != agreed) {
-            add_violation(out, "rp-set-agreement",
-                          name + " maps " + group.to_string() + " to " +
-                              rps.front().to_string() + " while others map it to " +
-                              agreed.front().to_string());
-        }
-    }
+    append(out, rp_agreement_violations(derived, group.to_string()));
 
     // bsr-rp-rehoming: like rp-failover's oracle, judged at the deadline
     // capture — members must root at the hash-elected RP of whatever set
@@ -901,25 +808,9 @@ RunResult run_bsr_failover(const RunConfig& cfg) {
     const bool r1_crashed = faults.is_crashed(r1);
     const std::string want_rp =
         (r1_crashed ? r2.router_id() : r1.router_id()).to_string();
-    for (const telemetry::RouterMrib& rm : at_deadline.routers) {
-        if (rm.router != "M" && rm.router != "N") continue;
-        bool has_wc = false;
-        for (const telemetry::EntrySnapshot& entry : rm.entries) {
-            if (!entry.wildcard) continue;
-            has_wc = true;
-            if (entry.source_or_rp != want_rp) {
-                add_violation(out, "bsr-rp-rehoming",
-                              rm.router + " (*,G) still rooted at " +
-                                  entry.source_or_rp + ", want " + want_rp +
-                                  (r1_crashed ? " (primary candidate RP crashed)"
-                                              : ""));
-            }
-        }
-        if (!has_wc) {
-            add_violation(out, "bsr-rp-rehoming",
-                          rm.router + " has no (*,G) at the re-homing deadline");
-        }
-    }
+    append(out, rehoming_violations(
+                    "bsr-rp-rehoming", at_deadline, {"M", "N"}, want_rp,
+                    r1_crashed ? " (primary candidate RP crashed)" : ""));
     driver.emit_postmortem();
     return out;
 }
@@ -1130,8 +1021,66 @@ const std::vector<std::string>& scenario_names() {
 const std::vector<std::string>& known_mutations() {
     static const std::vector<std::string> names = {
         "skip-spt-bit-handshake", "no-rp-bit-prune",
-        "assert-loser-keeps-forwarding", "stale-rp-set-after-bsr-failover"};
+        "assert-loser-keeps-forwarding", "stale-rp-set-after-bsr-failover",
+        "one-shot-assert", "fragile-rp-holdtime"};
     return names;
+}
+
+const ScenarioInfo& scenario_info(const std::string& name) {
+    static const std::vector<ScenarioInfo> infos = [] {
+        std::vector<ScenarioInfo> v;
+        v.push_back(ScenarioInfo{
+            "walkthrough", kWalkthroughSegments, kWalkthroughFaultSlots,
+            {"cut-link-A-C", "cut-link-E-B", "crash-router-E", "crash-router-C"},
+            kWalkthroughHorizon,
+            {"B", "D"}});
+        v.push_back(ScenarioInfo{"rp-failover", kFailoverSegments,
+                                 kFailoverFaultSlots,
+                                 {"crash-router-R1"},
+                                 kFailoverHorizon,
+                                 {"M", "N"}});
+        v.push_back(ScenarioInfo{"lan-assert", kLanAssertSegments,
+                                 kLanAssertFaultSlots,
+                                 {"crash-router-U2"},
+                                 kLanAssertHorizon,
+                                 {"R", "R2"}});
+        v.push_back(ScenarioInfo{"bsr-failover", kBsrFailoverSegments,
+                                 kBsrFailoverFaultSlots,
+                                 {"crash-router-R1", "crash-router-B"},
+                                 kBsrFailoverHorizon,
+                                 {"M", "N"}});
+        return v;
+    }();
+    for (const ScenarioInfo& info : infos) {
+        if (info.name == name) return info;
+    }
+    assert(false && "unknown scenario; validate against scenario_names()");
+    return infos.front();
+}
+
+const MutationTrigger& trigger_for_mutation(const std::string& mutation) {
+    // The loss windows bracket the one control message whose loss turns the
+    // seeded bug into a symptom: the Assert exchange of the first duplicate
+    // burst (~280ms, lan-assert) and one mid-run RpReachability refresh on a
+    // member's RP-facing link (the ~900ms generation tick, rp-failover).
+    static const std::map<std::string, MutationTrigger> triggers = [] {
+        std::map<std::string, MutationTrigger> m;
+        m["stale-rp-set-after-bsr-failover"] =
+            MutationTrigger{"crash-router-R1", {}};
+        // The window is a third of a millisecond wide on purpose: it must
+        // kill the winner's Assert reply (261.3ms) while delivering the
+        // data copy (261.1ms) and the inferior Assert (261.2ms) that cause
+        // it — dropping those merely postpones the election.
+        m["one-shot-assert"] = MutationTrigger{
+            "", {ForcedLoss{"dlan", 261 * kMs + 250 * sim::kMicrosecond,
+                            261 * kMs + 350 * sim::kMicrosecond}}};
+        m["fragile-rp-holdtime"] =
+            MutationTrigger{"", {ForcedLoss{"M-R1", 850 * kMs, 950 * kMs}}};
+        return m;
+    }();
+    static const MutationTrigger empty;
+    const auto it = triggers.find(mutation);
+    return it == triggers.end() ? empty : it->second;
 }
 
 bool apply_mutation(const std::string& mutation, scenario::StackConfig& config) {
@@ -1152,18 +1101,31 @@ bool apply_mutation(const std::string& mutation, scenario::StackConfig& config) 
         config.bootstrap.mutate_stale_rp_set = true;
         return true;
     }
+    if (mutation == "one-shot-assert") {
+        config.pim.mutate_one_shot_assert = true;
+        return true;
+    }
+    if (mutation == "fragile-rp-holdtime") {
+        config.pim.mutate_fragile_rp_holdtime = true;
+        return true;
+    }
     return false;
 }
 
 std::string scenario_for_mutation(const std::string& mutation) {
     if (mutation == "assert-loser-keeps-forwarding") return "lan-assert";
+    if (mutation == "one-shot-assert") return "lan-assert";
     if (mutation == "stale-rp-set-after-bsr-failover") return "bsr-failover";
+    if (mutation == "fragile-rp-holdtime") return "rp-failover";
     return "walkthrough";
 }
 
 std::string forced_fault_for_mutation(const std::string& mutation) {
-    if (mutation == "stale-rp-set-after-bsr-failover") return "crash-router-R1";
-    return "";
+    return trigger_for_mutation(mutation).fault;
+}
+
+bool mutation_requires_search(const std::string& mutation) {
+    return !trigger_for_mutation(mutation).losses.empty();
 }
 
 RunResult run_scenario(const std::string& name, const RunConfig& cfg) {

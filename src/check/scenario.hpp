@@ -50,14 +50,20 @@
 #include <vector>
 
 #include "check/choice.hpp"
+#include "check/invariants.hpp" // Violation + the pure oracle functions
 #include "scenario/stacks.hpp"
 #include "telemetry/snapshot.hpp"
 
 namespace pimlib::check {
 
-struct Violation {
-    std::string oracle;
-    std::string detail;
+/// Drop every frame crossing `segment` (by scenario segment name) whose
+/// transmission time falls in [from, to). A robust test trigger for
+/// loss-dependent bugs: unlike a forced Pick it keys on (segment, time),
+/// so it survives trace reshaping between protocol revisions.
+struct ForcedLoss {
+    std::string segment;
+    sim::Time from = 0;
+    sim::Time to = 0;
 };
 
 struct RunConfig {
@@ -68,6 +74,10 @@ struct RunConfig {
     /// Unconditionally apply this fault candidate at the first fault slot
     /// (by label, bypassing the choice machinery). Test hook.
     std::string forced_fault;
+    /// Unconditionally drop frames in these (segment, time-window) slots.
+    /// The drops are recorded as ordinary non-default picks, so the run is
+    /// non-clean and its trace replays. Test hook for loss-dependent bugs.
+    std::vector<ForcedLoss> forced_loss;
     /// Capture a decoded packet trace of the whole run (expensive; used
     /// when emitting counterexamples).
     bool collect_trace = false;
@@ -117,6 +127,47 @@ struct RunResult {
     std::string watchdog_report;
     std::size_t watchdog_count = 0;
 };
+
+/// Static metadata about a scenario world, exported for the backward
+/// search engine (check/backward.hpp): it needs to reason about fault
+/// candidates, segments and deadlines *before* replaying anything.
+struct ScenarioInfo {
+    std::string name;
+    /// Segment names in creation order — the index is exactly the
+    /// ChoicePoint::detail of kFrameLoss decisions on that segment.
+    std::vector<std::string> segments;
+    /// Fault-slot firing times; slot i is ChoicePoint::detail i of kFault.
+    std::vector<sim::Time> fault_slots;
+    /// Fault candidate labels; candidate j fires on pick value j+1.
+    std::vector<std::string> fault_candidates;
+    /// The oracle-judgment deadline (checkpoint horizon before the
+    /// convergence probes take over).
+    sim::Time horizon = 0;
+    /// Last-hop routers with joined members behind them — the routers whose
+    /// forwarding state the delivery/re-homing oracles judge. Backward
+    /// search ranks losses on member↔critical-router links first.
+    std::vector<std::string> member_routers;
+};
+
+/// Aborts (assert) on unknown names — validate against scenario_names().
+[[nodiscard]] const ScenarioInfo& scenario_info(const std::string& name);
+
+/// Everything a test needs to make a seeded mutation's symptom appear on
+/// a directly-forced branch: the fault to fire (if fault-dependent) and
+/// the frame-loss windows to apply (if loss-dependent). Baseline-visible
+/// mutations have both parts empty.
+struct MutationTrigger {
+    std::string fault;
+    std::vector<ForcedLoss> losses;
+};
+[[nodiscard]] const MutationTrigger& trigger_for_mutation(const std::string& mutation);
+
+/// True when `mutation`'s symptom only appears under a specific frame-loss
+/// placement (a non-empty trigger loss window) — the mutations where a
+/// search has to *find* the loss, and where backward search's pre-image
+/// ranking earns its keep. Fault-dependent and baseline-visible mutations
+/// return false: any engine trips over those immediately.
+[[nodiscard]] bool mutation_requires_search(const std::string& mutation);
 
 [[nodiscard]] const std::vector<std::string>& scenario_names();
 [[nodiscard]] const std::vector<std::string>& known_mutations();

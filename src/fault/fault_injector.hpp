@@ -88,10 +88,10 @@ private:
     void run_resets(const topo::Router& router);
 
     topo::Network* network_;
-    std::map<const topo::Router*, std::vector<std::function<void()>>> resets_;
+    std::map<const topo::Router*, std::vector<std::function<void()>>, topo::NodeIdLess> resets_;
     // Interfaces that were already down before the crash stay down on
     // restart: crashed_[router] = ifindexes we took down.
-    std::map<const topo::Router*, std::vector<int>> crashed_;
+    std::map<const topo::Router*, std::vector<int>, topo::NodeIdLess> crashed_;
     std::vector<topo::Segment*> partition_cut_;
     std::vector<FaultEvent> events_;
 };

@@ -47,6 +47,7 @@ public:
     [[nodiscard]] std::vector<int> member_interfaces(net::GroupAddress group) const;
 
     [[nodiscard]] topo::Router& router() { return *router_; }
+    [[nodiscard]] const topo::Router& router() const { return *router_; }
     [[nodiscard]] const RouterConfig& config() const { return config_; }
 
     /// Simulates a crash+restart: forgets the membership database and

@@ -693,6 +693,8 @@ void PimSmRouter::send_assert(int ifindex, net::Ipv4Address source,
     // Duplicate data keeps triggering us; rate-limit resends so the LAN sees
     // one Assert per override window, not one per packet.
     if (st.last_sent != 0 && now - st.last_sent < config_.override_delay) return;
+    // Seeded bug: never send a second Assert for this election at all.
+    if (config_.mutate_one_shot_assert && st.last_sent != 0) return;
     st.last_sent = now;
     if (st.expires == 0) st.expires = now + config_.assert_holdtime;
 
@@ -746,7 +748,9 @@ void PimSmRouter::handle_assert(int ifindex, const net::Packet& packet,
             }
             // Answer so the inferior forwarder (and everyone downstream)
             // learns who won; rate-limited like the data-triggered path.
-            if (st.last_sent == 0 || now - st.last_sent >= config_.override_delay) {
+            if ((st.last_sent == 0 ||
+                 now - st.last_sent >= config_.override_delay) &&
+                !(config_.mutate_one_shot_assert && st.last_sent != 0)) {
                 st.last_sent = now;
                 Assert reply;
                 reply.group = group.address();
@@ -1270,8 +1274,14 @@ void PimSmRouter::cancel_pending_prune(const EntryRef& ref, int ifindex) {
 // ---------------------------------------------------------------------------
 
 void PimSmRouter::on_rp_reachability_tick() {
+    // Seeded bug: a holdtime barely longer than the generation interval —
+    // any single lost RpReachability expires the downstream RP timer.
+    const sim::Time advertised =
+        config_.mutate_fragile_rp_holdtime
+            ? config_.rp_reachability_interval + config_.rp_reachability_interval / 10
+            : config_.rp_timeout;
     const auto holdtime =
-        static_cast<std::uint32_t>(config_.rp_timeout / sim::kMillisecond);
+        static_cast<std::uint32_t>(advertised / sim::kMillisecond);
     const sim::Time now = router_->simulator().now();
     cache_.for_each_wc([&](mcast::ForwardingEntry& wc) {
         if (wc.source_or_rp() != router_->router_id()) return;

@@ -99,6 +99,20 @@ struct PimConfig {
     /// same source onto the LAN — the exact duplicate storm the Assert
     /// mechanism exists to stop.
     bool mutate_assert_loser_keeps_forwarding = false;
+    /// one-shot-assert sends at most one Assert per (interface, source,
+    /// group) election — dropping the resend/reply path that makes the
+    /// election robust to losing a single Assert frame. With no loss the
+    /// one exchange resolves the election exactly as before; lose the
+    /// winner's Assert and the inferior forwarder never learns it lost,
+    /// so both keep forwarding onto the LAN (§2.2's duplicate storm).
+    bool mutate_one_shot_assert = false;
+    /// fragile-rp-holdtime advertises RP-reachability holdtimes of 1.1×
+    /// the generation interval instead of the loss-tolerant 3× bound
+    /// (§3.4's soft-state rule: state must survive at least one lost
+    /// refresh). Every message still arrives → timers never expire; lose
+    /// a single RpReachability frame and the member's RP timer fires,
+    /// triggering a spurious failover away from a perfectly live RP.
+    bool mutate_fragile_rp_holdtime = false;
 
     /// Uniformly scales every interval (convenience for tests: a factor of
     /// 0.01 turns the 60 s refresh into 0.6 s).

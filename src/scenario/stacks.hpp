@@ -81,8 +81,8 @@ public:
 protected:
     topo::Network* network_;
     StackConfig config_;
-    std::map<const topo::Router*, std::unique_ptr<igmp::RouterAgent>> igmp_;
-    std::map<const topo::Host*, std::unique_ptr<igmp::HostAgent>> host_agents_;
+    std::map<const topo::Router*, std::unique_ptr<igmp::RouterAgent>, topo::NodeIdLess> igmp_;
+    std::map<const topo::Host*, std::unique_ptr<igmp::HostAgent>, topo::NodeIdLess> host_agents_;
 };
 
 /// PIM sparse mode on every router (the paper's §3 protocol).
@@ -115,8 +115,8 @@ public:
     [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>> pim_;
-    std::map<const topo::Router*, std::unique_ptr<pim::BootstrapAgent>> bootstrap_;
+    std::map<const topo::Router*, std::unique_ptr<pim::PimSmRouter>, topo::NodeIdLess> pim_;
+    std::map<const topo::Router*, std::unique_ptr<pim::BootstrapAgent>, topo::NodeIdLess> bootstrap_;
 };
 
 /// PIM dense mode everywhere (the companion protocol [13]).
@@ -130,7 +130,7 @@ public:
     [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<pim::PimDmRouter>> pim_;
+    std::map<const topo::Router*, std::unique_ptr<pim::PimDmRouter>, topo::NodeIdLess> pim_;
 };
 
 /// DVMRP everywhere (dense-mode baseline).
@@ -144,7 +144,7 @@ public:
     [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<dvmrp::DvmrpRouter>> dvmrp_;
+    std::map<const topo::Router*, std::unique_ptr<dvmrp::DvmrpRouter>, topo::NodeIdLess> dvmrp_;
 };
 
 /// CBT everywhere (shared-tree baseline).
@@ -159,7 +159,7 @@ public:
     [[nodiscard]] telemetry::MribSnapshot capture_mrib() override;
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<cbt::CbtRouter>> cbt_;
+    std::map<const topo::Router*, std::unique_ptr<cbt::CbtRouter>, topo::NodeIdLess> cbt_;
 };
 
 /// Splices a dense-mode region onto a sparse-mode border router (§4
@@ -190,7 +190,17 @@ private:
     pim::PimSmRouter* border_;
     int dense_ifindex_;
     // Reporters per group: (agent, ifindex) pairs with members present.
-    std::map<net::GroupAddress, std::set<std::pair<const igmp::RouterAgent*, int>>>
+    // Ordered by (router id, ifindex), not agent address — see topo::NodeIdLess.
+    struct ReporterLess {
+        bool operator()(const std::pair<const igmp::RouterAgent*, int>& a,
+                        const std::pair<const igmp::RouterAgent*, int>& b) const {
+            const int aid = a.first->router().id();
+            const int bid = b.first->router().id();
+            return aid != bid ? aid < bid : a.second < b.second;
+        }
+    };
+    std::map<net::GroupAddress,
+             std::set<std::pair<const igmp::RouterAgent*, int>, ReporterLess>>
         reporters_;
 };
 
@@ -205,7 +215,7 @@ public:
     [[nodiscard]] const mcast::ForwardingCache* cache_of(const topo::Router& router) override;
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<mospf::MospfRouter>> mospf_;
+    std::map<const topo::Router*, std::unique_ptr<mospf::MospfRouter>, topo::NodeIdLess> mospf_;
 };
 
 } // namespace pimlib::scenario

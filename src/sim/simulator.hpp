@@ -28,6 +28,11 @@ struct ChoicePoint {
     };
     Kind kind = Kind::kEventOrder;
     int detail = 0;
+    /// kFrameLoss only: true when the frame at stake carries a control
+    /// message (PIM/IGMP/routing) rather than multicast data. Backward
+    /// fault search keys on this — losing data cannot corrupt protocol
+    /// state, losing control messages is exactly how soft state decays.
+    bool control = false;
 };
 
 /// Supplies decisions at choice points. Installed by the model checker via

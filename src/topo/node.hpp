@@ -71,4 +71,16 @@ private:
     std::vector<Interface> interfaces_;
 };
 
+/// Orders node pointers by creation id instead of heap address. Every
+/// long-lived container keyed by a topology pointer must use this
+/// comparator: heap addresses drift with the process's allocation history,
+/// so address-ordered iteration makes a nominally deterministic run depend
+/// on how many simulations ran before it in the same process — replayed
+/// counterexamples then fail to reproduce.
+struct NodeIdLess {
+    bool operator()(const Node* a, const Node* b) const {
+        return a->id() < b->id();
+    }
+};
+
 } // namespace pimlib::topo

@@ -79,7 +79,9 @@ void Segment::transmit(const Node& sender, const net::Frame& frame) {
     // actually explores; without a source this path is never taken.
     if (sim::ChoiceSource* choices = network_->simulator().choice_source()) {
         if (choices->choose(
-                2, sim::ChoicePoint{sim::ChoicePoint::Kind::kFrameLoss, id_}) == 1) {
+                2, sim::ChoicePoint{sim::ChoicePoint::Kind::kFrameLoss, id_,
+                                    frame.packet.proto != net::IpProto::kUdp}) ==
+            1) {
             ++frames_lost_;
             network_->stats().count_dropped_loss();
             record_segment_loss(*network_, sender, id_, frame.packet);

@@ -85,7 +85,7 @@ public:
     [[nodiscard]] DvAgent& agent_for(const topo::Router& router);
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<DvAgent>> agents_;
+    std::map<const topo::Router*, std::unique_ptr<DvAgent>, topo::NodeIdLess> agents_;
 };
 
 } // namespace pimlib::unicast

@@ -91,7 +91,7 @@ public:
     [[nodiscard]] LsAgent& agent_for(const topo::Router& router);
 
 private:
-    std::map<const topo::Router*, std::unique_ptr<LsAgent>> agents_;
+    std::map<const topo::Router*, std::unique_ptr<LsAgent>, topo::NodeIdLess> agents_;
 };
 
 } // namespace pimlib::unicast

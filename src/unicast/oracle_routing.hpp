@@ -41,7 +41,7 @@ private:
 
     topo::Network* network_;
     int topo_token_ = 0;
-    std::map<const topo::Router*, std::unique_ptr<Rib>> ribs_;
+    std::map<const topo::Router*, std::unique_ptr<Rib>, topo::NodeIdLess> ribs_;
 };
 
 } // namespace pimlib::unicast

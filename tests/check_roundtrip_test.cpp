@@ -1,0 +1,141 @@
+// Counterexample round-trip tests: every artifact pimcheck emits must be
+// actionable. The replay spec embedded in an emitted script's header is
+// parsed back out and re-run in-process (same violation must fire), and
+// the script itself is fed through the real pimsim parser (compiled in via
+// PIMSIM_NO_MAIN) to prove the emitted text is a loadable scenario.
+#define PIMSIM_NO_MAIN
+#include "pimsim.cpp" // examples/ is on this test's include path
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "check/backward.hpp"
+#include "check/explorer.hpp"
+
+namespace {
+
+using pimlib::check::ChoiceSet;
+using pimlib::check::Counterexample;
+using pimlib::check::RunConfig;
+using pimlib::check::RunResult;
+using pimlib::check::Violation;
+
+/// Parsed form of a counterexample script's header comments.
+struct ReplaySpec {
+    std::string scenario;
+    std::string mutation;
+    ChoiceSet choices; // empty when the baseline branch already fails
+};
+
+std::string word_after(const std::string& text, const std::string& flag,
+                       std::size_t from = 0) {
+    const std::size_t at = text.find(flag, from);
+    if (at == std::string::npos) return {};
+    std::size_t begin = at + flag.size();
+    std::size_t end = begin;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\n' &&
+           text[end] != ')') {
+        ++end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::optional<ReplaySpec> parse_header(const std::string& script) {
+    ReplaySpec spec;
+    spec.scenario = word_after(script, "-- scenario ");
+    if (spec.scenario.empty()) return std::nullopt;
+    spec.mutation = word_after(script, " --mutate ");
+    const std::string replay = word_after(script, " --replay ");
+    if (!replay.empty()) {
+        const auto parsed = pimlib::check::parse_choices(replay);
+        if (!parsed.has_value()) return std::nullopt;
+        spec.choices = *parsed;
+    }
+    return spec;
+}
+
+std::set<std::string> oracle_set(const std::vector<Violation>& violations) {
+    std::set<std::string> out;
+    for (const Violation& v : violations) out.insert(v.oracle);
+    return out;
+}
+
+/// Re-runs the spec extracted from `ce.script` and checks the same oracle
+/// family fires again.
+void expect_round_trip(const Counterexample& ce) {
+    const auto spec = parse_header(ce.script);
+    ASSERT_TRUE(spec.has_value()) << ce.script.substr(0, 200);
+    RunConfig cfg;
+    cfg.choices = spec->choices;
+    cfg.mutation = spec->mutation;
+    const RunResult replayed =
+        pimlib::check::run_scenario(spec->scenario, cfg);
+    EXPECT_FALSE(replayed.violations.empty())
+        << "replay spec reproduced nothing: " << ce.script.substr(0, 300);
+    EXPECT_EQ(oracle_set(replayed.violations), oracle_set(ce.violations));
+}
+
+TEST(CounterexampleRoundTrip, ForwardBaselineVisibleMutation) {
+    pimlib::check::ExploreOptions options;
+    options.mutation = "assert-loser-keeps-forwarding";
+    options.scenario = pimlib::check::scenario_for_mutation(options.mutation);
+    options.max_runs = 5;
+    options.stop_at_first_violation = true;
+    const auto report = pimlib::check::explore(options);
+    ASSERT_FALSE(report.counterexamples.empty());
+    expect_round_trip(report.counterexamples.front());
+}
+
+TEST(CounterexampleRoundTrip, BackwardFaultDependentMutation) {
+    pimlib::check::BackwardOptions options;
+    options.mutation = "stale-rp-set-after-bsr-failover";
+    options.target = pimlib::check::target_for_mutation(options.mutation);
+    options.scenario =
+        pimlib::check::scenario_for_mutation(options.mutation);
+    options.max_replays = 50;
+    const auto report = pimlib::check::backward_search(options);
+    ASSERT_TRUE(report.found());
+    expect_round_trip(report.counterexamples.front());
+}
+
+TEST(CounterexampleRoundTrip, BackwardLossDependentMutation) {
+    pimlib::check::BackwardOptions options;
+    options.mutation = "one-shot-assert";
+    options.target = pimlib::check::target_for_mutation(options.mutation);
+    options.scenario =
+        pimlib::check::scenario_for_mutation(options.mutation);
+    options.max_replays = 100;
+    const auto report = pimlib::check::backward_search(options);
+    ASSERT_TRUE(report.found());
+    expect_round_trip(report.counterexamples.front());
+}
+
+// --- pimsim parser round trip -------------------------------------------
+
+TEST(CounterexampleRoundTrip, EmittedScriptIsLoadablePimsimScenario) {
+    // A counterexample with a fault pick exercises the emitted
+    // crash/restart fault directives too.
+    pimlib::check::BackwardOptions options;
+    options.mutation = "stale-rp-set-after-bsr-failover";
+    options.target = pimlib::check::target_for_mutation(options.mutation);
+    options.scenario =
+        pimlib::check::scenario_for_mutation(options.mutation);
+    options.max_replays = 50;
+    const auto report = pimlib::check::backward_search(options);
+    ASSERT_TRUE(report.found());
+    // run_scenario here is pimsim's script interpreter (PIMSIM_NO_MAIN
+    // include above), not check::run_scenario: parse + full run, throwing
+    // on any script error.
+    EXPECT_NO_THROW(run_scenario(report.counterexamples.front().script));
+}
+
+TEST(CounterexampleRoundTrip, PimsimParserRejectsGarbage) {
+    EXPECT_THROW(run_scenario("run 1x\n"), std::runtime_error); // bad unit
+    EXPECT_THROW(run_scenario("protocol warp-drive\nrun 1ms\n"),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,11 +1,18 @@
 // Tests for the state-space checker itself (src/check): choice encoding,
 // replay determinism, the scenario oracles on known-good and known-bad
-// branches, the RP-failover invariant, and the mutation gate.
+// branches, the mutation gate (forward and backward), shrinking, and the
+// parallel explorer's thread-count independence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <set>
 #include <string>
 
+#include "check/backward.hpp"
 #include "check/explorer.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/snapshot.hpp"
 
 namespace pimlib::check {
@@ -40,6 +47,30 @@ TEST(ChoiceCodec, ParseSortsByIndex) {
     EXPECT_EQ(*parsed, (ChoiceSet{{3, 1}, {17, 2}}));
 }
 
+TEST(ChoiceCodec, FuzzRoundTrip) {
+    // Random (but seeded) sparse choice sets must survive format -> parse
+    // unchanged: the wire format is how counterexamples reach --replay.
+    std::mt19937 rng(20260807);
+    std::uniform_int_distribution<std::uint32_t> index_dist(0, 50'000);
+    std::uniform_int_distribution<std::uint32_t> value_dist(1, 40);
+    std::uniform_int_distribution<int> size_dist(0, 12);
+    for (int round = 0; round < 300; ++round) {
+        ChoiceSet choices;
+        std::set<std::uint32_t> used;
+        const int size = size_dist(rng);
+        while (static_cast<int>(choices.size()) < size) {
+            const std::uint32_t index = index_dist(rng);
+            if (!used.insert(index).second) continue;
+            choices.push_back(Pick{index, value_dist(rng)});
+        }
+        std::sort(choices.begin(), choices.end(),
+                  [](const Pick& a, const Pick& b) { return a.index < b.index; });
+        const auto parsed = parse_choices(format_choices(choices));
+        ASSERT_TRUE(parsed.has_value()) << format_choices(choices);
+        EXPECT_EQ(*parsed, choices) << format_choices(choices);
+    }
+}
+
 TEST(CheckScenario, BaselineWalkthroughSatisfiesAllOracles) {
     const RunResult result = run_scenario("walkthrough", RunConfig{});
     EXPECT_TRUE(result.violations.empty()) << render(result.violations);
@@ -58,19 +89,33 @@ TEST(CheckScenario, ReplayIsDeterministic) {
     EXPECT_EQ(first.final_mrib.hash(), second.final_mrib.hash());
 }
 
-TEST(CheckScenario, MutationsFailTheBaselineBranch) {
+TEST(CheckScenario, MutationsFailTheTriggeredBranch) {
     for (const std::string& mutation : known_mutations()) {
         RunConfig cfg;
         cfg.mutation = mutation;
         // Fault-dependent mutations (e.g. a stale RP set) show no symptom
-        // until the fault fires, so their home scenario's fault is forced
-        // here; the explorer test below covers finding it unaided.
+        // until the fault fires, and loss-dependent ones (one-shot assert,
+        // fragile RP holdtime) additionally need a specific frame lost;
+        // force the documented trigger — the explorer tests below cover
+        // finding it unaided.
         cfg.forced_fault = forced_fault_for_mutation(mutation);
+        cfg.forced_loss = trigger_for_mutation(mutation).losses;
         const RunResult result =
             run_scenario(scenario_for_mutation(mutation), cfg);
         EXPECT_FALSE(result.violations.empty())
-            << mutation << " was not caught on the baseline branch";
+            << mutation << " was not caught on its trigger branch";
     }
+}
+
+TEST(CheckScenario, RequiresSearchFlagsExactlyTheLossDependentMutations) {
+    // The smoke gate's >=5x backward-advantage bar applies only to
+    // mutations whose trigger involves frame loss; keep the flag honest.
+    std::set<std::string> loss_dependent;
+    for (const std::string& mutation : known_mutations()) {
+        if (mutation_requires_search(mutation)) loss_dependent.insert(mutation);
+    }
+    EXPECT_EQ(loss_dependent, (std::set<std::string>{
+                                  "one-shot-assert", "fragile-rp-holdtime"}));
 }
 
 TEST(CheckScenario, RpFailoverRehomesToAlternate) {
@@ -95,6 +140,7 @@ TEST(CheckScenario, RpFailoverRehomesToAlternate) {
 
 TEST(CheckExplorer, MutationGateCatchesSeededBugs) {
     for (const std::string& mutation : known_mutations()) {
+        if (mutation_requires_search(mutation)) continue; // backward test below
         ExploreOptions options;
         options.scenario = scenario_for_mutation(mutation);
         options.mutation = mutation;
@@ -110,6 +156,67 @@ TEST(CheckExplorer, MutationGateCatchesSeededBugs) {
     }
 }
 
+TEST(CheckBackward, CatchesEverySeededMutation) {
+    for (const std::string& mutation : known_mutations()) {
+        BackwardOptions options;
+        options.mutation = mutation;
+        options.target = target_for_mutation(mutation);
+        options.scenario = scenario_for_mutation(options.mutation);
+        options.max_replays = 100;
+        const BackwardReport report = backward_search(options);
+        EXPECT_TRUE(report.found()) << mutation << " not found backward";
+        ASSERT_FALSE(report.counterexamples.empty()) << mutation;
+        const Counterexample& ce = report.counterexamples.front();
+        EXPECT_FALSE(ce.violations.empty()) << mutation;
+        // The hit must match the searched-for target family.
+        EXPECT_TRUE(target_matches(options.target, ce.violations))
+            << mutation << ": " << render(ce.violations);
+    }
+}
+
+TEST(CheckBackward, BeatsForwardOnLossDependentMutations) {
+    // Cheap in-test version of the smoke gate's >=5x bar (the gate itself
+    // measures the full ratio against a 400-run forward cap): forward
+    // search burns 25 runs without a hit on each loss-dependent mutation —
+    // the measured forward cost is hundreds to thousands of runs — while
+    // backward lands within a small fixed replay budget (measured: 5 for
+    // one-shot-assert, 35 for fragile-rp-holdtime).
+    for (const std::string& mutation : known_mutations()) {
+        if (!mutation_requires_search(mutation)) continue;
+
+        ExploreOptions forward;
+        forward.scenario = scenario_for_mutation(mutation);
+        forward.mutation = mutation;
+        forward.max_runs = 25;
+        forward.stop_at_first_violation = true;
+        const ExploreReport fwd = explore(forward);
+        EXPECT_EQ(fwd.violating_runs, 0u)
+            << mutation << " unexpectedly trivial for forward search";
+
+        BackwardOptions backward;
+        backward.mutation = mutation;
+        backward.target = target_for_mutation(mutation);
+        backward.scenario = scenario_for_mutation(backward.mutation);
+        backward.max_replays = 100;
+        const BackwardReport bwd = backward_search(backward);
+        ASSERT_TRUE(bwd.found()) << mutation;
+        EXPECT_LE(bwd.replays_to_hit, 50u)
+            << mutation << " backward took " << bwd.replays_to_hit;
+    }
+}
+
+TEST(CheckBackward, HealthyProtocolComesUpDry) {
+    for (const std::string& target : backward_targets()) {
+        BackwardOptions options;
+        options.target = target;
+        options.scenario = default_scenario_for_target(target);
+        options.max_replays = 30;
+        const BackwardReport report = backward_search(options);
+        EXPECT_FALSE(report.found()) << target << " hit on healthy protocol";
+        EXPECT_EQ(report.violating_runs, 0u) << target;
+    }
+}
+
 TEST(CheckExplorer, ShrinkDropsIrrelevantPicks) {
     // With a seeded bug the deterministic baseline already fails, so any
     // forced pick is removable and shrinking must reach the empty set.
@@ -117,6 +224,83 @@ TEST(CheckExplorer, ShrinkDropsIrrelevantPicks) {
     options.mutation = "skip-spt-bit-handshake";
     const ChoiceSet shrunk = shrink_counterexample(options, ChoiceSet{{0, 1}});
     EXPECT_TRUE(shrunk.empty());
+}
+
+TEST(CheckExplorer, ShrinkIsIdempotentAndMinimal) {
+    // stale-rp-set-after-bsr-failover needs exactly its crash fault: find
+    // the counterexample backward, then check the shrunk choice set (a) is
+    // a fixed point of shrinking and (b) cannot lose any single pick and
+    // still violate.
+    BackwardOptions backward;
+    backward.mutation = "stale-rp-set-after-bsr-failover";
+    backward.target = target_for_mutation(backward.mutation);
+    backward.scenario = scenario_for_mutation(backward.mutation);
+    backward.max_replays = 50;
+    const BackwardReport report = backward_search(backward);
+    ASSERT_TRUE(report.found());
+    const ChoiceSet shrunk = report.counterexamples.front().choices;
+    ASSERT_FALSE(shrunk.empty()); // the fault pick must survive shrinking
+
+    ExploreOptions options;
+    options.scenario = backward.scenario;
+    options.mutation = backward.mutation;
+    EXPECT_EQ(shrink_counterexample(options, shrunk), shrunk);
+
+    for (std::size_t drop = 0; drop < shrunk.size(); ++drop) {
+        ChoiceSet smaller = shrunk;
+        smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(drop));
+        RunConfig cfg;
+        cfg.choices = smaller;
+        cfg.mutation = options.mutation;
+        const RunResult result = run_scenario(options.scenario, cfg);
+        EXPECT_TRUE(result.violations.empty())
+            << "dropping pick " << drop << " still violates: not minimal";
+    }
+}
+
+TEST(CheckExplorer, SkippedBranchesBoundedAndMetricsPublished) {
+    telemetry::Registry registry;
+    ExploreOptions options;
+    options.mutation = "no-rp-bit-prune";
+    options.scenario = scenario_for_mutation(options.mutation);
+    options.max_runs = 6;
+    options.stop_at_first_violation = true;
+    options.metrics = &registry;
+    const ExploreReport report = explore(options);
+    EXPECT_GT(report.violating_runs, 0u);
+    // A skipped branch (forced picks that no longer apply after the prefix
+    // reshaped the run) is still a completed execution: always <= runs.
+    EXPECT_LE(report.skipped_branches, report.runs);
+    EXPECT_LE(report.runs, options.max_runs);
+
+    const std::string prom = telemetry::to_prometheus(registry);
+    EXPECT_NE(prom.find("pimlib_check_runs_total"), std::string::npos);
+    EXPECT_NE(prom.find("pimlib_check_violating_runs_total"), std::string::npos);
+    EXPECT_NE(prom.find("pimlib_check_counterexamples_total"), std::string::npos);
+    EXPECT_NE(prom.find("engine=\"forward\""), std::string::npos);
+}
+
+TEST(CheckExplorer, ThreadCountDoesNotChangeResults) {
+    // The wave-synchronous explorer must be bit-identical across thread
+    // counts: same runs, same dedup, same counterexamples.
+    auto run_with = [](std::size_t threads) {
+        ExploreOptions options;
+        options.scenario = "walkthrough";
+        options.max_runs = 60;
+        options.threads = threads;
+        return explore(options);
+    };
+    const ExploreReport one = run_with(1);
+    const ExploreReport eight = run_with(8);
+    EXPECT_EQ(one.runs, eight.runs);
+    EXPECT_EQ(one.deduped_states, eight.deduped_states);
+    EXPECT_EQ(one.violating_runs, eight.violating_runs);
+    EXPECT_EQ(one.skipped_branches, eight.skipped_branches);
+    ASSERT_EQ(one.counterexamples.size(), eight.counterexamples.size());
+    for (std::size_t i = 0; i < one.counterexamples.size(); ++i) {
+        EXPECT_EQ(format_choices(one.counterexamples[i].choices),
+                  format_choices(eight.counterexamples[i].choices));
+    }
 }
 
 TEST(CheckExplorer, ExploresDistinctStatesWithoutViolations) {
