@@ -90,25 +90,31 @@ Run run_policy(pim::SptPolicy policy, int packets, sim::Time interval) {
     return r;
 }
 
-void sweep(const char* workload, int packets, sim::Time interval) {
+void sweep(const char* workload, const char* tag, int packets,
+           sim::Time interval, bench::Report& report) {
     std::printf("\n## workload: %s (%d packets, %lld ms apart)\n", workload, packets,
                 static_cast<long long>(interval / sim::kMillisecond));
     std::printf("%-22s %-14s %-12s %-10s\n", "policy", "mean_lat_ms", "sg_entries",
                 "delivered");
     struct P {
         const char* name;
+        const char* tag;
         pim::SptPolicy policy;
     };
     const P policies[] = {
-        {"never (RP tree)", pim::SptPolicy::never()},
-        {"threshold m=20", pim::SptPolicy::threshold(20, 10 * sim::kSecond)},
-        {"threshold m=5", pim::SptPolicy::threshold(5, 10 * sim::kSecond)},
-        {"immediate", pim::SptPolicy::immediate()},
+        {"never (RP tree)", "rp_tree", pim::SptPolicy::never()},
+        {"threshold m=20", "thresh20", pim::SptPolicy::threshold(20, 10 * sim::kSecond)},
+        {"threshold m=5", "thresh5", pim::SptPolicy::threshold(5, 10 * sim::kSecond)},
+        {"immediate", "immediate", pim::SptPolicy::immediate()},
     };
     for (const P& p : policies) {
         const Run r = run_policy(p.policy, packets, interval);
         std::printf("%-22s %-14.1f %-12zu %-10zu\n", p.name, r.mean_latency_ms,
                     r.sg_entries, r.delivered);
+        const std::string key = std::string(tag) + "_" + p.tag;
+        report.metric("mean_lat_ms_" + key, r.mean_latency_ms, "ms", "info");
+        report.metric("sg_entries_" + key, static_cast<double>(r.sg_entries),
+                      "entries", "info");
     }
 }
 
@@ -116,8 +122,10 @@ void sweep(const char* workload, int packets, sim::Time interval) {
 
 int main() {
     std::printf("# Ablation: SPT switchover policy (§3.3) — latency vs (S,G) state\n");
-    sweep("sporadic low-rate source", 6, 500 * sim::kMillisecond);
-    sweep("high-rate source", 60, 20 * sim::kMillisecond);
+    bench::Report report("ablation_spt_policy");
+    sweep("sporadic low-rate source", "sporadic", 6, 500 * sim::kMillisecond,
+          report);
+    sweep("high-rate source", "highrate", 60, 20 * sim::kMillisecond, report);
     std::printf(
         "\n# Expected shape: staying on the RP tree holds latency at the shared-\n"
         "# path cost with zero receiver-side (S,G) state; immediate switching\n"
@@ -125,5 +133,6 @@ int main() {
         "# sporadic senders; thresholds interpolate — \"shared trees may perform\n"
         "# very well for large numbers of low data rate sources ... while SPTs\n"
         "# may be better suited for high data rate sources\" (§1.3).\n");
+    report.emit();
     return 0;
 }

@@ -14,8 +14,54 @@
 #include "graph/tree_metrics.hpp"
 #include "graph/shortest_path.hpp"
 #include "stats/counters.hpp"
+#include "telemetry/profiler/profiler.hpp"
 
 namespace pimlib::bench {
+
+/// The normalized result record every bench emits as its LAST stdout line,
+/// consumed by bench/runner (history + baseline gate). One line of JSON:
+///
+///   {"schema":"pimbench/1","bench":"timer_scale","metrics":{
+///     "top_speedup":{"value":12.4,"unit":"x","better":"higher"}, ...}}
+///
+/// `better` tells the regression gate which direction is bad: "lower"
+/// (times), "higher" (throughput/speedups), or "info" (recorded in history
+/// but never gated — wall-clock-noisy or purely descriptive values).
+/// Metric values must be finite; insertion order is preserved so the line
+/// is byte-stable for deterministic benches (churn_scale --check diffs its
+/// full stdout across same-seed runs).
+class Report {
+public:
+    explicit Report(std::string bench) : bench_(std::move(bench)) {}
+
+    Report& metric(const std::string& name, double value, const std::string& unit,
+                   const std::string& better) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"value\":%.9g,\"unit\":\"%s\",\"better\":\"%s\"}",
+                      name.c_str(), value, unit.c_str(), better.c_str());
+        entries_.emplace_back(buf);
+        return *this;
+    }
+
+    [[nodiscard]] std::string line() const {
+        std::string out = "{\"schema\":\"pimbench/1\",\"bench\":\"" + bench_ +
+                          "\",\"metrics\":{";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (i > 0) out += ',';
+            out += entries_[i];
+        }
+        out += "}}";
+        return out;
+    }
+
+    /// Prints the normalized line to stdout (with trailing newline).
+    void emit() const { std::printf("%s\n", line().c_str()); }
+
+private:
+    std::string bench_;
+    std::vector<std::string> entries_;
+};
 
 /// Parses "--trials N" / "--groups N" style integer flags; returns
 /// `fallback` when absent.
@@ -52,6 +98,36 @@ inline std::string flag_string(int argc, char** argv, const char* name,
         if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
     }
     return fallback;
+}
+
+/// Arms the CPU profiler when --profile is present; call before the
+/// workload. Pair with profile_end after it.
+inline bool profile_begin(int argc, char** argv) {
+    if (!flag_present(argc, argv, "--profile")) return false;
+    prof::set_enabled(true);
+    return true;
+}
+
+/// When --profile is armed: stops the profiler, writes collapsed stacks
+/// (FlameGraph / speedscope input) to --profile-out (default
+/// "<bench>.collapsed") and prints the zone table to stderr — stdout stays
+/// reserved for the bench's own JSON.
+inline void profile_end(int argc, char** argv, const char* bench) {
+    if (!flag_present(argc, argv, "--profile")) return;
+    prof::set_enabled(false);
+    const prof::Report report = prof::snapshot();
+    const std::string fallback = std::string(bench) + ".collapsed";
+    const std::string path =
+        flag_string(argc, argv, "--profile-out", fallback.c_str());
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        const std::string collapsed = prof::to_collapsed(report);
+        std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "profile: wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "profile: cannot write %s\n", path.c_str());
+    }
+    std::fprintf(stderr, "%s", prof::to_table(report).c_str());
 }
 
 /// Nearest-rank percentile over an unsorted sample. NaN when the sample is

@@ -221,6 +221,23 @@ std::string json_for(const PointResult& p) {
     return std::string(buf) + bench::distribution_json(p.join_to_data_s) + "}";
 }
 
+/// The normalized pimbench/1 line for the last (largest) point. Only
+/// sim-derived values appear — stdout must stay byte-identical across
+/// same-seed runs, so wall-clock metrics are excluded by construction.
+bench::Report normalized(const PointResult& p) {
+    bench::Report norm("churn_scale");
+    norm.metric("joins_per_sec", p.joins_per_sec, "joins/s", "higher")
+        .metric("steady_control_msgs_per_sec", p.steady_control_per_sec,
+                "msgs/s", "lower")
+        .metric("join_to_data_p50_s", bench::percentile(p.join_to_data_s, 0.50),
+                "s", "lower")
+        .metric("join_to_data_p99_s", bench::percentile(p.join_to_data_s, 0.99),
+                "s", "lower")
+        .metric("membership_peak", static_cast<double>(p.membership_peak),
+                "receivers", "info");
+    return norm;
+}
+
 std::string emit(std::uint64_t seed, const std::vector<PointResult>& points) {
     std::string out = "{\n  \"bench\":\"churn_scale\",\n  \"seed\":" +
                       std::to_string(seed) + ",\n  \"groups\":" +
@@ -257,6 +274,7 @@ int main(int argc, char** argv) {
                          p.membership_peak, p.join_to_data_s.size());
             return 1;
         }
+        normalized(p).emit();
         return 0;
     }
 
@@ -279,11 +297,14 @@ int main(int argc, char** argv) {
     }
 
     const sim::Time duration = 10 * sim::kSecond;
+    bench::profile_begin(argc, argv);
     std::vector<PointResult> points;
     points.reserve(sweep.size());
     for (const Point& pt : sweep) {
         points.push_back(run_point(seed, pt.receivers, pt.rate, duration));
     }
+    bench::profile_end(argc, argv, "churn_scale");
     std::printf("%s", emit(seed, points).c_str());
+    normalized(points.back()).emit();
     return 0;
 }

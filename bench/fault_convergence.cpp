@@ -289,6 +289,20 @@ int main(int argc, char** argv) {
     }
     std::printf("  ],\n  \"all_within_bound\":%s\n}\n", ok ? "true" : "false");
 
+    bench::Report norm("fault_convergence");
+    for (const FaultSummary& fs : summaries) {
+        double worst = 0;
+        for (const auto& report : fs.reports) {
+            if (report.converged) {
+                worst = std::max(
+                    worst, static_cast<double>(report.recovery) / sim::kSecond);
+            }
+        }
+        norm.metric("recovery_max_s_" + fs.name, worst, "s", "lower");
+    }
+    norm.metric("all_within_bound", ok ? 1.0 : 0.0, "bool", "higher");
+    norm.emit();
+
     if (!ok) {
         // Auto-emit the flight-recorder post-mortems of the failing trials
         // so the bound miss arrives with per-hop packet fates attached.

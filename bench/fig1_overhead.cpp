@@ -160,7 +160,7 @@ Result run(const char* name, SetupFn setup, StateFn state_of, int packets) {
     return r;
 }
 
-void print(const Result& r, int packets) {
+void print(const Result& r, int packets, bench::Report& report) {
     const double per_delivery = r.delivered == 0
                                     ? 0.0
                                     : static_cast<double>(r.data_transmissions) /
@@ -173,6 +173,10 @@ void print(const Result& r, int packets) {
                 static_cast<unsigned long long>(r.control), r.state_entries,
                 r.delay_b_to_c_ms);
     (void)packets;
+    report.metric("tx_per_delivery_" + r.protocol, per_delivery, "packets",
+                  "info");
+    report.metric("delay_b_to_c_ms_" + r.protocol, r.delay_b_to_c_ms, "ms",
+                  "info");
 }
 
 } // namespace
@@ -184,6 +188,7 @@ int main(int argc, char** argv) {
     std::printf("%-10s %-8s %-10s %-10s %-9s %-10s %-9s %-7s %-10s\n", "protocol",
                 "data_tx", "delivered", "tx/deliv", "segments", "peak_link",
                 "control", "state", "B->C_ms");
+    bench::Report report("fig1_overhead");
 
     print(run<scenario::DvmrpStack>(
               "DVMRP", [](Fig1Net&, scenario::DvmrpStack&) {},
@@ -191,7 +196,7 @@ int main(int argc, char** argv) {
                   return s.dvmrp_at(r).cache().size();
               },
               packets),
-          packets);
+          packets, report);
 
     print(run<scenario::CbtStack>(
               "CBT",
@@ -203,7 +208,7 @@ int main(int argc, char** argv) {
                   return s.cbt_at(r).tree_state(kGroup) != nullptr ? 1u : 0u;
               },
               packets),
-          packets);
+          packets, report);
 
     print(run<scenario::PimSmStack>(
               "PIM-SPT",
@@ -215,7 +220,7 @@ int main(int argc, char** argv) {
                   return s.pim_at(r).cache().size();
               },
               packets),
-          packets);
+          packets, report);
 
     print(run<scenario::PimSmStack>(
               "PIM-RP",
@@ -227,7 +232,7 @@ int main(int argc, char** argv) {
                   return s.pim_at(r).cache().size();
               },
               packets),
-          packets);
+          packets, report);
 
     std::printf(
         "# Expected shape: DVMRP touches (nearly) every segment and spends the\n"
@@ -235,5 +240,6 @@ int main(int argc, char** argv) {
         "# PIM-RP concentrate flows on the core/RP path (higher max_flows) and\n"
         "# stretch the B->C delay; PIM-SPT touches only on-tree segments and\n"
         "# delivers over shortest paths (lowest B->C delay).\n");
+    report.emit();
     return 0;
 }

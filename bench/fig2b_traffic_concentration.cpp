@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
     std::printf("%-12s %-14s %-14s %-8s\n", "node_degree", "spt_max_flows",
                 "cbt_max_flows", "ratio");
 
+    bench::Report report("fig2b_traffic_concentration");
     for (int degree = 3; degree <= 8; ++degree) {
         std::vector<double> spt_max;
         std::vector<double> cbt_max;
@@ -108,8 +109,11 @@ int main(int argc, char** argv) {
         const auto cbt_summary = stats::summarize(cbt_max);
         std::printf("%-12d %-14.1f %-14.1f %-8.2f\n", degree, spt_summary.mean,
                     cbt_summary.mean, cbt_summary.mean / spt_summary.mean);
+        report.metric("concentration_ratio_deg" + std::to_string(degree),
+                      cbt_summary.mean / spt_summary.mean, "ratio", "info");
     }
     std::printf("# Expected shape: CBT strictly above SPT at every degree, both\n");
     std::printf("# decreasing as degree grows (more links to spread over).\n");
+    report.emit();
     return 0;
 }

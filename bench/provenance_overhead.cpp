@@ -242,6 +242,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(on_records), idle_budget,
                 enabled_budget);
 
+    bench::Report norm("provenance_overhead");
+    norm.metric("enabled_overhead_pct", on_pct, "%", "info")
+        .metric("idle_overhead_pct", idle_pct, "%", "info")
+        .metric("records_per_enabled_run", static_cast<double>(on_records),
+                "records", "info");
+    norm.emit();
+
     if (on_records == 0) {
         std::fprintf(stderr, "provenance_overhead: enabled run recorded nothing "
                              "— the bench is not exercising the recorder\n");

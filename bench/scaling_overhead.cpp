@@ -41,6 +41,7 @@ namespace {
 
 bool g_tracing = false;       // --telemetry on
 bool g_observe = false;       // --monitor-check: attach monitor + watchdogs
+bool g_profile = false;       // --profile-check: arm the CPU profiler
 std::string g_metrics_format; // --metrics prom|json
 std::string g_last_metrics;   // registry dump of the most recent run
 
@@ -213,8 +214,14 @@ AbTiming min_ab_seconds(bool& flag, int packets, int reps) {
     return t;
 }
 
+Row g_sum; // table mode only: accumulated across rows for the normalized line
+
 void print_row(const char* protocol, int groups, int members, const Row& row) {
     if (g_quiet) return;
+    g_sum.data_tx += row.data_tx;
+    g_sum.delivered += row.delivered;
+    g_sum.control += row.control;
+    g_sum.state += row.state;
     const double per = row.delivered == 0 ? 0.0
                                           : static_cast<double>(row.data_tx) /
                                                 static_cast<double>(row.delivered);
@@ -225,6 +232,10 @@ void print_row(const char* protocol, int groups, int members, const Row& row) {
 }
 
 void sweep(int packets) {
+    // --profile-check drives this through min_ab_seconds, which toggles
+    // g_profile before each invocation; pick the change up here so both
+    // sides of a pair run the identical code path apart from the profiler.
+    prof::set_enabled(g_profile);
     for (int groups : {1, 4, 16}) {
         for (int members : {2, 7}) {
             print_row("PIM-SM", groups, members,
@@ -298,6 +309,72 @@ int main(int argc, char** argv) {
         return 0;
     }
 
+    const int profile_pct = bench::flag_value(argc, argv, "--profile-check", -1);
+    if (profile_pct >= 0) {
+        // The compiled-in-but-disabled budget. The disabled hot path is one
+        // relaxed atomic load + branch per PROF_ZONE — too cheap for a
+        // wall-clock A/B to resolve above scheduler noise — so the gate is
+        // exact arithmetic instead: (zone entries the sweep executes, counted
+        // by one enabled run) x (calibrated per-entry cost of the disabled
+        // path, measured by prof::calibrate) against the sweep's disabled
+        // CPU seconds. The interleaved-pair A/B (same discipline as
+        // --overhead-check) prices the *enabled* profiler and is reported
+        // alongside, informationally.
+        g_quiet = true;
+
+        // (1) Exact zone-entry count for one sweep, from one enabled run.
+        g_profile = true;
+        sweep(packets);
+        g_profile = false;
+        prof::set_enabled(false);
+        const std::uint64_t entries = prof::snapshot().total_entries;
+        prof::reset();
+
+        // (2) Calibrated per-entry cost of the disabled fast path.
+        const prof::Calibration cal = prof::calibrate();
+
+        // (3) CPU seconds of the profiler-disabled sweep, min of 3.
+        double base_s = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            const double start = cpu_seconds();
+            sweep(packets);
+            const double s = cpu_seconds() - start;
+            if (rep == 0 || s < base_s) base_s = s;
+        }
+        const double disabled_cost_s =
+            static_cast<double>(entries) * cal.disabled_zone_ns / 1e9;
+        const double pct = base_s > 0 ? disabled_cost_s / base_s * 100.0 : 0.0;
+
+        // (4) Informational: enabled-vs-disabled interleaved pairs.
+        const AbTiming t = min_ab_seconds(g_profile, packets, reps);
+        prof::set_enabled(false);
+        const double enabled_pct = (t.ratio - 1.0) * 100.0;
+
+        std::printf(
+            "{\"zone_entries\":%llu,\"disabled_zone_ns\":%.3f,"
+            "\"clock_read_ns\":%.3f,\n"
+            " \"sweep_cpu_s\":%.3f,\"disabled_overhead_pct\":%.4f,"
+            "\"budget_pct\":%d,\n"
+            " \"enabled_overhead_pct\":%.1f,\"profiler_off_s\":%.3f,"
+            "\"profiler_on_s\":%.3f}\n",
+            static_cast<unsigned long long>(entries), cal.disabled_zone_ns,
+            cal.clock_read_ns, base_s, pct, profile_pct, enabled_pct, t.min_a,
+            t.min_b);
+        if (entries == 0) {
+            std::fprintf(stderr, "scaling_overhead: enabled run entered no "
+                                 "zones — the sweep is not instrumented\n");
+            return 1;
+        }
+        if (pct > profile_pct) {
+            std::fprintf(stderr,
+                         "scaling_overhead: compiled-in-but-disabled profiler "
+                         "costs %.4f%% CPU, over the %d%% budget\n",
+                         pct, profile_pct);
+            return 1;
+        }
+        return 0;
+    }
+
     const int monitor_pct = bench::flag_value(argc, argv, "--monitor-check", -1);
     if (monitor_pct >= 0) {
         // Same discipline as --overhead-check, but the delta prices the
@@ -336,5 +413,16 @@ int main(int argc, char** argv) {
                     g_metrics_format.c_str(), g_last_metrics.c_str());
         if (g_metrics_format == "json") std::printf("\n");
     }
+    bench::Report norm("scaling_overhead");
+    norm.metric("total_control_msgs", static_cast<double>(g_sum.control),
+                "msgs", "lower")
+        .metric("tx_per_delivery",
+                g_sum.delivered == 0 ? 0.0
+                                     : static_cast<double>(g_sum.data_tx) /
+                                           static_cast<double>(g_sum.delivered),
+                "packets", "lower")
+        .metric("total_state_entries", static_cast<double>(g_sum.state),
+                "entries", "info");
+    norm.emit();
     return 0;
 }

@@ -234,6 +234,10 @@ int main(int argc, char** argv) {
     (void)run_wheel(1000, rounds);
     (void)run_map(1000, rounds);
 
+    // --profile: capture zone attribution (the wheel's cascade zone fires
+    // inside next_time/roll) across the timed sweep.
+    bench::profile_begin(argc, argv);
+
     std::vector<SizeResult> results;
     double top_speedup = 0.0;
     double flatness = 0.0;
@@ -292,6 +296,18 @@ int main(int argc, char** argv) {
     }
     std::printf("\n ],\n \"top_speedup\":%.2f,\"refresh_flatness\":%.2f}\n",
                 top_speedup, flatness);
+
+    bench::profile_end(argc, argv, "timer_scale");
+
+    const SizeResult& top = results.back();
+    bench::Report norm("timer_scale");
+    norm.metric("top_speedup", top_speedup, "x", "higher")
+        .metric("refresh_flatness", flatness, "x", "lower")
+        .metric("wheel_events_per_s",
+                SizeResult::ops(top.n, rounds) / top.wheel.total_s(), "events/s",
+                "info")
+        .metric("wheel_refresh_ns", top.wheel_refresh_ns(rounds), "ns", "info");
+    norm.emit();
 
     // Both backends must have fired every scheduled event — a mismatch means
     // one of them lost or duplicated work and the timings are meaningless.

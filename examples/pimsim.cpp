@@ -56,6 +56,15 @@
 //                                       #   latency of the last delivered packet
 //     at 2s    dump-provenance          # provenance: merged recorder JSON
 //                                       #   + per-router drop summary
+//     profile on                        # CPU sampling zones (sim dispatch,
+//                                       #   timer cascade, dataplane, per-
+//                                       #   protocol control, churn); optional
+//                                       #   ring capacity: profile on 131072
+//     at 1s    profile off               # runtime toggle mid-run
+//     dump-profile out.collapsed        # end-of-run collapsed stacks
+//                                       #   (flamegraph.pl / speedscope input)
+//                                       #   + zone table on stdout; the CPU
+//                                       #   track also lands in dump-timeline
 //     telemetry off                     # disable event/span tracing (default on)
 //     snapshot-every 500ms              # periodic MRIB snapshots
 //     monitor trees 100ms               # live tree-health analytics: periodic
@@ -90,6 +99,8 @@
 
 #include "check/scenario.hpp"
 #include "check/watchdog.hpp"
+#include "telemetry/profiler/export.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "fault/fault_injector.hpp"
 #include "provenance/provenance.hpp"
 #include "scenario/stacks.hpp"
@@ -225,6 +236,10 @@ struct Scenario {
         std::printf("--- metrics at t=%.1fms (%s) ---\n",
                     static_cast<double>(net.simulator().now()) / sim::kMillisecond,
                     format.c_str());
+        net.telemetry().refresh_timer_gauges();
+        if (prof::enabled()) {
+            prof::publish_profile(prof::snapshot(), net.telemetry().registry());
+        }
         const telemetry::Registry& reg = net.telemetry().registry();
         std::printf("%s", format == "json" ? telemetry::to_json(reg).c_str()
                                            : telemetry::to_prometheus(reg).c_str());
@@ -365,6 +380,9 @@ void run_scenario(const std::string& text) {
     bool loss_possible = false; // faults/loss/churn scripted: gaps are expected
     sim::Time monitor_interval = 0;
     std::string timeline_path;
+    bool want_profile = false;
+    std::size_t profile_capacity = 0; // 0: keep the profiler's default
+    std::string profile_path;
     std::size_t provenance_capacity = provenance::RecorderConfig{}.ring_capacity;
     sim::Time snapshot_every = 0;
     struct Event {
@@ -716,6 +734,21 @@ void run_scenario(const std::string& text) {
                 if (capacity <= 0) fail(line, "provenance capacity must be positive");
                 provenance_capacity = static_cast<std::size_t>(capacity);
             }
+        } else if (word == "profile") {
+            std::string flag;
+            ls >> flag;
+            if (flag != "on" && flag != "off") {
+                fail(line, "profile takes on|off [ring capacity]");
+            }
+            want_profile = flag == "on";
+            long long capacity = 0;
+            if (ls >> capacity) {
+                if (capacity <= 0) fail(line, "profile ring capacity must be positive");
+                profile_capacity = static_cast<std::size_t>(capacity);
+            }
+        } else if (word == "dump-profile") {
+            ls >> profile_path;
+            if (profile_path.empty()) fail(line, "dump-profile needs a file path");
         } else if (word == "telemetry") {
             std::string flag;
             ls >> flag;
@@ -890,6 +923,12 @@ void run_scenario(const std::string& text) {
                                   }});
             } else if (verb == "dump-provenance") {
                 events.push_back({at, [](Scenario& sc) { sc.dump_provenance(); }});
+            } else if (verb == "profile") {
+                std::string flag;
+                ls >> flag;
+                if (flag != "on" && flag != "off") fail(line, "profile takes on|off");
+                const bool on = flag == "on";
+                events.push_back({at, [on](Scenario&) { prof::set_enabled(on); }});
             } else {
                 fail(line, "unknown event '" + verb + "'");
             }
@@ -905,6 +944,21 @@ void run_scenario(const std::string& text) {
     if (s.run_until == 0) fail(line, "missing 'run' directive");
 
     s.net.telemetry().set_tracing(want_telemetry);
+    const bool profiling = want_profile || !profile_path.empty();
+    if (profiling) {
+        prof::reset();
+        if (profile_capacity > 0) prof::set_ring_capacity(profile_capacity);
+        // Stamp every zone record with the sim time it covered, so the
+        // flamegraph and the timeline's CPU track can be read against the
+        // scenario's own clock.
+        prof::set_time_source(
+            [](const void* ctx) {
+                return static_cast<std::int64_t>(
+                    static_cast<const sim::Simulator*>(ctx)->now());
+            },
+            &s.net.simulator());
+        prof::set_enabled(want_profile);
+    }
     ensure_stack(s);
     for (const Event& e : events) {
         s.net.simulator().schedule_at(e.at, [&s, &e] { e.action(s); });
@@ -1000,6 +1054,21 @@ void run_scenario(const std::string& text) {
         std::printf("--- watchdog: %zu violation(s), %zu entries scanned ---\n",
                     s.watchdog->violations().size(), s.watchdog->entries_scanned());
         std::printf("%s", s.watchdog->dump().c_str());
+    }
+    if (profiling) {
+        prof::set_enabled(false);
+        if (!profile_path.empty()) {
+            const prof::Report report = prof::snapshot();
+            std::ofstream out(profile_path);
+            if (!out) throw std::runtime_error("cannot write " + profile_path);
+            out << prof::to_collapsed(report);
+            std::printf("--- profile: %s (collapsed stacks; flamegraph.pl / "
+                        "speedscope input) ---\n%s",
+                        profile_path.c_str(), prof::to_table(report).c_str());
+        }
+        // The time source points at this scenario's simulator; detach before
+        // the Scenario is destroyed.
+        prof::set_time_source(nullptr, nullptr);
     }
     if (!timeline_path.empty()) {
         std::ofstream out(timeline_path);

@@ -1,6 +1,7 @@
 #include "cbt/cbt.hpp"
 
 #include "provenance/provenance.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -253,6 +254,7 @@ void CbtRouter::ack_pending_children(net::GroupAddress group, TreeState& state) 
 }
 
 void CbtRouter::on_control(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("control.cbt");
     auto code = peek_code(packet.payload);
     if (!code) return;
     const sim::Time now = router_->simulator().now();
@@ -476,6 +478,7 @@ void CbtRouter::flood_tree(net::GroupAddress /*group*/, TreeState& state,
 }
 
 void CbtRouter::on_multicast_data(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("dataplane.forward");
     const net::GroupAddress group{packet.dst};
     auto it = trees_.find(group);
     if (it != trees_.end() && it->second.status == TreeState::Status::kOnTree) {

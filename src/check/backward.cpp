@@ -8,6 +8,8 @@
 #include <queue>
 #include <set>
 
+#include "telemetry/profiler/profiler.hpp"
+
 namespace pimlib::check {
 namespace {
 
@@ -240,6 +242,7 @@ ChoiceSet shrink_to_target(const std::string& scenario,
         cfg.mutation = options.mutation;
         cfg.checkpoint_every = options.checkpoint_every;
         ++*replays;
+        PROF_ZONE("check.explore");
         return target_matches(options.target,
                               run_scenario(scenario, cfg).violations);
     };
@@ -324,6 +327,7 @@ BackwardReport backward_search(const BackwardOptions& options) {
         cfg.collect_trace = collect_trace;
         cfg.checkpoint_every = options.checkpoint_every;
         ++report.replays;
+        PROF_ZONE("check.explore");
         return run_scenario(report.scenario, cfg);
     };
 

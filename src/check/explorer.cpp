@@ -8,6 +8,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "telemetry/profiler/profiler.hpp"
+
 namespace pimlib::check {
 namespace {
 
@@ -20,6 +22,7 @@ RunResult run_branch(const ExploreOptions& options, const ChoiceSet& choices,
     cfg.mutation = options.mutation;
     cfg.collect_trace = collect_trace;
     cfg.checkpoint_every = options.checkpoint_every;
+    PROF_ZONE("check.explore");
     return run_scenario(options.scenario, cfg);
 }
 

@@ -2,6 +2,7 @@
 
 #include "igmp/messages.hpp"
 #include "net/buffer.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -211,6 +212,7 @@ void DvmrpRouter::on_no_downstream(mcast::ForwardingEntry& entry, int ifindex,
 }
 
 void DvmrpRouter::on_message(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("control.dvmrp");
     auto code = peek_code(packet.payload);
     if (!code) return;
     const sim::Time now = router_->simulator().now();

@@ -1,5 +1,6 @@
 #include "igmp/router_agent.hpp"
 
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -72,6 +73,7 @@ void RouterAgent::note_member(int ifindex, net::GroupAddress group) {
 }
 
 void RouterAgent::on_message(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("control.igmp");
     if (packet.payload.empty()) return;
     switch (packet.payload.front()) {
     case kTypeReport: {

@@ -1,6 +1,7 @@
 #include "mcast/forwarding_cache.hpp"
 
 #include "stats/counters.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 
 namespace pimlib::mcast {
@@ -184,6 +185,7 @@ DataPlane::DataPlane(topo::Router& router, ForwardingCache& cache)
 
 void DataPlane::replicate(const ForwardingEntry& entry, int ifindex,
                           const net::Packet& packet) {
+    PROF_ZONE("dataplane.replicate");
     if (packet.ttl <= 1) {
         router_->network().stats().count_data_dropped_ttl();
         return;
@@ -292,6 +294,7 @@ void DataPlane::record_hop(int ifindex, const net::Packet& packet,
 }
 
 void DataPlane::on_multicast_data(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("dataplane.forward");
     const net::GroupAddress group{packet.dst};
     const net::Ipv4Address source = packet.src;
 

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "net/buffer.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/segment.hpp"
 
 namespace pimlib::mospf {
@@ -121,6 +122,7 @@ void MospfRouter::flood(const MembershipLsa& lsa, int except_ifindex) {
 }
 
 void MospfRouter::on_message(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("control.mospf");
     auto lsa = MembershipLsa::decode(packet.payload);
     if (!lsa) return;
     if (lsa->origin == router_->router_id()) return;

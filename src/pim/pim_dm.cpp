@@ -1,6 +1,7 @@
 #include "pim/pim_dm.hpp"
 
 #include "igmp/messages.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -152,6 +153,7 @@ void PimDmRouter::on_no_downstream(mcast::ForwardingEntry& entry, int ifindex,
 }
 
 void PimDmRouter::on_pim_message(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("control.pim_dm");
     auto code = peek_code(packet.payload);
     if (!code) return;
     if (*code == Code::kQuery) {

@@ -4,6 +4,7 @@
 
 #include "igmp/messages.hpp"
 #include "provenance/provenance.hpp"
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 #include "topo/segment.hpp"
 
@@ -919,6 +920,7 @@ provenance::DropReason PimSmRouter::classify_iif_drop(int ifindex,
 // ---------------------------------------------------------------------------
 
 void PimSmRouter::on_pim_message(int ifindex, const net::Packet& packet) {
+    PROF_ZONE("control.pim_sm");
     auto code = peek_code(packet.payload);
     if (!code) return;
     switch (*code) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/profiler/profiler.hpp"
+
 namespace pimlib::sim {
 
 EventId Simulator::schedule(Time delay, Action action) {
@@ -45,7 +47,10 @@ std::size_t Simulator::run_loop(Time deadline, bool bounded) {
                 if (pick >= n) pick = 0;
             }
             Action action = wheel_.take(pick);
-            action();
+            {
+                PROF_ZONE("sim.dispatch");
+                action();
+            }
             ++executed_;
             ++count;
         }

@@ -99,6 +99,10 @@ public:
     [[nodiscard]] std::size_t pending() const { return wheel_.size(); }
     [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+    /// Read-only view of the event store, for occupancy/cascade telemetry
+    /// (Hub::refresh_timer_gauges) and diagnostics.
+    [[nodiscard]] const TimerWheel& wheel() const { return wheel_; }
+
     /// Installs (or, with nullptr, removes) the decision source consulted at
     /// choice points. The source is borrowed, not owned; it must outlive its
     /// installation.

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "telemetry/profiler/profiler.hpp"
+
 namespace pimlib::sim {
 
 TimerWheel::Node* TimerWheel::acquire() {
@@ -114,6 +116,8 @@ int TimerWheel::scan_from(const Level& level, int from) {
 }
 
 void TimerWheel::cascade_current() {
+    PROF_ZONE("sim.wheel.cascade");
+    ++cascades_;
     for (int levelno = kLevels - 1; levelno >= 1; --levelno) {
         const int slot = index_at(levelno);
         Level& level = levels_[levelno];
@@ -127,6 +131,7 @@ void TimerWheel::cascade_current() {
         while (node != nullptr) {
             Node* next = node->next;
             --level.count;
+            ++cascaded_nodes_;
             node->prev = nullptr;
             node->next = nullptr;
             place(node);
@@ -141,6 +146,7 @@ void TimerWheel::migrate_overflow() {
         if (it->first.first - base_ >= span(kLevels)) break;
         Node* node = it->second;
         overflow_.erase(it);
+        ++overflow_migrations_;
         node->prev = nullptr;
         node->next = nullptr;
         place(node);
@@ -257,6 +263,23 @@ TimerWheel::Action TimerWheel::take(std::size_t k) {
     }
     assert(false && "take(k) out of range");
     return nullptr;
+}
+
+TimerWheel::Stats TimerWheel::stats() const {
+    Stats s;
+    for (int levelno = 0; levelno < kLevels; ++levelno) {
+        const Level& level = levels_[levelno];
+        s.level_events[levelno] = level.count;
+        int occupied = 0;
+        for (std::uint64_t word : level.bitmap) occupied += std::popcount(word);
+        s.occupied_slots[levelno] = occupied;
+    }
+    s.overflow_events = overflow_.size();
+    s.pending = size_;
+    s.cascades = cascades_;
+    s.cascaded_nodes = cascaded_nodes_;
+    s.overflow_migrations = overflow_migrations_;
+    return s;
 }
 
 void TimerWheel::sweep_batch() {

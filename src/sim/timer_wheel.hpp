@@ -109,6 +109,22 @@ public:
     /// and returns its action.
     Action take(std::size_t k);
 
+    /// Occupancy and cascade statistics, cheap enough to read on demand
+    /// (one pass over the occupancy bitmaps). Published as pimlib_timer_*
+    /// gauges by telemetry::Hub::refresh_timer_gauges, so wheel health —
+    /// where the entries sit, how often drains shatter higher slots, how
+    /// much lives beyond the horizon — is visible without a profiler run.
+    struct Stats {
+        std::array<std::size_t, kLevels> level_events{}; // live nodes per level
+        std::array<int, kLevels> occupied_slots{};       // non-empty slots
+        std::size_t overflow_events = 0; // beyond the 2^40-us horizon
+        std::size_t pending = 0;         // == size()
+        std::uint64_t cascades = 0;       // cascade_current invocations
+        std::uint64_t cascaded_nodes = 0; // nodes re-homed downward
+        std::uint64_t overflow_migrations = 0; // nodes pulled into the wheels
+    };
+    [[nodiscard]] Stats stats() const;
+
 private:
     struct Level {
         std::array<Node*, kSlots> head{};
@@ -153,6 +169,9 @@ private:
     std::array<Level, kLevels> levels_{};
     std::map<std::pair<Time, std::uint64_t>, Node*> overflow_;
     std::size_t size_ = 0;
+    std::uint64_t cascades_ = 0;
+    std::uint64_t cascaded_nodes_ = 0;
+    std::uint64_t overflow_migrations_ = 0;
 
     std::vector<Node*> batch_; // seq-sorted; seq==0 entries are tombstones
     std::size_t batch_cursor_ = 0; // batch_ entries below this are consumed

@@ -36,6 +36,40 @@ void Hub::on_data_delivered(const std::string& host, const std::string& group) {
     spans_.end(span::kRpFailover, group, clock_->now());
 }
 
+void Hub::refresh_timer_gauges() {
+    const sim::TimerWheel::Stats stats = clock_->wheel().stats();
+    for (int level = 0; level < sim::TimerWheel::kLevels; ++level) {
+        const std::string label = std::to_string(level);
+        registry_
+            .gauge("pimlib_timer_level_events", {{"level", label}},
+                   "Live timer events stored at this wheel level")
+            .set(static_cast<double>(stats.level_events[level]));
+        registry_
+            .gauge("pimlib_timer_level_occupied_slots", {{"level", label}},
+                   "Non-empty slots at this wheel level (of 256)")
+            .set(static_cast<double>(stats.occupied_slots[level]));
+    }
+    registry_
+        .gauge("pimlib_timer_overflow_events", {},
+               "Timer events beyond the wheel horizon")
+        .set(static_cast<double>(stats.overflow_events));
+    registry_
+        .gauge("pimlib_timer_pending_events", {}, "Live timer events in total")
+        .set(static_cast<double>(stats.pending));
+    registry_
+        .gauge("pimlib_timer_cascades_total", {},
+               "Cumulative cascade passes (slot re-homing on base advance)")
+        .set(static_cast<double>(stats.cascades));
+    registry_
+        .gauge("pimlib_timer_cascaded_nodes_total", {},
+               "Cumulative timer events re-homed to a lower level")
+        .set(static_cast<double>(stats.cascaded_nodes));
+    registry_
+        .gauge("pimlib_timer_overflow_migrations_total", {},
+               "Cumulative overflow events migrated into the wheels")
+        .set(static_cast<double>(stats.overflow_migrations));
+}
+
 void Hub::store_snapshot(MribSnapshot snapshot) {
     for (const RouterMrib& r : snapshot.routers) {
         registry_

@@ -74,6 +74,13 @@ public:
 
     [[nodiscard]] sim::Time now() const { return clock_->now(); }
 
+    /// Re-publishes timer-wheel occupancy/cascade statistics as
+    /// pimlib_timer_* gauges: live events and occupied slots per level,
+    /// overflow size, pending total, and cumulative cascade / migration
+    /// counters. Call at export points (dump-metrics, bench reports) —
+    /// gauges are snapshots, not continuously maintained.
+    void refresh_timer_gauges();
+
 private:
     const sim::Simulator* clock_;
     Registry registry_;

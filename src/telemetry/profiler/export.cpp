@@ -1,0 +1,35 @@
+#include "telemetry/profiler/export.hpp"
+
+namespace pimlib::prof {
+
+void publish_profile(const Report& report, telemetry::Registry& registry) {
+    for (const ZoneStat& z : report.zones) {
+        registry
+            .gauge("pimlib_profile_zone_seconds",
+                   {{"zone", z.zone}, {"view", "exclusive"}},
+                   "CPU seconds attributed to the zone itself")
+            .set(static_cast<double>(z.exclusive_ns) / 1e9);
+        registry
+            .gauge("pimlib_profile_zone_seconds",
+                   {{"zone", z.zone}, {"view", "inclusive"}},
+                   "CPU seconds in the zone including nested zones")
+            .set(static_cast<double>(z.inclusive_ns) / 1e9);
+        registry
+            .gauge("pimlib_profile_zone_calls", {{"zone", z.zone}},
+                   "Zone entry count")
+            .set(static_cast<double>(z.count));
+    }
+    registry
+        .gauge("pimlib_profile_entries_total", {},
+               "Zone entries across all threads")
+        .set(static_cast<double>(report.total_entries));
+    registry
+        .gauge("pimlib_profile_records_dropped", {},
+               "Ring records overwritten before export")
+        .set(static_cast<double>(report.dropped_records));
+    registry
+        .gauge("pimlib_profile_threads", {}, "Threads that entered zones")
+        .set(static_cast<double>(report.threads));
+}
+
+} // namespace pimlib::prof

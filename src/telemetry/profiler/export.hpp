@@ -1,0 +1,22 @@
+// Publishes a profiler snapshot into the telemetry Registry, so
+// `pimsim dump-metrics` and every exporter (Prometheus/JSON/CSV) carry CPU
+// attribution alongside the protocol metrics:
+//
+//   pimlib_profile_zone_seconds{zone="sim.dispatch",view="exclusive"}
+//   pimlib_profile_zone_seconds{zone="sim.dispatch",view="inclusive"}
+//   pimlib_profile_zone_calls{zone="sim.dispatch"}
+//   pimlib_profile_entries_total / pimlib_profile_records_dropped /
+//   pimlib_profile_threads
+//
+// Gauges (not counters) on purpose: a snapshot is a cumulative view taken
+// at a quiescent point, and re-publishing overwrites in place.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler/profiler.hpp"
+
+namespace pimlib::prof {
+
+void publish_profile(const Report& report, telemetry::Registry& registry);
+
+} // namespace pimlib::prof

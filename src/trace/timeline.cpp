@@ -1,5 +1,6 @@
 #include "trace/timeline.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -11,6 +12,7 @@
 
 #include "telemetry/events.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/profiler/profiler.hpp"
 
 namespace pimlib::trace {
 
@@ -219,6 +221,39 @@ std::string chrome_timeline_json(const telemetry::Hub& hub,
                        ts, tid, static_cast<unsigned long long>(id)));
         }
         last_hop[h.pid] = {h.at, tid};
+    }
+
+    // CPU profiler zones (pid 3, tid per host thread). The profiler clock
+    // is host-monotonic nanoseconds — a different timebase from sim-time —
+    // so these slices live on their own process, rebased to the earliest
+    // retained record and scaled to Chrome's microsecond `ts`. Nesting is
+    // well-formed per thread because the records come from a stack.
+    std::vector<prof::TraceSlice> slices;
+    if (config.include_profile) slices = prof::trace_slices();
+    if (!slices.empty()) {
+        em.add(fmt("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,"
+                   "\"args\":{\"name\":\"cpu profile (host time)\"}}"));
+        std::set<std::uint32_t> prof_tids;
+        std::int64_t epoch = slices.front().t0_ns;
+        for (const prof::TraceSlice& s : slices) {
+            epoch = std::min(epoch, s.t0_ns);
+            prof_tids.insert(s.thread);
+        }
+        for (const std::uint32_t t : prof_tids) {
+            em.add(fmt("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":%u,"
+                       "\"args\":{\"name\":\"sim thread %u\"}}",
+                       t + 1, t));
+        }
+        for (const prof::TraceSlice& s : slices) {
+            const double ts_us = static_cast<double>(s.t0_ns - epoch) / 1e3;
+            const double dur_us = static_cast<double>(s.t1_ns - s.t0_ns) / 1e3;
+            em.add(fmt("{\"name\":\"%s\",\"cat\":\"cpu\",\"ph\":\"X\",\"ts\":%.3f,"
+                       "\"dur\":%.3f,\"pid\":3,\"tid\":%u,\"args\":{"
+                       "\"path\":\"%s\",\"sim_at\":%lld}}",
+                       json_escape(s.leaf).c_str(), ts_us, dur_us, s.thread + 1,
+                       json_escape(s.path).c_str(),
+                       static_cast<long long>(s.sim_at)));
+        }
     }
 
     return "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n" + em.out +

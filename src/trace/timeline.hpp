@@ -35,6 +35,11 @@ struct TimelineConfig {
     /// Include data-plane hop slices from the provenance recorder (bounded
     /// by its ring capacity per node).
     bool include_provenance = true;
+    /// Include CPU profiler zone slices (pid 3) when the profiler holds
+    /// records. Profiler timestamps are host nanoseconds, not sim-time, so
+    /// they render on their own process track with a timebase starting at
+    /// the earliest retained record; each slice's sim-time is in args.
+    bool include_profile = true;
 };
 
 /// Builds the Chrome trace-event JSON ({"traceEvents":[...]}) from the

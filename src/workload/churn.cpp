@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/profiler/profiler.hpp"
 #include "topo/network.hpp"
 
 namespace pimlib::workload {
@@ -113,6 +114,7 @@ void ChurnEngine::schedule_next_arrival() {
 }
 
 void ChurnEngine::arrive(int bank_index, int rank, sim::Time hold) {
+    PROF_ZONE("workload.churn");
     HostBank& bank = *banks_[static_cast<std::size_t>(bank_index)];
     if (bank.join(group(rank)) == 0) {
         ++saturated_;
@@ -136,6 +138,7 @@ void ChurnEngine::arrive(int bank_index, int rank, sim::Time hold) {
 }
 
 void ChurnEngine::depart(int bank_index, int rank, int count) {
+    PROF_ZONE("workload.churn");
     HostBank& bank = *banks_[static_cast<std::size_t>(bank_index)];
     const int left = bank.leave(group(rank), count);
     if (left == 0) return;

@@ -1,0 +1,307 @@
+// The scoped-zone CPU profiler (src/telemetry/profiler): nesting math,
+// ring wraparound accounting, the disabled fast path, deterministic
+// cross-thread merge, and Registry publication.
+#include "telemetry/profiler/export.hpp"
+#include "telemetry/profiler/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace prof = pimlib::prof;
+
+namespace {
+
+// Global operator-new interposition for the zero-allocation assertion.
+// Counting (not failing) keeps the hook harmless for every other test in
+// the binary.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+struct ProfilerTest : ::testing::Test {
+    void SetUp() override {
+        prof::set_enabled(false);
+        prof::reset();
+    }
+    void TearDown() override {
+        prof::set_enabled(false);
+        prof::reset();
+        prof::set_time_source(nullptr, nullptr);
+    }
+};
+
+const prof::ReportNode* find_node(const prof::Report& r, const std::string& path) {
+    for (const auto& n : r.nodes) {
+        if (n.path == path) return &n;
+    }
+    return nullptr;
+}
+
+const prof::ZoneStat* find_zone(const prof::Report& r, const std::string& zone) {
+    for (const auto& z : r.zones) {
+        if (z.zone == zone) return &z;
+    }
+    return nullptr;
+}
+
+void burn(int iters) {
+    volatile int sink = 0;
+    for (int i = 0; i < iters; ++i) sink = sink + i;
+}
+
+} // namespace
+
+void* operator new(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+// The replaced operator new above is malloc-based, so free() here is the
+// matched deallocator — the compiler cannot see through the replacement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+TEST_F(ProfilerTest, DisabledZoneIsInvisible) {
+    {
+        PROF_ZONE("test.invisible");
+        burn(100);
+    }
+    const prof::Report r = prof::snapshot();
+    EXPECT_EQ(r.total_entries, 0u);
+    EXPECT_EQ(find_node(r, "test.invisible"), nullptr);
+}
+
+TEST_F(ProfilerTest, DisabledZoneAllocatesNothing) {
+    // Warm the thread-local state while enabled so the disabled path is
+    // measured against a fully-initialized thread.
+    prof::set_enabled(true);
+    {
+        PROF_ZONE("test.warm");
+    }
+    prof::set_enabled(false);
+
+    const std::uint64_t before = g_alloc_count.load();
+    for (int i = 0; i < 1000; ++i) {
+        PROF_ZONE("test.disabled_alloc");
+        burn(1);
+    }
+    EXPECT_EQ(g_alloc_count.load(), before)
+        << "a compiled-in-but-disabled PROF_ZONE must not allocate";
+}
+
+TEST_F(ProfilerTest, NestedZonesSplitExclusiveFromInclusive) {
+    prof::set_enabled(true);
+    for (int i = 0; i < 50; ++i) {
+        PROF_ZONE("test.outer");
+        burn(200);
+        {
+            PROF_ZONE("test.inner");
+            burn(200);
+        }
+        burn(200);
+    }
+    prof::set_enabled(false);
+    const prof::Report r = prof::snapshot();
+
+    const prof::ReportNode* outer = find_node(r, "test.outer");
+    const prof::ReportNode* inner = find_node(r, "test.outer;test.inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->count, 50u);
+    EXPECT_EQ(inner->count, 50u);
+    EXPECT_EQ(inner->leaf, "test.inner");
+
+    // The identity the whole report rests on: a node's exclusive time is
+    // its inclusive time minus its children's inclusive time.
+    EXPECT_EQ(outer->exclusive_ns, outer->inclusive_ns - inner->inclusive_ns);
+    // Inner has no children: exclusive == inclusive.
+    EXPECT_EQ(inner->exclusive_ns, inner->inclusive_ns);
+    EXPECT_GT(outer->exclusive_ns, 0);
+    EXPECT_GE(r.total_entries, 100u);
+}
+
+TEST_F(ProfilerTest, RecursiveZoneCountsInclusiveOnce) {
+    prof::set_enabled(true);
+    {
+        PROF_ZONE("test.rec");
+        burn(100);
+        {
+            PROF_ZONE("test.rec");
+            burn(100);
+        }
+    }
+    prof::set_enabled(false);
+    const prof::Report r = prof::snapshot();
+
+    const prof::ReportNode* outer = find_node(r, "test.rec");
+    const prof::ReportNode* nested = find_node(r, "test.rec;test.rec");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(nested, nullptr);
+
+    // The per-zone rollup must not double-count the nested occurrence's
+    // inclusive time: the zone's inclusive equals the OUTERMOST node's.
+    const prof::ZoneStat* z = find_zone(r, "test.rec");
+    ASSERT_NE(z, nullptr);
+    EXPECT_EQ(z->count, 2u);
+    EXPECT_EQ(z->inclusive_ns, outer->inclusive_ns);
+    EXPECT_EQ(z->exclusive_ns, outer->exclusive_ns + nested->exclusive_ns);
+    EXPECT_LT(z->inclusive_ns, outer->inclusive_ns + nested->inclusive_ns);
+}
+
+TEST_F(ProfilerTest, RingWrapsAndCountsDrops) {
+    prof::reset();
+    prof::set_ring_capacity(16);
+    prof::set_enabled(true);
+    for (int i = 0; i < 100; ++i) {
+        PROF_ZONE("test.wrap");
+    }
+    prof::set_enabled(false);
+
+    const std::vector<prof::TraceSlice> slices = prof::trace_slices();
+    std::size_t wrap_slices = 0;
+    for (const auto& s : slices) {
+        if (s.path == "test.wrap") ++wrap_slices;
+    }
+    EXPECT_EQ(wrap_slices, 16u) << "ring must cap retained records";
+
+    const prof::Report r = prof::snapshot();
+    EXPECT_EQ(r.total_entries, 100u) << "aggregation is exact despite drops";
+    EXPECT_EQ(r.dropped_records, 84u);
+    const prof::ZoneStat* z = find_zone(r, "test.wrap");
+    ASSERT_NE(z, nullptr);
+    EXPECT_EQ(z->count, 100u);
+
+    // Restore the default capacity for the rest of the binary.
+    prof::reset();
+    prof::set_ring_capacity(65536);
+}
+
+TEST_F(ProfilerTest, ThreadMergeIsDeterministic) {
+    prof::set_enabled(true);
+    auto work = [](int iters) {
+        for (int i = 0; i < iters; ++i) {
+            PROF_ZONE("test.mt.outer");
+            PROF_ZONE("test.mt.inner");
+            burn(10);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) threads.emplace_back(work, 25);
+    for (auto& t : threads) t.join();
+    prof::set_enabled(false);
+
+    const prof::Report a = prof::snapshot();
+    const prof::Report b = prof::snapshot();
+
+    // Same quiescent state → byte-identical reports, regardless of which
+    // thread registered first.
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+        EXPECT_EQ(a.nodes[i].path, b.nodes[i].path);
+        EXPECT_EQ(a.nodes[i].inclusive_ns, b.nodes[i].inclusive_ns);
+        EXPECT_EQ(a.nodes[i].count, b.nodes[i].count);
+    }
+    // Paths are sorted.
+    for (std::size_t i = 1; i < a.nodes.size(); ++i) {
+        EXPECT_LT(a.nodes[i - 1].path, a.nodes[i].path);
+    }
+    const prof::ZoneStat* inner = find_zone(a, "test.mt.inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->count, 100u) << "4 threads x 25 iterations";
+    EXPECT_GE(a.threads, 4u);
+}
+
+TEST_F(ProfilerTest, TimeSourceStampsSlices) {
+    static std::int64_t fake_now = 0;
+    prof::set_time_source(
+        [](const void*) -> std::int64_t { return fake_now; }, nullptr);
+    prof::set_enabled(true);
+    fake_now = 42;
+    {
+        PROF_ZONE("test.stamped");
+    }
+    fake_now = 43;
+    {
+        PROF_ZONE("test.stamped");
+    }
+    prof::set_enabled(false);
+    prof::set_time_source(nullptr, nullptr);
+
+    std::vector<std::int64_t> stamps;
+    for (const auto& s : prof::trace_slices()) {
+        if (s.path == "test.stamped") stamps.push_back(s.sim_at);
+    }
+    ASSERT_EQ(stamps.size(), 2u);
+    EXPECT_EQ(stamps[0], 42);
+    EXPECT_EQ(stamps[1], 43);
+}
+
+TEST_F(ProfilerTest, CollapsedStacksUseExclusiveMicroseconds) {
+    prof::set_enabled(true);
+    {
+        PROF_ZONE("test.collapse.a");
+        PROF_ZONE("test.collapse.b");
+        burn(1000);
+    }
+    prof::set_enabled(false);
+    const std::string collapsed = prof::to_collapsed(prof::snapshot());
+    EXPECT_NE(collapsed.find("test.collapse.a "), std::string::npos);
+    EXPECT_NE(collapsed.find("test.collapse.a;test.collapse.b "),
+              std::string::npos);
+    // Every line is "path <integer>\n".
+    std::size_t pos = 0;
+    while (pos < collapsed.size()) {
+        const std::size_t nl = collapsed.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        const std::string line = collapsed.substr(pos, nl - pos);
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        for (char c : line.substr(space + 1)) {
+            EXPECT_TRUE(c >= '0' && c <= '9') << line;
+        }
+        pos = nl + 1;
+    }
+}
+
+TEST_F(ProfilerTest, CalibrationReportsPlausibleCosts) {
+    const prof::Calibration cal = prof::calibrate();
+    EXPECT_GT(cal.clock_read_ns, 0.0);
+    EXPECT_LT(cal.clock_read_ns, 10000.0);
+    EXPECT_GE(cal.disabled_zone_ns, 0.0);
+    EXPECT_LT(cal.disabled_zone_ns, 1000.0)
+        << "a disabled zone is one atomic load + branch; a microsecond-scale "
+           "reading means the fast path regressed";
+}
+
+TEST_F(ProfilerTest, PublishProfileExportsGauges) {
+    prof::set_enabled(true);
+    {
+        PROF_ZONE("test.publish");
+        burn(100);
+    }
+    prof::set_enabled(false);
+
+    pimlib::telemetry::Registry registry;
+    prof::publish_profile(prof::snapshot(), registry);
+
+    bool saw_seconds = false;
+    bool saw_calls = false;
+    bool saw_entries = false;
+    for (const auto* inst : registry.sorted()) {
+        if (inst->name == "pimlib_profile_zone_seconds") saw_seconds = true;
+        if (inst->name == "pimlib_profile_zone_calls") saw_calls = true;
+        if (inst->name == "pimlib_profile_entries_total") saw_entries = true;
+    }
+    EXPECT_TRUE(saw_seconds);
+    EXPECT_TRUE(saw_calls);
+    EXPECT_TRUE(saw_entries);
+}

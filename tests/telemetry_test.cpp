@@ -441,5 +441,44 @@ TEST(Hub, MribSnapshotsDiffAcrossJoin) {
               0.0);
 }
 
+// --- timer wheel gauges ---------------------------------------------------
+
+TEST(Hub, RefreshTimerGaugesPublishesWheelStats) {
+    sim::Simulator sim;
+    telemetry::Hub hub(sim);
+    int fired = 0;
+    sim.schedule(10, [&fired] { ++fired; });
+    sim.schedule(20, [&fired] { ++fired; });
+
+    hub.refresh_timer_gauges();
+
+    double pending = -1;
+    double level0 = -1;
+    bool saw_cascades = false;
+    for (const auto* inst : hub.registry().sorted()) {
+        if (inst->name == "pimlib_timer_pending_events") {
+            pending = inst->gauge->value();
+        } else if (inst->name == "pimlib_timer_level_events" &&
+                   inst->labels == LabelSet{{"level", "0"}}) {
+            level0 = inst->gauge->value();
+        } else if (inst->name == "pimlib_timer_cascades_total") {
+            saw_cascades = true;
+        }
+    }
+    EXPECT_EQ(pending, 2.0);
+    EXPECT_EQ(level0, 2.0);
+    EXPECT_TRUE(saw_cascades);
+
+    // Draining the wheel and refreshing again overwrites in place.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    hub.refresh_timer_gauges();
+    for (const auto* inst : hub.registry().sorted()) {
+        if (inst->name == "pimlib_timer_pending_events") {
+            EXPECT_EQ(inst->gauge->value(), 0.0);
+        }
+    }
+}
+
 } // namespace
 } // namespace pimlib::test

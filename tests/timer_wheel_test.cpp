@@ -340,5 +340,56 @@ TEST(TimerWheelSimulator, MillionEntryRefreshChurnStaysConsistent) {
     EXPECT_EQ(sim.pending(), 0u);
 }
 
+TEST(TimerWheelStats, TracksOccupancyCascadesAndOverflow) {
+    TimerWheel wheel;
+    std::vector<std::pair<Time, int>> fired;
+    std::uint64_t seq = 1;
+
+    // Empty wheel: everything zero.
+    TimerWheel::Stats s = wheel.stats();
+    EXPECT_EQ(s.pending, 0u);
+    EXPECT_EQ(s.cascades, 0u);
+    EXPECT_EQ(s.overflow_events, 0u);
+
+    // Three level-0 events in distinct slots, one level-1, one beyond the
+    // 2^40 horizon.
+    push_marker(wheel, 1, seq++, fired, 0);
+    push_marker(wheel, 2, seq++, fired, 1);
+    push_marker(wheel, 3, seq++, fired, 2);
+    const Time level1 = TimerWheel::kSlots + 5; // one cascade away
+    push_marker(wheel, level1, seq++, fired, 3);
+    // A full horizon past the drain point, so it stays in overflow even
+    // after the wheel's base advances below.
+    const Time beyond = Time{2} << (TimerWheel::kSlotBits * TimerWheel::kLevels);
+    push_marker(wheel, beyond + 7, seq++, fired, 4);
+
+    s = wheel.stats();
+    EXPECT_EQ(s.pending, 5u);
+    EXPECT_EQ(s.pending, wheel.size());
+    EXPECT_EQ(s.level_events[0], 3u);
+    EXPECT_EQ(s.occupied_slots[0], 3);
+    EXPECT_EQ(s.level_events[1], 1u);
+    EXPECT_EQ(s.occupied_slots[1], 1);
+    EXPECT_EQ(s.overflow_events, 1u);
+    EXPECT_EQ(s.cascades, 0u);
+
+    // Drain up to the level-1 event: its slot must cascade down, and the
+    // cumulative counters must record exactly that one re-homing.
+    Time at = 0;
+    while (wheel.next_time(&at, level1)) {
+        wheel.open_batch(at);
+        while (wheel.batch_live() > 0) wheel.take(0)();
+    }
+    s = wheel.stats();
+    EXPECT_EQ(s.pending, 1u);
+    EXPECT_EQ(s.cascades, 1u);
+    EXPECT_EQ(s.cascaded_nodes, 1u);
+    EXPECT_EQ(s.level_events[0], 0u);
+    EXPECT_EQ(s.level_events[1], 0u);
+    EXPECT_EQ(s.overflow_events, 1u) << "far event still beyond the horizon";
+    EXPECT_EQ(s.overflow_migrations, 0u);
+    EXPECT_EQ(fired.size(), 4u);
+}
+
 } // namespace
 } // namespace pimlib::sim
